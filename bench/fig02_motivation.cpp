@@ -1,0 +1,53 @@
+// Fig. 2 — motivation: asynchronous learning and serverless computing
+// jointly improve DRL training. Three systems on PPO/Hopper:
+//   sync+serverful     (RLlib-style baseline)
+//   async+serverful    (Stellaris' async learners, whole-fleet billing)
+//   async+serverless   (Stellaris)
+// Reports the episodic-reward curve (a) and the total training cost (b).
+#include "common.hpp"
+
+#include <iostream>
+
+using namespace stellaris;
+
+int main() {
+  const std::string env = "Hopper";
+  const std::size_t rounds = bench::default_rounds(env);
+  const std::size_t seeds = bench::default_seeds(env);
+
+  auto cfg = bench::base_config(env, rounds, 1);
+
+  // sync + serverful.
+  baselines::SyncConfig sync_cfg;
+  sync_cfg.base = cfg;
+  sync_cfg.variant = baselines::SyncVariant::kRllibLike;
+  sync_cfg.num_learners = 4;
+  auto sync_runs = bench::run_sync_seeds(sync_cfg, seeds);
+
+  // async + serverless (Stellaris) and its serverful re-billing.
+  auto stellaris_runs = bench::run_seeds(cfg, seeds);
+  auto async_serverful = stellaris_runs;
+  for (auto& r : async_serverful) bench::rebill_serverful(r, cfg.cluster);
+
+  bench::emit_curve_comparison(
+      "Fig. 2(a) — episodic reward: sync+serverful vs Stellaris",
+      "sync_serverful", sync_runs, "stellaris", stellaris_runs,
+      "fig02_reward.csv");
+
+  const auto s_sync = bench::summarize(sync_runs);
+  const auto s_asf = bench::summarize(async_serverful);
+  const auto s_stl = bench::summarize(stellaris_runs);
+  Table cost({"system", "final_reward", "time_s", "total_cost_usd"});
+  cost.row().add("sync+serverful").add(s_sync.final_reward, 1)
+      .add(s_sync.time_s, 2).add(s_sync.total_cost, 4);
+  cost.row().add("async+serverful").add(s_asf.final_reward, 1)
+      .add(s_asf.time_s, 2).add(s_asf.total_cost, 4);
+  cost.row().add("async+serverless (Stellaris)").add(s_stl.final_reward, 1)
+      .add(s_stl.time_s, 2).add(s_stl.total_cost, 4);
+  cost.emit("Fig. 2(b) — training cost", "fig02_cost.csv");
+
+  std::cout << "\nExpected shape: Stellaris reaches the highest reward in the"
+               " least virtual time at the lowest cost; async+serverful is"
+               " fast but pays for idle VMs; sync+serverful is slowest.\n";
+  return 0;
+}

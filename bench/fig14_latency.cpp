@@ -1,0 +1,77 @@
+// Fig. 14 — latency breakdown of one training round per environment:
+// actor sampling, data loading, learner start, learner compute, gradient
+// submission, aggregation, and policy broadcast, with total orchestration
+// overhead (< 5% in the paper). Also reports two infrastructure ablations:
+// hierarchical data passing vs cache-only, and pre-warming on/off.
+#include "common.hpp"
+
+#include <iostream>
+
+using namespace stellaris;
+
+int main() {
+  Table t({"env", "actor_sample_s", "data_load_s", "learner_start_s",
+           "learner_compute_s", "grad_submit_s", "aggregate_s",
+           "broadcast_s", "overhead_pct"});
+  for (const auto& env : envs::benchmark_env_names()) {
+    auto cfg = bench::base_config(env, 20, 1);
+    cfg.seed = 23;
+    auto result = core::run_training(cfg);
+    // Per-round components.
+    const double n = static_cast<double>(result.rounds.size());
+    const auto& b = result.breakdown;
+    t.row()
+        .add(env)
+        .add(b.actor_sample_s / n, 4)
+        .add(b.data_load_s / n, 4)
+        .add(b.learner_start_s / n, 4)
+        .add(b.learner_compute_s / n, 4)
+        .add(b.grad_submit_s / n, 4)
+        .add(b.aggregate_s / n, 4)
+        .add(b.broadcast_s / n, 4)
+        .add(b.overhead_fraction() * 100.0, 2);
+  }
+  t.emit("Fig. 14 — one-round latency breakdown (paper: overhead < 5%)",
+         "fig14_latency.csv");
+
+  // ---- ablation: hierarchical data passing (DESIGN.md §4.4) ------------------
+  {
+    serverless::LatencyModel lat;
+    Table dp({"payload_KiB", "shared_memory_ms", "rpc_ms", "cache_ms"});
+    for (std::size_t kib : {4, 64, 1024, 16384}) {
+      const std::size_t bytes = kib * 1024;
+      dp.row()
+          .add(kib)
+          .add(lat.transfer_s(serverless::DataTier::kSharedMemory, bytes) *
+                   1e3,
+               4)
+          .add(lat.transfer_s(serverless::DataTier::kRpc, bytes) * 1e3, 4)
+          .add(lat.transfer_s(serverless::DataTier::kCache, bytes) * 1e3, 4);
+    }
+    dp.emit("Hierarchical data passing — per-tier transfer latency",
+            "fig14x_tiers.csv");
+  }
+
+  // ---- ablation: pre-warming (DESIGN.md §4.5) -----------------------------------
+  {
+    Table pw({"prewarm", "cold_starts", "warm_starts", "total_time_s",
+              "overhead_pct"});
+    for (bool prewarm : {true, false}) {
+      auto cfg = bench::base_config("Hopper", 20, 1);
+      cfg.prewarm = prewarm;
+      auto result = core::run_training(cfg);
+      pw.row()
+          .add(prewarm ? "on" : "off")
+          .add(static_cast<std::size_t>(result.cold_starts))
+          .add(static_cast<std::size_t>(result.warm_starts))
+          .add(result.total_time_s, 3)
+          .add(result.breakdown.overhead_fraction() * 100.0, 2);
+    }
+    pw.emit("Pre-warming & keep-alive — cold-start ablation",
+            "fig14x_prewarm.csv");
+  }
+  std::cout << "\nExpected shape: actor sampling + learner compute dominate;"
+               " orchestration overhead stays in single-digit percent;"
+               " pre-warming removes all cold starts.\n";
+  return 0;
+}

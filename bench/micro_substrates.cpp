@@ -1,0 +1,155 @@
+// Google-benchmark microbenchmarks for the substrates: tensor kernels,
+// serialization, the distributed cache, the aggregation kernel, environment
+// stepping, and a full learner gradient computation.
+#include <benchmark/benchmark.h>
+
+#include "cache/distributed_cache.hpp"
+#include "core/parameter_function.hpp"
+#include "envs/env.hpp"
+#include "nn/distributions.hpp"
+#include "rl/actor.hpp"
+#include "rl/gae.hpp"
+#include "rl/ppo.hpp"
+#include "tensor/ops.hpp"
+#include "util/rng.hpp"
+
+namespace stellaris {
+namespace {
+
+void BM_Matmul(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  Tensor a = Tensor::randn({n, n}, rng);
+  Tensor b = Tensor::randn({n, n}, rng);
+  for (auto _ : state) benchmark::DoNotOptimize(ops::matmul(a, b));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * n *
+                          n * n * 2);
+}
+BENCHMARK(BM_Matmul)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_SoftmaxRows(benchmark::State& state) {
+  Rng rng(2);
+  Tensor logits = Tensor::randn({256, 16}, rng);
+  for (auto _ : state) benchmark::DoNotOptimize(ops::softmax_rows(logits));
+}
+BENCHMARK(BM_SoftmaxRows);
+
+void BM_Im2col(benchmark::State& state) {
+  Rng rng(3);
+  ops::Conv2dSpec spec;
+  spec.in_channels = 3;
+  spec.out_channels = 8;
+  spec.in_h = spec.in_w = 20;
+  spec.kernel = 5;
+  spec.stride = 2;
+  Tensor x = Tensor::randn({8, 3 * 20 * 20}, rng);
+  for (auto _ : state) benchmark::DoNotOptimize(ops::im2col(x, spec));
+}
+BENCHMARK(BM_Im2col);
+
+void BM_CachePutGet(benchmark::State& state) {
+  cache::DistributedCache cache;
+  cache::Bytes payload(static_cast<std::size_t>(state.range(0)), 0x5a);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const std::string key = "k/" + std::to_string(i++ % 128);
+    cache.put(key, payload);
+    benchmark::DoNotOptimize(cache.get(key));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0) * 2);
+}
+BENCHMARK(BM_CachePutGet)->Arg(1024)->Arg(64 * 1024)->Arg(1024 * 1024);
+
+void BM_BatchSerialize(benchmark::State& state) {
+  auto env = envs::make_env("Hopper");
+  nn::ActorCritic policy(env->spec().obs, env->spec().action_kind,
+                         env->spec().act_dim, nn::NetworkSpec::mujoco(32), 1);
+  rl::Actor actor(envs::make_env("Hopper"), 1);
+  auto batch = actor.sample(policy, 128, 0);
+  for (auto _ : state) {
+    auto bytes = batch.serialize();
+    benchmark::DoNotOptimize(rl::SampleBatch::deserialize(bytes));
+  }
+}
+BENCHMARK(BM_BatchSerialize);
+
+void BM_EnvStep(benchmark::State& state) {
+  const char* names[] = {"Hopper", "SpaceInvaders"};
+  auto env = envs::make_env(names[state.range(0)]);
+  env->reset(1);
+  Rng rng(1);
+  const auto& spec = env->spec();
+  std::size_t steps = 0;
+  for (auto _ : state) {
+    envs::StepResult r;
+    if (spec.action_kind == nn::ActionKind::kContinuous) {
+      std::vector<float> a(spec.act_dim);
+      for (auto& v : a) v = static_cast<float>(rng.uniform(-1, 1));
+      r = env->step(a);
+    } else {
+      r = env->step_discrete(rng.uniform_int(spec.act_dim));
+    }
+    if (r.done) env->reset(++steps);
+    benchmark::DoNotOptimize(r.reward);
+  }
+}
+BENCHMARK(BM_EnvStep)->Arg(0)->Arg(1);
+
+void BM_PpoGradient(benchmark::State& state) {
+  auto env_spec = envs::env_spec("Hopper");
+  nn::ActorCritic model(env_spec.obs, env_spec.action_kind, env_spec.act_dim,
+                        nn::NetworkSpec::mujoco(32), 1);
+  rl::Actor actor(envs::make_env("Hopper"), 1);
+  auto batch =
+      actor.sample(model, static_cast<std::size_t>(state.range(0)), 0);
+  rl::PpoConfig cfg;
+  rl::compute_gae(batch, cfg.gamma, cfg.gae_lambda);
+  rl::normalize_advantages(batch);
+  for (auto _ : state) {
+    model.zero_grad();
+    benchmark::DoNotOptimize(rl::ppo_compute_gradients(model, batch, cfg));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_PpoGradient)->Arg(128)->Arg(512);
+
+void BM_Aggregation(benchmark::State& state) {
+  const std::size_t dim = 4096;
+  core::ParameterFunction::Config cfg;
+  cfg.optimizer = "sgd";
+  cfg.alpha0 = 1.0;
+  core::ParameterFunction pf(std::vector<float>(dim, 0.0f), cfg);
+  std::vector<core::GradientQueue::Item> group;
+  Rng rng(1);
+  for (int i = 0; i < state.range(0); ++i) {
+    core::GradientQueue::Item item;
+    item.msg.grad.resize(dim);
+    for (auto& g : item.msg.grad) g = static_cast<float>(rng.normal());
+    item.msg.pulled_version = 0;
+    item.msg.mean_ratio = rng.uniform(0.8, 1.2);
+    group.push_back(std::move(item));
+  }
+  for (auto _ : state) {
+    // Refresh pulled versions so staleness stays valid as versions advance.
+    for (auto& item : group) item.msg.pulled_version = pf.version();
+    benchmark::DoNotOptimize(pf.aggregate(group));
+  }
+}
+BENCHMARK(BM_Aggregation)->Arg(2)->Arg(8)->Arg(32);
+
+void BM_GaussianLogProb(benchmark::State& state) {
+  Rng rng(4);
+  Tensor mean = Tensor::randn({512, 6}, rng);
+  Tensor log_std = Tensor::randn({6}, rng, 0.3f);
+  Tensor actions = Tensor::randn({512, 6}, rng);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(nn::gaussian_log_prob(mean, log_std, actions));
+}
+BENCHMARK(BM_GaussianLogProb);
+
+}  // namespace
+}  // namespace stellaris
+
+BENCHMARK_MAIN();

@@ -1,0 +1,25 @@
+// Table I: feature matrix of DRL training frameworks, reproduced verbatim
+// from the paper, annotated with which module of this repo implements each
+// system class.
+#include "util/csv.hpp"
+
+int main() {
+  stellaris::Table t({"Framework", "Async. Learners", "Scalable Actors",
+                      "On-&Off-policy", "Serverless", "This repo"});
+  t.row().add("Ray RLlib").add("no").add("no").add("yes").add("no")
+      .add("baselines/sync_trainer (kRllibLike)");
+  t.row().add("MSRL").add("no").add("no").add("yes").add("no")
+      .add("(sync class, covered by kRllibLike)");
+  t.row().add("SEED RL").add("no").add("no").add("yes").add("no")
+      .add("(central-learner class, covered by kMinionsLike)");
+  t.row().add("SRL").add("no").add("no").add("yes").add("no")
+      .add("(sync class, covered by kRllibLike)");
+  t.row().add("PQL").add("no").add("no").add("no").add("no")
+      .add("(off-policy sync class)");
+  t.row().add("MinionsRL").add("no").add("yes").add("no").add("yes")
+      .add("baselines/sync_trainer (kMinionsLike)");
+  t.row().add("Stellaris").add("yes").add("yes").add("yes").add("yes")
+      .add("core/stellaris_trainer");
+  t.emit("Table I — framework feature matrix", "table01_features.csv");
+  return 0;
+}

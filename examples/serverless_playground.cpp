@@ -1,0 +1,62 @@
+// Example: the serverless substrate on its own.
+//
+// Uses the virtual-time platform directly — no RL — to show how invocation
+// queueing, cold starts, pre-warming, keep-alive, and the paper's
+// dollar-per-resource-second cost model interact. Useful for understanding
+// (and unit-costing) any workload shape before attaching learners to it.
+//
+//   ./build/examples/serverless_playground
+#include <iostream>
+
+#include "serverless/platform.hpp"
+#include "util/csv.hpp"
+
+int main() {
+  using namespace stellaris;
+  using serverless::FnKind;
+
+  Table t({"scenario", "invocations", "cold_starts", "makespan_s",
+           "gpu_util_pct", "cost_usd"});
+
+  auto run_scenario = [&](const std::string& name, bool prewarm,
+                          std::size_t burst, double compute_s) {
+    sim::Engine engine;
+    serverless::ServerlessPlatform platform(
+        engine, serverless::ClusterSpec::regular(), serverless::LatencyModel{},
+        7);
+    if (prewarm) platform.prewarm_learners(platform.cluster().learner_slots());
+    for (std::size_t i = 0; i < burst; ++i) {
+      serverless::ServerlessPlatform::InvokeOptions opts;
+      opts.kind = FnKind::kLearner;
+      opts.compute_s = compute_s;
+      opts.payload_in_bytes = 1 << 20;
+      platform.invoke(opts, [](const auto&) {});
+    }
+    engine.run();
+    t.row()
+        .add(name)
+        .add(static_cast<std::size_t>(
+            platform.costs().invocations(FnKind::kLearner)))
+        .add(static_cast<std::size_t>(platform.learner_cold_starts()))
+        .add(engine.now(), 3)
+        .add(platform.gpu_utilization() * 100.0, 1)
+        .add(platform.costs().total_cost(), 6);
+  };
+
+  // The regular testbed has 8 learner slots (2 V100s × 4).
+  run_scenario("8 invocations, cold", false, 8, 0.5);
+  run_scenario("8 invocations, prewarmed", true, 8, 0.5);
+  run_scenario("32 invocations (queueing), prewarmed", true, 32, 0.5);
+  run_scenario("32 short tasks, prewarmed", true, 32, 0.05);
+
+  t.emit("serverless platform scenarios");
+  std::cout <<
+      "\nReading the table:\n"
+      " - pre-warming removes the ~1.2 s cold start from the makespan and\n"
+      "   (per the paper's cost model) is itself free of charge;\n"
+      " - 32 invocations on 8 slots queue 4-deep: makespan ~4x, cost equal\n"
+      "   (you pay busy seconds, not wall clock);\n"
+      " - short tasks lower utilization because start/transfer overheads\n"
+      "   dominate.\n";
+  return 0;
+}

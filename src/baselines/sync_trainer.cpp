@@ -1,0 +1,241 @@
+#include "baselines/sync_trainer.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/kl_probe.hpp"
+#include "core/learner_update.hpp"
+#include "nn/optimizer.hpp"
+#include "rl/actor.hpp"
+#include "util/error.hpp"
+
+namespace stellaris::baselines {
+
+const char* sync_variant_name(SyncVariant v) {
+  switch (v) {
+    case SyncVariant::kVanillaPpo: return "vanilla";
+    case SyncVariant::kRllibLike: return "rllib-like";
+    case SyncVariant::kMinionsLike: return "minionsrl-like";
+    case SyncVariant::kParRl: return "par-rl-like";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Sum of hourly prices of every VM in the cluster — serverful trainers pay
+/// for the whole fleet for the whole wall-clock, idle or not (the paper's
+/// core cost argument, §II-A).
+double cluster_hourly_price(const serverless::ClusterSpec& cluster) {
+  double total = 0.0;
+  for (const auto& g : cluster.vms)
+    total += g.type.hourly_price_usd * static_cast<double>(g.count);
+  return total;
+}
+
+/// Hourly price of the GPU VMs only (MinionsRL's serverful central
+/// learner).
+double gpu_vm_hourly_price(const serverless::ClusterSpec& cluster) {
+  double total = 0.0;
+  for (const auto& g : cluster.vms)
+    if (g.type.gpus > 0)
+      total += g.type.hourly_price_usd * static_cast<double>(g.count);
+  return total;
+}
+
+}  // namespace
+
+core::TrainResult run_sync_training(const SyncConfig& sync_cfg) {
+  const core::TrainConfig& cfg = sync_cfg.base;
+  cfg.validate();
+  const bool minions = sync_cfg.variant == SyncVariant::kMinionsLike;
+  const std::size_t n_learners =
+      minions ? 1 : std::max<std::size_t>(1, sync_cfg.num_learners);
+
+  const envs::EnvSpec env_spec = envs::env_spec(cfg.env_name);
+  const nn::NetworkSpec net_spec =
+      env_spec.obs.image ? nn::NetworkSpec::atari()
+                         : nn::NetworkSpec::mujoco(cfg.network_width);
+  auto build_model = [&](std::uint64_t salt) {
+    return std::make_unique<nn::ActorCritic>(env_spec.obs,
+                                             env_spec.action_kind,
+                                             env_spec.act_dim, net_spec,
+                                             cfg.seed ^ salt);
+  };
+  auto canonical = build_model(0x11);
+  auto learner_model = build_model(0x33);
+  auto target_model = build_model(0x44);
+  auto probe_model = build_model(0x55);
+  std::vector<float> params = canonical->flat_params();
+  std::vector<float> target_params = params;
+  std::size_t updates_since_target = 0;
+
+  std::vector<std::unique_ptr<rl::Actor>> actors;
+  for (std::size_t i = 0; i < cfg.num_actors; ++i)
+    actors.push_back(std::make_unique<rl::Actor>(envs::make_env(cfg.env_name),
+                                                 cfg.seed * 7919 + i));
+  auto eval_env = envs::make_env(cfg.env_name);
+  Rng rng(cfg.seed ^ 0x517cULL);
+
+  core::TrainResult result;
+  double clock_s = 0.0;
+  double serverless_actor_cost = 0.0;
+  const double fleet_price_per_s = cluster_hourly_price(cfg.cluster) / 3600.0;
+  const double gpu_price_per_s = gpu_vm_hourly_price(cfg.cluster) / 3600.0;
+  const std::size_t actor_slots =
+      std::max<std::size_t>(1, cfg.cluster.actor_slots());
+
+  Tensor probe_obs;
+  for (std::size_t round = 1; round <= cfg.rounds; ++round) {
+    // ---- actor phase (barrier): waves of parallel sampling -----------------
+    std::vector<rl::SampleBatch> batches;
+    batches.reserve(cfg.num_actors);
+    for (std::size_t i = 0; i < cfg.num_actors; ++i) {
+      canonical->set_flat_params(params);
+      batches.push_back(actors[i]->sample(*canonical, cfg.horizon, round));
+    }
+    const std::size_t waves =
+        (cfg.num_actors + actor_slots - 1) / actor_slots;
+    double actor_phase_s = 0.0;
+    for (std::size_t w = 0; w < waves; ++w) {
+      double wave_max = 0.0;
+      const std::size_t in_wave =
+          std::min(actor_slots, cfg.num_actors - w * actor_slots);
+      for (std::size_t i = 0; i < in_wave; ++i)
+        wave_max = std::max(
+            wave_max, cfg.latency.jittered(
+                          cfg.latency.actor_sample_s(cfg.horizon,
+                                                     env_spec.obs.image),
+                          rng));
+      actor_phase_s += wave_max;
+    }
+
+    // ---- learner phase: shard batches across sync learners ------------------
+    std::vector<std::vector<float>> deltas;
+    rl::LossStats last_stats;
+    double learner_phase_s = 0.0;
+    if (cfg.algorithm == core::Algorithm::kImpact)
+      target_model->set_flat_params(target_params);
+    for (std::size_t l = 0; l < n_learners; ++l) {
+      std::vector<rl::SampleBatch> shard;
+      for (std::size_t i = l; i < batches.size(); i += n_learners)
+        shard.push_back(batches[i]);
+      if (shard.empty()) continue;
+      rl::SampleBatch merged = shard.size() == 1
+                                   ? std::move(shard.front())
+                                   : rl::SampleBatch::concat(shard);
+      const std::size_t batch_steps = merged.size();
+      core::LearnerUpdate update = core::compute_learner_update(
+          cfg, *learner_model, *target_model, params, merged);
+      last_stats = update.stats;
+      deltas.push_back(std::move(update.delta));
+      learner_phase_s = std::max(
+          learner_phase_s,
+          cfg.latency.jittered(
+              cfg.latency.learner_compute_s(
+                  batch_steps, params.size(),
+                  cfg.cluster.per_slot_tflops()) *
+                  static_cast<double>(update.epochs_run),
+              rng));
+    }
+    // Synchronous allreduce of the deltas.
+    const double allreduce_s =
+        cfg.latency.aggregate_s(deltas.size(), params.size());
+    STELLARIS_CHECK_MSG(!deltas.empty(), "no learner produced an update");
+    const std::vector<float> before = params;
+    const double inv = 1.0 / static_cast<double>(deltas.size());
+    for (const auto& d : deltas)
+      for (std::size_t i = 0; i < params.size(); ++i)
+        params[i] -= static_cast<float>(inv) * d[i];
+    const auto [ls_off, ls_len] = canonical->log_std_span();
+    for (std::size_t i = 0; i < ls_len; ++i)
+      params[ls_off + i] = std::clamp(params[ls_off + i], -2.5f, 0.0f);
+
+    if (cfg.algorithm == core::Algorithm::kImpact &&
+        ++updates_since_target >= cfg.impact.target_update_freq) {
+      target_params = params;
+      updates_since_target = 0;
+    }
+
+    const double round_s = actor_phase_s + learner_phase_s + allreduce_s;
+    clock_s += round_s;
+
+    // Serverless actor billing for MinionsRL: busy seconds only.
+    if (minions)
+      serverless_actor_cost += cfg.cluster.actor_unit_price() *
+                               actor_phase_s *
+                               static_cast<double>(std::min(
+                                   cfg.num_actors, actor_slots));
+
+    // ---- telemetry -----------------------------------------------------------
+    if (!batches.empty() && probe_obs.empty()) {
+      const auto& src = batches.front().obs;
+      const std::size_t rows = std::min<std::size_t>(src.dim(0), 32);
+      std::vector<float> probe(src.vec().begin(),
+                               src.vec().begin() +
+                                   static_cast<std::ptrdiff_t>(
+                                       rows * src.dim(1)));
+      probe_obs = Tensor({rows, src.dim(1)}, std::move(probe));
+    }
+    double round_kl = 0.0;
+    if (!probe_obs.empty())
+      round_kl = core::policy_update_kl(*probe_model, before, params,
+                                        probe_obs);
+    result.update_kls.push_back(round_kl);
+
+    core::RoundRecord rec;
+    rec.round = round;
+    rec.time_s = clock_s;
+    rec.mean_staleness = 0.0;  // synchronous by construction
+    rec.staleness_threshold = 0.0;
+    rec.group_size = deltas.size();
+    rec.kl = round_kl;
+    rec.learner_kl = last_stats.kl;
+    rec.learner_ratio = last_stats.mean_ratio;
+    rec.value_loss = last_stats.value_loss;
+    rec.entropy = last_stats.entropy;
+    const double serverful_cost =
+        minions ? gpu_price_per_s * clock_s + serverless_actor_cost
+                : fleet_price_per_s * clock_s;
+    rec.cost_so_far_usd = serverful_cost;
+    rec.learner_invocations = round * n_learners;
+    const bool last = round == cfg.rounds;
+    if (last || round % cfg.eval_interval == 0) {
+      canonical->set_flat_params(params);
+      rec.reward = rl::evaluate_policy(*eval_env, *canonical,
+                                       cfg.eval_episodes,
+                                       cfg.seed * 104729 + round);
+      rec.evaluated = true;
+    }
+    result.rounds.push_back(rec);
+  }
+
+  // ---- finalize ---------------------------------------------------------------
+  result.total_time_s = clock_s;
+  if (minions) {
+    result.actor_cost_usd = serverless_actor_cost;
+    result.learner_cost_usd = gpu_price_per_s * clock_s;
+  } else {
+    // Split the serverful bill by GPU vs CPU VM shares for the Fig. 8 bars.
+    result.learner_cost_usd = gpu_price_per_s * clock_s;
+    result.actor_cost_usd =
+        (fleet_price_per_s - gpu_price_per_s) * clock_s;
+  }
+  result.total_cost_usd = result.learner_cost_usd + result.actor_cost_usd;
+  result.learner_invocations = cfg.rounds * n_learners;
+
+  std::vector<double> evaluated;
+  for (const auto& r : result.rounds)
+    if (r.evaluated) evaluated.push_back(r.reward);
+  if (!evaluated.empty()) {
+    result.best_reward = *std::max_element(evaluated.begin(), evaluated.end());
+    const std::size_t tail = std::max<std::size_t>(1, evaluated.size() / 5);
+    double sum = 0.0;
+    for (std::size_t i = evaluated.size() - tail; i < evaluated.size(); ++i)
+      sum += evaluated[i];
+    result.final_reward = sum / static_cast<double>(tail);
+  }
+  return result;
+}
+
+}  // namespace stellaris::baselines

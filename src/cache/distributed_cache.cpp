@@ -1,0 +1,133 @@
+#include "cache/distributed_cache.hpp"
+
+#include "util/error.hpp"
+
+namespace stellaris::cache {
+
+std::uint64_t DistributedCache::put(const std::string& key, Bytes value) {
+  std::uint64_t new_version = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto& entry = store_[key];
+    resident_bytes_ -= entry.data.size();
+    resident_bytes_ += value.size();
+    stats_.bytes_written += value.size();
+    ++stats_.puts;
+    entry.data = std::move(value);
+    new_version = ++entry.version;
+  }
+  cv_.notify_all();
+  return new_version;
+}
+
+std::optional<CacheValue> DistributedCache::get(const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.gets;
+  auto it = store_.find(key);
+  if (it == store_.end()) {
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  ++stats_.hits;
+  stats_.bytes_read += it->second.data.size();
+  return CacheValue{it->second.data, it->second.version};
+}
+
+CacheValue DistributedCache::get_or_throw(const std::string& key) const {
+  auto v = get(key);
+  if (!v) throw CacheError("cache miss for required key: " + key);
+  return std::move(*v);
+}
+
+std::optional<CacheValue> DistributedCache::get_blocking(
+    const std::string& key, std::uint64_t min_version,
+    std::chrono::milliseconds timeout) {
+  std::unique_lock<std::mutex> lock(mu_);
+  const bool ok = cv_.wait_for(lock, timeout, [&] {
+    auto it = store_.find(key);
+    return it != store_.end() && it->second.version > min_version;
+  });
+  ++stats_.gets;
+  if (!ok) {
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  auto it = store_.find(key);
+  ++stats_.hits;
+  stats_.bytes_read += it->second.data.size();
+  return CacheValue{it->second.data, it->second.version};
+}
+
+bool DistributedCache::contains(const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return store_.count(key) > 0;
+}
+
+std::uint64_t DistributedCache::version(const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = store_.find(key);
+  return it == store_.end() ? 0 : it->second.version;
+}
+
+bool DistributedCache::erase(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = store_.find(key);
+  if (it == store_.end()) return false;
+  resident_bytes_ -= it->second.data.size();
+  ++stats_.erases;
+  store_.erase(it);
+  return true;
+}
+
+std::vector<std::string> DistributedCache::keys_with_prefix(
+    const std::string& prefix) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  for (auto it = store_.lower_bound(prefix); it != store_.end(); ++it) {
+    if (it->first.compare(0, prefix.size(), prefix) != 0) break;
+    out.push_back(it->first);
+  }
+  return out;
+}
+
+std::size_t DistributedCache::erase_prefix(const std::string& prefix) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t removed = 0;
+  auto it = store_.lower_bound(prefix);
+  while (it != store_.end() &&
+         it->first.compare(0, prefix.size(), prefix) == 0) {
+    resident_bytes_ -= it->second.data.size();
+    ++stats_.erases;
+    it = store_.erase(it);
+    ++removed;
+  }
+  return removed;
+}
+
+std::size_t DistributedCache::num_keys() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return store_.size();
+}
+
+std::size_t DistributedCache::resident_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return resident_bytes_;
+}
+
+CacheStats DistributedCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void DistributedCache::reset_stats() {
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_ = CacheStats{};
+}
+
+void DistributedCache::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  store_.clear();
+  resident_bytes_ = 0;
+}
+
+}  // namespace stellaris::cache

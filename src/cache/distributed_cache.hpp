@@ -1,0 +1,102 @@
+// Distributed Cache — the in-memory key-value buffer at the center of the
+// paper's workflow (§IV): actors publish serialized trajectory batches,
+// learner functions publish gradients, and the parameter function publishes
+// policy model weights; everyone else polls or blocks for them.
+//
+// This is our Redis substitute: a thread-safe versioned KV store with
+//  - monotonically increasing per-key versions (so pollers can wait for
+//    "anything newer than what I last saw"),
+//  - blocking reads with timeout (condition-variable based, for the real
+//    multi-threaded driver),
+//  - prefix scans (gradient / trajectory inbox patterns like "grad/*"),
+//  - byte and hit/miss accounting that feeds the data-passing latency model.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace stellaris::cache {
+
+using Bytes = std::vector<std::uint8_t>;
+
+/// Value + metadata returned by reads.
+struct CacheValue {
+  Bytes data;
+  std::uint64_t version = 0;  ///< per-key write counter, starts at 1
+};
+
+/// Aggregate counters (monotonic since construction or reset_stats()).
+struct CacheStats {
+  std::uint64_t puts = 0;
+  std::uint64_t gets = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t erases = 0;
+  std::uint64_t bytes_written = 0;
+  std::uint64_t bytes_read = 0;
+};
+
+class DistributedCache {
+ public:
+  DistributedCache() = default;
+  DistributedCache(const DistributedCache&) = delete;
+  DistributedCache& operator=(const DistributedCache&) = delete;
+
+  /// Store (replacing any prior value); returns the new version.
+  std::uint64_t put(const std::string& key, Bytes value);
+
+  /// Non-blocking read.
+  std::optional<CacheValue> get(const std::string& key) const;
+
+  /// Read that throws CacheError on miss — for keys the protocol guarantees.
+  CacheValue get_or_throw(const std::string& key) const;
+
+  /// Block until `key` exists with version > `min_version`, or timeout.
+  /// Returns nullopt on timeout. min_version = 0 accepts any value.
+  std::optional<CacheValue> get_blocking(const std::string& key,
+                                         std::uint64_t min_version,
+                                         std::chrono::milliseconds timeout);
+
+  bool contains(const std::string& key) const;
+
+  /// Current version of a key (0 if absent).
+  std::uint64_t version(const std::string& key) const;
+
+  /// Remove a key; returns whether it existed.
+  bool erase(const std::string& key);
+
+  /// All keys starting with `prefix`, in lexicographic order.
+  std::vector<std::string> keys_with_prefix(const std::string& prefix) const;
+
+  /// Remove every key with the prefix; returns count removed.
+  std::size_t erase_prefix(const std::string& prefix);
+
+  std::size_t num_keys() const;
+  /// Total payload bytes currently resident.
+  std::size_t resident_bytes() const;
+
+  CacheStats stats() const;
+  void reset_stats();
+
+  void clear();
+
+ private:
+  struct Entry {
+    Bytes data;
+    std::uint64_t version = 0;
+  };
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::map<std::string, Entry> store_;
+  std::size_t resident_bytes_ = 0;
+  mutable CacheStats stats_;
+};
+
+}  // namespace stellaris::cache

@@ -1,0 +1,30 @@
+#include "core/gradient.hpp"
+
+namespace stellaris::core {
+
+std::vector<std::uint8_t> GradientMsg::serialize() const {
+  ByteWriter w;
+  w.put_f32_vector(grad);
+  w.put_u64(learner_id);
+  w.put_u64(pulled_version);
+  w.put_f64(mean_ratio);
+  w.put_u64(batch_size);
+  w.put_f64(kl);
+  w.put_f64(compute_time_s);
+  return w.take();
+}
+
+GradientMsg GradientMsg::deserialize(const std::vector<std::uint8_t>& bytes) {
+  ByteReader r(bytes);
+  GradientMsg m;
+  m.grad = r.get_f32_vector();
+  m.learner_id = r.get_u64();
+  m.pulled_version = r.get_u64();
+  m.mean_ratio = r.get_f64();
+  m.batch_size = r.get_u64();
+  m.kl = r.get_f64();
+  m.compute_time_s = r.get_f64();
+  return m;
+}
+
+}  // namespace stellaris::core

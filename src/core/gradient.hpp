@@ -1,0 +1,28 @@
+// Gradient message: what a learner function submits to the distributed
+// cache for the parameter function to aggregate. Carries the metadata the
+// two Stellaris mechanisms need — the policy version the learner pulled
+// (staleness bookkeeping, §V-C) and the batch-mean importance ratio against
+// the actor policy (global truncation, §V-A) — plus diagnostics.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/serialize.hpp"
+
+namespace stellaris::core {
+
+struct GradientMsg {
+  std::vector<float> grad;          ///< flat gradient over all parameters
+  std::uint64_t learner_id = 0;
+  std::uint64_t pulled_version = 0; ///< policy version the learner trained on
+  double mean_ratio = 1.0;          ///< batch mean π_learner/μ_actor
+  std::size_t batch_size = 0;
+  double kl = 0.0;                  ///< sample KL(μ ‖ π) diagnostic
+  double compute_time_s = 0.0;      ///< virtual seconds spent computing
+
+  std::vector<std::uint8_t> serialize() const;
+  static GradientMsg deserialize(const std::vector<std::uint8_t>& bytes);
+};
+
+}  // namespace stellaris::core

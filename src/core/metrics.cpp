@@ -1,0 +1,12 @@
+#include "core/metrics.hpp"
+
+namespace stellaris::core {
+
+double LatencyBreakdown::overhead_fraction() const {
+  const double t = total();
+  if (t <= 0.0) return 0.0;
+  const double useful = actor_sample_s + learner_compute_s;
+  return (t - useful) / t;
+}
+
+}  // namespace stellaris::core

@@ -1,0 +1,74 @@
+#include "core/parameter_function.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace stellaris::core {
+
+ParameterFunction::ParameterFunction(std::vector<float> initial_params,
+                                     Config cfg)
+    : params_(std::move(initial_params)),
+      cfg_(cfg),
+      optimizer_(nn::make_optimizer(cfg.optimizer, cfg.alpha0)) {
+  STELLARIS_CHECK_MSG(!params_.empty(), "empty initial parameters");
+}
+
+ParameterFunction::AggregateStats ParameterFunction::aggregate(
+    const std::vector<GradientQueue::Item>& group) {
+  STELLARIS_CHECK_MSG(!group.empty(), "aggregate of empty group");
+  AggregateStats stats;
+  stats.group_size = group.size();
+
+  // Eq. 2: global truncation scales from the group's learner-actor ratios.
+  std::vector<double> ratios;
+  ratios.reserve(group.size());
+  for (const auto& item : group) ratios.push_back(item.msg.mean_ratio);
+  std::vector<double> scales(group.size(), 1.0);
+  if (cfg_.enable_truncation) scales = truncation_scales(ratios, cfg_.rho);
+
+  // Weighted mean gradient with Eq. 4 learning-rate factors.
+  std::vector<float> agg(params_.size(), 0.0f);
+  double lr_factor_sum = 0.0, trunc_sum = 0.0, staleness_sum = 0.0;
+  const double inv_h = 1.0 / static_cast<double>(group.size());
+  for (std::size_t i = 0; i < group.size(); ++i) {
+    const auto& msg = group[i].msg;
+    STELLARIS_CHECK_MSG(msg.grad.size() == params_.size(),
+                        "gradient dim mismatch: " << msg.grad.size() << " vs "
+                                                  << params_.size());
+    STELLARIS_CHECK_MSG(version_ >= msg.pulled_version,
+                        "gradient from the future");
+    const double staleness =
+        static_cast<double>(version_ - msg.pulled_version);
+    staleness_sum += staleness;
+    stats.max_staleness = std::max(stats.max_staleness, staleness);
+    staleness_history_.push_back(staleness);
+
+    // staleness_lr(1, δ, v) is the dimensionless δ^{-1/v} factor; α₀ itself
+    // is applied by the optimizer below so Adam's moment bookkeeping stays
+    // consistent with a single global base rate.
+    const double lr_factor =
+        cfg_.enable_staleness_lr ? staleness_lr(1.0, staleness, cfg_.smooth_v)
+                                 : 1.0;
+    lr_factor_sum += lr_factor;
+    trunc_sum += scales[i];
+
+    const auto w = static_cast<float>(inv_h * lr_factor * scales[i]);
+    for (std::size_t d = 0; d < agg.size(); ++d) agg[d] += w * msg.grad[d];
+  }
+  stats.mean_staleness = staleness_sum * inv_h;
+  stats.mean_lr_factor = lr_factor_sum * inv_h;
+  stats.mean_trunc_scale = trunc_sum * inv_h;
+  stats.grad_norm = nn::clip_grad_norm(agg, cfg_.max_grad_norm);
+
+  optimizer_->step_with_lr(params_, agg, cfg_.alpha0);
+  for (std::size_t i = 0; i < cfg_.clamp_len; ++i) {
+    float& v = params_[cfg_.clamp_offset + i];
+    v = std::clamp(v, cfg_.clamp_lo, cfg_.clamp_hi);
+  }
+  stats.new_version = ++version_;
+  return stats;
+}
+
+}  // namespace stellaris::core

@@ -1,0 +1,75 @@
+// Parameter Function — the serverless function that owns the authoritative
+// policy, applies Stellaris' staleness-aware aggregation rule (§V-C):
+//
+//   g_c = (1/H_c) Σ_i  (α₀/δ_j^{1/v}) · s_i · g_{i,j},   θ_{c+1} = θ_c − g_c
+//
+// where s_i is the global importance-sampling truncation scale (Eq. 2) and
+// the learning-rate factor follows Eq. 4. The descent itself runs through a
+// pluggable optimizer (Adam per Table III) so the convergence property of
+// the underlying optimizer is preserved (§VI-A).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/staleness.hpp"
+#include "core/truncation.hpp"
+#include "nn/optimizer.hpp"
+
+namespace stellaris::core {
+
+class ParameterFunction {
+ public:
+  struct Config {
+    double alpha0 = 5e-5;        ///< base learning rate (Table III)
+    double smooth_v = 3.0;       ///< Eq. 4 root factor
+    double rho = 1.0;            ///< Eq. 2 truncation threshold
+    bool enable_truncation = true;
+    bool enable_staleness_lr = true;
+    std::string optimizer = "adam";
+    double max_grad_norm = 10.0;
+    /// Optional clamp segment (continuous policies' log-std): after each
+    /// update, params[clamp_offset .. +clamp_len) is clamped to
+    /// [clamp_lo, clamp_hi]. clamp_len = 0 disables.
+    std::size_t clamp_offset = 0;
+    std::size_t clamp_len = 0;
+    float clamp_lo = -2.5f;
+    float clamp_hi = 0.0f;
+  };
+
+  ParameterFunction(std::vector<float> initial_params, Config cfg);
+
+  struct AggregateStats {
+    std::uint64_t new_version = 0;
+    std::size_t group_size = 0;
+    double mean_staleness = 0.0;
+    double max_staleness = 0.0;
+    double mean_lr_factor = 1.0;    ///< mean δ^{-1/v} applied
+    double mean_trunc_scale = 1.0;  ///< mean Eq. 2 rescale applied
+    double grad_norm = 0.0;         ///< post-aggregation gradient norm
+  };
+
+  /// Aggregate a drained gradient group and update the policy. Staleness of
+  /// each gradient is measured against the *current* version.
+  AggregateStats aggregate(const std::vector<GradientQueue::Item>& group);
+
+  const std::vector<float>& params() const { return params_; }
+  std::uint64_t version() const { return version_; }
+  std::size_t param_dim() const { return params_.size(); }
+
+  /// Per-gradient staleness values of every aggregation so far — the data
+  /// behind the paper's Fig. 3(b) staleness PDF.
+  const std::vector<double>& staleness_history() const {
+    return staleness_history_;
+  }
+
+ private:
+  std::vector<float> params_;
+  Config cfg_;
+  std::unique_ptr<nn::FlatOptimizer> optimizer_;
+  std::uint64_t version_ = 0;
+  std::vector<double> staleness_history_;
+};
+
+}  // namespace stellaris::core

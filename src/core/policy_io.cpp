@@ -1,0 +1,30 @@
+#include "core/policy_io.hpp"
+
+#include "util/serialize.hpp"
+
+namespace stellaris::core {
+
+namespace keys {
+std::string trajectory(std::uint64_t id) {
+  return "traj/" + std::to_string(id);
+}
+std::string gradient(std::uint64_t id) { return "grad/" + std::to_string(id); }
+}  // namespace keys
+
+std::vector<std::uint8_t> encode_policy(const std::vector<float>& params,
+                                        std::uint64_t version) {
+  ByteWriter w;
+  w.put_u64(version);
+  w.put_f32_vector(params);
+  return w.take();
+}
+
+std::pair<std::vector<float>, std::uint64_t> decode_policy(
+    const std::vector<std::uint8_t>& bytes) {
+  ByteReader r(bytes);
+  const std::uint64_t version = r.get_u64();
+  auto params = r.get_f32_vector();
+  return {std::move(params), version};
+}
+
+}  // namespace stellaris::core

@@ -1,0 +1,33 @@
+// Wire encoding for policy snapshots in the distributed cache, plus the
+// key-naming conventions shared by actors, learners, and the parameter
+// function.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace stellaris::core {
+
+/// Cache key layout:
+///   policy/latest            — current policy weights + version
+///   policy/target            — IMPACT target network weights
+///   traj/<id>                — serialized SampleBatch from an actor
+///   grad/<id>                — serialized GradientMsg from a learner
+namespace keys {
+inline const std::string kPolicyLatest = "policy/latest";
+inline const std::string kPolicyTarget = "policy/target";
+std::string trajectory(std::uint64_t id);
+std::string gradient(std::uint64_t id);
+}  // namespace keys
+
+/// Encode flat policy weights with their version.
+std::vector<std::uint8_t> encode_policy(const std::vector<float>& params,
+                                        std::uint64_t version);
+
+/// Decode (params, version).
+std::pair<std::vector<float>, std::uint64_t> decode_policy(
+    const std::vector<std::uint8_t>& bytes);
+
+}  // namespace stellaris::core

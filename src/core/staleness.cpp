@@ -1,0 +1,73 @@
+#include "core/staleness.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace stellaris::core {
+
+StalenessSchedule::StalenessSchedule(double decay_d, double delta_max_floor,
+                                     double threshold_floor)
+    : decay_d_(decay_d),
+      delta_max_(delta_max_floor),
+      threshold_floor_(threshold_floor) {
+  STELLARIS_CHECK_MSG(decay_d >= 0.0 && decay_d <= 1.0,
+                      "decay d must lie in [0, 1]");
+  STELLARIS_CHECK_MSG(delta_max_floor >= 0.0, "delta_max floor negative");
+}
+
+void StalenessSchedule::observe_round0(double staleness) {
+  STELLARIS_CHECK_MSG(!calibrated_, "round 0 already finalized");
+  delta_max_ = std::max(delta_max_, staleness);
+}
+
+void StalenessSchedule::finalize_round0() { calibrated_ = true; }
+
+double StalenessSchedule::threshold(std::size_t round) const {
+  if (decay_d_ == 0.0) return 0.0;  // forced synchronization
+  return std::max(delta_max_ * std::pow(decay_d_, static_cast<double>(round)),
+                  threshold_floor_);
+}
+
+double staleness_lr(double alpha0, double staleness, double smooth_v) {
+  STELLARIS_CHECK_MSG(smooth_v > 0.0, "smooth_v must be positive");
+  if (staleness <= 0.0) return alpha0;
+  return alpha0 / std::pow(staleness, 1.0 / smooth_v);
+}
+
+void GradientQueue::push(GradientMsg msg, double now) {
+  items_.push_back(Item{std::move(msg), now});
+}
+
+double GradientQueue::mean_staleness(std::uint64_t current_version) const {
+  if (items_.empty()) return 0.0;
+  double sum = 0.0;
+  for (const auto& it : items_) {
+    STELLARIS_DCHECK(current_version >= it.msg.pulled_version);
+    sum += static_cast<double>(current_version - it.msg.pulled_version);
+  }
+  return sum / static_cast<double>(items_.size());
+}
+
+double GradientQueue::max_staleness(std::uint64_t current_version) const {
+  double mx = 0.0;
+  for (const auto& it : items_)
+    mx = std::max(mx, static_cast<double>(current_version -
+                                          it.msg.pulled_version));
+  return mx;
+}
+
+bool GradientQueue::ready(std::uint64_t current_version,
+                          double threshold) const {
+  if (items_.empty()) return false;
+  return mean_staleness(current_version) <= threshold;
+}
+
+std::vector<GradientQueue::Item> GradientQueue::drain() {
+  std::vector<Item> out(items_.begin(), items_.end());
+  items_.clear();
+  return out;
+}
+
+}  // namespace stellaris::core

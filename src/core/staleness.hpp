@@ -1,0 +1,91 @@
+// Staleness-aware gradient aggregation (§V-C).
+//
+// The parameter function holds incoming gradients in a queue and delays
+// aggregation until the queue's *average* staleness falls below a dynamic
+// threshold:
+//
+//   β_k = δ_max · d^k,  d ∈ (0, 1]                                  (Eq. 3)
+//
+// where δ_max is the maximum staleness observed in round 0 with the
+// threshold disabled. Early rounds admit stale gradients freely (fast,
+// asynchronous); later rounds narrow the bound toward synchronous behaviour
+// for stable convergence. Per-gradient learning rates are modulated as
+//
+//   α_c = α₀ / δ_c^{1/v},  δ_c > 0                                  (Eq. 4)
+//
+// so staler gradients step more cautiously. d = 0 forces synchronization
+// each round; d = 1 is pure asynchrony.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "core/gradient.hpp"
+
+namespace stellaris::core {
+
+/// Eq. 3 schedule.
+class StalenessSchedule {
+ public:
+  /// `threshold_floor`: lower bound on β_k after calibration. A learner in
+  /// flight is almost always ≥1 version stale by completion, so decaying
+  /// β_k below ~1 starves aggregation and inflates groups without bound;
+  /// the floor keeps the late-training regime "nearly synchronous" instead
+  /// of deadlocked. d = 0 still forces β = 0 (strict synchronization).
+  StalenessSchedule(double decay_d, double delta_max_floor = 1.0,
+                    double threshold_floor = 1.0);
+
+  /// Record round-0 staleness observations (threshold disabled).
+  void observe_round0(double staleness);
+  /// Freeze δ_max after round 0.
+  void finalize_round0();
+  bool calibrated() const { return calibrated_; }
+  double delta_max() const { return delta_max_; }
+
+  /// β_k for round k (k counts aggregations after calibration).
+  double threshold(std::size_t round) const;
+
+  /// d = 0 means "force synchronous"; exposed for the sync/async knob.
+  double decay() const { return decay_d_; }
+
+ private:
+  double decay_d_;
+  double delta_max_;
+  double threshold_floor_;
+  bool calibrated_ = false;
+};
+
+/// Eq. 4 modulation: α_c = α₀ / δ^{1/v} (α₀ when δ = 0 or modulation off).
+double staleness_lr(double alpha0, double staleness, double smooth_v);
+
+/// Gradient queue with delayed, staleness-gated aggregation decisions.
+class GradientQueue {
+ public:
+  struct Item {
+    GradientMsg msg;
+    double enqueue_time = 0.0;
+  };
+
+  void push(GradientMsg msg, double now);
+
+  bool empty() const { return items_.empty(); }
+  std::size_t size() const { return items_.size(); }
+
+  /// Mean staleness of queued gradients against `current_version`.
+  double mean_staleness(std::uint64_t current_version) const;
+  /// Max staleness of queued gradients.
+  double max_staleness(std::uint64_t current_version) const;
+
+  /// Whether aggregation should fire now: queue non-empty and mean
+  /// staleness ≤ threshold.
+  bool ready(std::uint64_t current_version, double threshold) const;
+
+  /// Drain all queued gradients (the aggregation group).
+  std::vector<Item> drain();
+
+ private:
+  std::deque<Item> items_;
+};
+
+}  // namespace stellaris::core

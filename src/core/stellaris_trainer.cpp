@@ -1,0 +1,494 @@
+#include "core/stellaris_trainer.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/kl_probe.hpp"
+#include "core/learner_update.hpp"
+#include "rl/gae.hpp"
+#include "rl/impact.hpp"
+#include "rl/ppo.hpp"
+#include "rl/sample_batch.hpp"
+#include "util/logging.hpp"
+
+namespace stellaris::core {
+
+namespace {
+nn::NetworkSpec spec_for(const envs::EnvSpec& env, std::size_t width) {
+  return env.obs.image ? nn::NetworkSpec::atari()
+                       : nn::NetworkSpec::mujoco(width);
+}
+
+ParameterFunction::Config param_fn_config(const TrainConfig& cfg) {
+  ParameterFunction::Config pc;
+  // Learners run their local SGD epochs with the algorithm's Adam at α₀ and
+  // submit cumulative parameter deltas; the parameter function therefore
+  // applies the aggregated (staleness-weighted, truncation-scaled) delta
+  // directly — SGD with unit rate. Eq. 4's α_c modulation is realized by
+  // the δ^{-1/v} weight on each delta.
+  pc.alpha0 = 1.0;
+  pc.optimizer = "sgd";
+  pc.smooth_v = cfg.smooth_v;
+  pc.rho = cfg.ratio_rho;
+  // Deltas are already trust-region bounded by the learner-side clip; the
+  // parameter-function norm guard only needs to catch pathological groups.
+  pc.max_grad_norm = 1e3;
+  switch (cfg.aggregation) {
+    case AggregationMode::kStellaris:
+      pc.enable_truncation = cfg.enable_truncation;
+      pc.enable_staleness_lr = cfg.enable_staleness_lr;
+      break;
+    case AggregationMode::kSoftsync:
+      // Zhang et al. 2016: α/τ modulation (v = 1), no cross-learner view.
+      pc.enable_truncation = false;
+      pc.enable_staleness_lr = true;
+      pc.smooth_v = 1.0;
+      break;
+    case AggregationMode::kSsp:
+    case AggregationMode::kPureAsync:
+      pc.enable_truncation = false;
+      pc.enable_staleness_lr = false;
+      break;
+  }
+  return pc;
+}
+}  // namespace
+
+StellarisTrainer::StellarisTrainer(TrainConfig cfg)
+    : cfg_((cfg.validate(), std::move(cfg))),
+      env_spec_(envs::env_spec(cfg_.env_name)),
+      net_spec_(spec_for(env_spec_, cfg_.network_width)),
+      schedule_(cfg_.aggregation == AggregationMode::kStellaris ? cfg_.decay_d
+                                                                : 1.0,
+                1.0, cfg.staleness_floor),
+      rng_(cfg_.seed) {
+  cfg_.validate();
+  platform_ = std::make_unique<serverless::ServerlessPlatform>(
+      engine_, cfg_.cluster, cfg_.latency, cfg_.seed ^ 0x9e37ULL);
+  data_loader_ = std::make_unique<serverless::GpuDataLoader>(
+      cfg_.latency, cfg_.seed ^ 0x10adULL);
+
+  auto build_model = [&](std::uint64_t salt) {
+    return std::make_unique<nn::ActorCritic>(
+        env_spec_.obs, env_spec_.action_kind, env_spec_.act_dim, net_spec_,
+        cfg_.seed ^ salt);
+  };
+  // Single weight initialization: the parameter function owns the canonical
+  // weights; every scratch model gets overwritten from snapshots anyway.
+  auto canonical = build_model(0x11);
+  auto pf_cfg = param_fn_config(cfg_);
+  const auto [ls_off, ls_len] = canonical->log_std_span();
+  pf_cfg.clamp_offset = ls_off;
+  pf_cfg.clamp_len = ls_len;
+  param_fn_ = std::make_unique<ParameterFunction>(canonical->flat_params(),
+                                                  pf_cfg);
+  actor_model_ = build_model(0x22);
+  learner_model_ = build_model(0x33);
+  target_model_ = build_model(0x44);
+  probe_model_ = build_model(0x55);
+  target_params_ = param_fn_->params();
+
+  actors_.reserve(cfg_.num_actors);
+  for (std::size_t i = 0; i < cfg_.num_actors; ++i)
+    actors_.push_back(std::make_unique<rl::Actor>(
+        envs::make_env(cfg_.env_name), cfg_.seed * 7919 + i));
+  eval_env_ = envs::make_env(cfg_.env_name);
+
+  // Round-0 calibration window: one gradient from (roughly) each actor wave
+  // aggregated unconditionally to measure δ_max (§V-C).
+  calib_target_ = std::max<std::size_t>(2, std::min<std::size_t>(
+                                               cfg_.num_actors, 8));
+}
+
+StellarisTrainer::~StellarisTrainer() = default;
+
+std::size_t StellarisTrainer::learner_limit() const {
+  const std::size_t slots = cfg_.cluster.learner_slots();
+  if (cfg_.max_learners == 0) return slots;
+  return std::min(cfg_.max_learners, slots);
+}
+
+StellarisTrainer::PolicySnapshot StellarisTrainer::latest_policy() const {
+  const auto bytes = cache_.get_or_throw(keys::kPolicyLatest);
+  auto [params, version] = decode_policy(bytes.data);
+  return {std::move(params), version};
+}
+
+TrainResult StellarisTrainer::train() {
+  cache_.put(keys::kPolicyLatest, encode_policy(param_fn_->params(), 0));
+  if (cfg_.prewarm) {
+    platform_->prewarm_learners(learner_limit() + 1);
+    platform_->prewarm_actors(cfg_.num_actors);
+  }
+  for (std::size_t i = 0; i < cfg_.num_actors; ++i) launch_actor(i);
+  engine_.run();
+
+  // ---- finalize telemetry ----------------------------------------------------
+  result_.total_time_s = engine_.now();
+  const auto& costs = platform_->costs();
+  result_.learner_cost_usd = costs.cost(serverless::FnKind::kLearner);
+  result_.actor_cost_usd = costs.cost(serverless::FnKind::kActor);
+  result_.parameter_cost_usd = costs.cost(serverless::FnKind::kParameter);
+  result_.total_cost_usd = costs.total_cost();
+  result_.gpu_utilization = platform_->gpu_utilization();
+  result_.learner_busy_s =
+      costs.busy_seconds(serverless::FnKind::kLearner);
+  result_.cold_starts = platform_->learner_cold_starts();
+  result_.warm_starts = platform_->learner_warm_starts();
+  result_.learner_invocations =
+      costs.invocations(serverless::FnKind::kLearner);
+  result_.staleness_samples = param_fn_->staleness_history();
+  result_.delta_max = schedule_.delta_max();
+
+  std::vector<double> evaluated;
+  for (const auto& r : result_.rounds)
+    if (r.evaluated) evaluated.push_back(r.reward);
+  if (!evaluated.empty()) {
+    result_.best_reward =
+        *std::max_element(evaluated.begin(), evaluated.end());
+    // Final reward = mean over the last 20% of evaluations, as a robust
+    // "final training quality" statistic.
+    const std::size_t tail =
+        std::max<std::size_t>(1, evaluated.size() / 5);
+    double sum = 0.0;
+    for (std::size_t i = evaluated.size() - tail; i < evaluated.size(); ++i)
+      sum += evaluated[i];
+    result_.final_reward = sum / static_cast<double>(tail);
+  }
+  return std::move(result_);
+}
+
+void StellarisTrainer::launch_actor(std::size_t actor_idx) {
+  if (done_) return;
+  auto snapshot = std::make_shared<PolicySnapshot>();
+
+  serverless::ServerlessPlatform::InvokeOptions opts;
+  opts.kind = serverless::FnKind::kActor;
+  opts.compute_s =
+      cfg_.latency.actor_sample_s(cfg_.horizon, env_spec_.obs.image);
+  opts.payload_in_bytes = param_fn_->param_dim() * sizeof(float);
+  opts.payload_out_bytes =
+      cfg_.horizon * (env_spec_.obs.flat_dim + 8) * sizeof(float);
+  opts.tier = serverless::DataTier::kCache;
+  // Step ①: pull the latest policy when the actor starts.
+  opts.on_start = [this, snapshot](double) { *snapshot = latest_policy(); };
+  platform_->invoke(opts, [this, actor_idx, snapshot](const auto& r) {
+    on_actor_complete(actor_idx, snapshot, r);
+  });
+}
+
+void StellarisTrainer::on_actor_complete(
+    std::size_t actor_idx, const std::shared_ptr<PolicySnapshot>& snapshot,
+    const serverless::ServerlessPlatform::InvokeResult& r) {
+  result_.breakdown.actor_sample_s += r.compute_s + r.start_latency_s;
+  result_.breakdown.data_load_s += r.transfer_s;
+
+  // Real sampling under the snapshot policy.
+  actor_model_->set_flat_params(snapshot->params);
+  rl::SampleBatch batch = actors_[actor_idx]->sample(
+      *actor_model_, cfg_.horizon, snapshot->version);
+  const std::uint64_t traj_id = next_traj_id_++;
+  auto bytes = batch.serialize();
+  // GPU data loader (§V-B): start the cache→GPU pre-load immediately so the
+  // transfer overlaps learner queueing and startup.
+  traj_loader_ids_[traj_id] =
+      data_loader_->on_trajectory(engine_.now(), bytes.size());
+  cache_.put(keys::trajectory(traj_id), std::move(bytes));
+  pending_trajs_.push_back(traj_id);
+  maybe_launch_learner();
+
+  // Continuous sampling with backpressure: serverless actors are
+  // event-driven, so when trajectories already outnumber what the learner
+  // fleet can consume, the actor is not re-invoked until demand returns
+  // (the paper's "appropriate number of functions according to demand").
+  if (pending_trajs_.size() >= 2 * learner_limit() * cfg_.trajs_per_learner)
+    paused_actors_.push_back(actor_idx);
+  else
+    launch_actor(actor_idx);
+}
+
+bool StellarisTrainer::ssp_blocks_launch() const {
+  if (cfg_.aggregation != AggregationMode::kSsp) return false;
+  if (inflight_pulled_versions_.empty()) return false;
+  const std::uint64_t slowest = *inflight_pulled_versions_.begin();
+  return static_cast<double>(param_fn_->version() - slowest) > cfg_.ssp_bound;
+}
+
+void StellarisTrainer::maybe_launch_learner() {
+  // d = 0 (forced synchronization): one learner cohort at a time — no new
+  // launches while gradients await the barrier or an update is in flight.
+  const bool sync_mode = cfg_.aggregation == AggregationMode::kStellaris &&
+                         schedule_.calibrated() && cfg_.decay_d == 0.0;
+  while (!done_ && active_learners_ < learner_limit() &&
+         pending_trajs_.size() >= cfg_.trajs_per_learner &&
+         !ssp_blocks_launch() &&
+         !(sync_mode && (param_fn_busy_ || !queue_.empty()))) {
+    std::vector<std::uint64_t> traj_ids;
+    std::size_t batch_timesteps = 0;
+    double preload_wait_s = 0.0;
+    for (std::size_t i = 0; i < cfg_.trajs_per_learner; ++i) {
+      traj_ids.push_back(pending_trajs_.front());
+      pending_trajs_.pop_front();
+    }
+    for (std::uint64_t id : traj_ids) {
+      batch_timesteps += cfg_.horizon;
+      // The data loader has been pre-loading this batch since the actor
+      // published it; the learner only pays the residual wait.
+      auto it = traj_loader_ids_.find(id);
+      if (it != traj_loader_ids_.end()) {
+        preload_wait_s = std::max(
+            preload_wait_s,
+            data_loader_->learner_wait_s(it->second, engine_.now()));
+        traj_loader_ids_.erase(it);
+      }
+    }
+    result_.breakdown.data_load_s += preload_wait_s;
+    ++active_learners_;
+    const std::uint64_t learner_id = next_learner_id_++;
+    auto snapshot = std::make_shared<PolicySnapshot>();
+
+    serverless::ServerlessPlatform::InvokeOptions opts;
+    opts.kind = serverless::FnKind::kLearner;
+    opts.compute_s = preload_wait_s +
+                     cfg_.latency.learner_compute_s(
+                         batch_timesteps, param_fn_->param_dim(),
+                         cfg_.cluster.per_slot_tflops());
+    opts.payload_in_bytes = param_fn_->param_dim() * sizeof(float);
+    opts.payload_out_bytes = param_fn_->param_dim() * sizeof(float);
+    opts.tier = serverless::DataTier::kCache;
+    // Step ②: the learner pulls the latest policy at container start.
+    opts.on_start = [this, snapshot](double) {
+      *snapshot = latest_policy();
+      inflight_pulled_versions_.insert(snapshot->version);
+    };
+    platform_->invoke(opts,
+                      [this, learner_id, snapshot, traj_ids](const auto& r) {
+                        on_learner_complete(learner_id, snapshot, traj_ids, r);
+                      });
+  }
+  // Demand resumed: re-invoke backpressured actors.
+  while (!paused_actors_.empty() &&
+         pending_trajs_.size() <
+             2 * learner_limit() * cfg_.trajs_per_learner) {
+    const std::size_t idx = paused_actors_.back();
+    paused_actors_.pop_back();
+    launch_actor(idx);
+  }
+}
+
+void StellarisTrainer::on_learner_complete(
+    std::uint64_t learner_id, const std::shared_ptr<PolicySnapshot>& snapshot,
+    const std::vector<std::uint64_t>& traj_ids,
+    const serverless::ServerlessPlatform::InvokeResult& r) {
+  result_.breakdown.learner_start_s += r.start_latency_s;
+  result_.breakdown.learner_compute_s += r.compute_s;
+  result_.breakdown.grad_submit_s += r.transfer_s / 2.0;
+  result_.breakdown.data_load_s += r.transfer_s / 2.0;
+
+  {
+    auto it = inflight_pulled_versions_.find(snapshot->version);
+    if (it != inflight_pulled_versions_.end())
+      inflight_pulled_versions_.erase(it);
+  }
+  --active_learners_;
+
+  if (!done_) {
+    // Real gradient computation under the pulled policy.
+    std::vector<rl::SampleBatch> parts;
+    parts.reserve(traj_ids.size());
+    for (std::uint64_t id : traj_ids) {
+      parts.push_back(rl::SampleBatch::deserialize(
+          cache_.get_or_throw(keys::trajectory(id)).data));
+      cache_.erase(keys::trajectory(id));
+    }
+    rl::SampleBatch batch =
+        parts.size() == 1 ? std::move(parts.front())
+                          : rl::SampleBatch::concat(parts);
+
+    // Learner function body (shared with the sync baselines): bounded local
+    // Adam epochs; the submitted "gradient" is the cumulative parameter
+    // delta θ_pulled − θ_local, which the parameter function aggregates
+    // under the staleness and truncation weights.
+    if (cfg_.algorithm == Algorithm::kImpact)
+      target_model_->set_flat_params(target_params_);
+    LearnerUpdate update = compute_learner_update(
+        cfg_, *learner_model_, *target_model_, snapshot->params, batch);
+    const rl::LossStats& stats = update.stats;
+
+    acc_learner_kl_ += stats.kl;
+    acc_ratio_ += stats.mean_ratio;
+    acc_vloss_ += stats.value_loss;
+    acc_entropy_ += stats.entropy;
+    ++acc_count_;
+
+    GradientMsg msg;
+    msg.grad = std::move(update.delta);
+    msg.learner_id = learner_id;
+    msg.pulled_version = snapshot->version;
+    msg.mean_ratio = stats.mean_ratio;
+    msg.batch_size = batch.size();
+    msg.kl = stats.kl;
+    msg.compute_time_s = r.compute_s;
+    const std::uint64_t grad_id = next_grad_id_++;
+    cache_.put(keys::gradient(grad_id), msg.serialize());
+    on_gradient(std::move(msg));
+
+    // Keep a probe set of recent observations for the KL tracking.
+    const std::size_t probe_rows = std::min<std::size_t>(batch.obs.dim(0), 32);
+    std::vector<float> probe(batch.obs.vec().begin(),
+                             batch.obs.vec().begin() +
+                                 static_cast<std::ptrdiff_t>(
+                                     probe_rows * batch.obs.dim(1)));
+    probe_obs_ = Tensor({probe_rows, batch.obs.dim(1)}, std::move(probe));
+  }
+  maybe_launch_learner();
+}
+
+void StellarisTrainer::on_gradient(GradientMsg msg) {
+  queue_.push(std::move(msg), engine_.now());
+  try_aggregate();
+}
+
+void StellarisTrainer::try_aggregate() {
+  if (done_ || param_fn_busy_ || queue_.empty()) return;
+
+  bool fire = false;
+  last_gate_threshold_ = std::numeric_limits<double>::infinity();
+  switch (cfg_.aggregation) {
+    case AggregationMode::kStellaris: {
+      if (!schedule_.calibrated()) {
+        fire = true;  // round 0: threshold disabled, pure async
+      } else {
+        last_gate_threshold_ = schedule_.threshold(rounds_after_calib_);
+        if (last_gate_threshold_ <= 0.0) {
+          // d = 0: forced synchronization. A gradient in flight when an
+          // update lands is always ≥ 1 version stale, so "mean ≤ 0" can
+          // never be met with work outstanding — the sync semantics are a
+          // barrier: wait for every in-flight learner, then aggregate the
+          // whole cohort.
+          fire = active_learners_ == 0;
+        } else {
+          fire = queue_.ready(param_fn_->version(), last_gate_threshold_);
+        }
+      }
+      break;
+    }
+    case AggregationMode::kSoftsync:
+      fire = queue_.size() >= cfg_.softsync_count;
+      break;
+    case AggregationMode::kSsp:
+    case AggregationMode::kPureAsync:
+      fire = true;
+      break;
+  }
+
+  // Liveness fallback: if nothing is in flight that could freshen the
+  // queue's mean staleness, aggregate rather than deadlock.
+  if (!fire && active_learners_ == 0 && pending_trajs_.empty() &&
+      cfg_.num_actors == 0)
+    fire = true;
+
+  if (fire) start_aggregation(queue_.drain());
+}
+
+void StellarisTrainer::start_aggregation(
+    std::vector<GradientQueue::Item> group) {
+  param_fn_busy_ = true;
+  serverless::ServerlessPlatform::InvokeOptions opts;
+  opts.kind = serverless::FnKind::kParameter;
+  opts.compute_s =
+      cfg_.latency.aggregate_s(group.size(), param_fn_->param_dim());
+  opts.payload_in_bytes =
+      group.size() * param_fn_->param_dim() * sizeof(float);
+  opts.payload_out_bytes = param_fn_->param_dim() * sizeof(float);
+  opts.tier = serverless::DataTier::kCache;
+  auto shared_group = std::make_shared<std::vector<GradientQueue::Item>>(
+      std::move(group));
+  platform_->invoke(opts, [this, shared_group](const auto& r) {
+    result_.breakdown.aggregate_s += r.compute_s + r.start_latency_s;
+    result_.breakdown.broadcast_s += r.transfer_s;
+
+    // Step ③: real aggregation + policy update.
+    const std::vector<float> before = param_fn_->params();
+    const auto stats = param_fn_->aggregate(*shared_group);
+    for (const auto& item : *shared_group)
+      cache_.erase(keys::gradient(item.msg.learner_id));
+    cache_.put(keys::kPolicyLatest,
+               encode_policy(param_fn_->params(), stats.new_version));
+
+    // IMPACT target network refresh.
+    if (cfg_.algorithm == Algorithm::kImpact) {
+      if (++updates_since_target_ >= cfg_.impact.target_update_freq) {
+        target_params_ = param_fn_->params();
+        updates_since_target_ = 0;
+      }
+    }
+
+    // KL of this policy update (Fig. 3(c)).
+    double round_kl = 0.0;
+    if (!probe_obs_.empty())
+      round_kl = policy_update_kl(*probe_model_, before, param_fn_->params(),
+                                  probe_obs_);
+    result_.update_kls.push_back(round_kl);
+
+    if (!schedule_.calibrated()) {
+      schedule_.observe_round0(stats.max_staleness);
+      if (++calib_updates_ >= calib_target_) schedule_.finalize_round0();
+    } else {
+      ++rounds_after_calib_;
+    }
+
+    param_fn_busy_ = false;
+    finish_round(stats, round_kl);
+    try_aggregate();
+    maybe_launch_learner();  // sync mode resumes launches after the barrier
+  });
+}
+
+void StellarisTrainer::finish_round(
+    const ParameterFunction::AggregateStats& stats, double round_kl) {
+  RoundRecord rec;
+  rec.round = ++rounds_completed_;
+  rec.time_s = engine_.now();
+  rec.mean_staleness = stats.mean_staleness;
+  rec.staleness_threshold = last_gate_threshold_;
+  rec.group_size = stats.group_size;
+  rec.mean_lr_factor = stats.mean_lr_factor;
+  rec.mean_trunc_scale = stats.mean_trunc_scale;
+  rec.kl = round_kl;
+  if (acc_count_ > 0) {
+    const double inv = 1.0 / static_cast<double>(acc_count_);
+    rec.learner_kl = acc_learner_kl_ * inv;
+    rec.learner_ratio = acc_ratio_ * inv;
+    rec.value_loss = acc_vloss_ * inv;
+    rec.entropy = acc_entropy_ * inv;
+    acc_learner_kl_ = acc_ratio_ = acc_vloss_ = acc_entropy_ = 0.0;
+    acc_count_ = 0;
+  }
+  rec.cost_so_far_usd = platform_->costs().total_cost();
+  rec.learner_invocations =
+      platform_->costs().invocations(serverless::FnKind::kLearner);
+
+  const bool last = rounds_completed_ >= cfg_.rounds;
+  if (last || rounds_completed_ % cfg_.eval_interval == 0) {
+    actor_model_->set_flat_params(param_fn_->params());
+    rec.reward = rl::evaluate_policy(*eval_env_, *actor_model_,
+                                     cfg_.eval_episodes,
+                                     cfg_.seed * 104729 + rounds_completed_);
+    rec.evaluated = true;
+  }
+  result_.rounds.push_back(rec);
+
+  if (last) {
+    done_ = true;
+    LOG_DEBUG << "training done at virtual t=" << engine_.now() << "s, cost=$"
+              << platform_->costs().total_cost();
+  }
+}
+
+TrainResult run_training(const TrainConfig& cfg) {
+  StellarisTrainer trainer(cfg);
+  return trainer.train();
+}
+
+}  // namespace stellaris::core

@@ -1,0 +1,131 @@
+// StellarisTrainer — the end-to-end asynchronous serverless training loop
+// (Fig. 4's workflow):
+//
+//   ① actors continuously sample trajectories under the latest policy and
+//     publish them to the distributed cache;
+//   ② learner functions are invoked on demand per available trajectory
+//     batch, pull the latest policy at container start, compute real
+//     gradients (PPO or IMPACT), and publish GradientMsgs;
+//   ③ the parameter function drains its gradient queue when the
+//     staleness-aware rule admits it (Eq. 3), aggregates with
+//     staleness-modulated learning rates (Eq. 4) and global IS truncation
+//     (Eq. 2), and publishes the new policy.
+//
+// Orchestration (container starts, queueing, transfers, compute durations,
+// cost) runs on the virtual-time serverless platform; the numerics
+// (sampling, gradients, updates, evaluations) are computed for real, so
+// the reward curves are genuine learning curves.
+//
+// The `aggregation` config switch also drives the Fig. 11(a) ablation
+// baselines (Softsync, SSP, pure-async) on identical infrastructure.
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <map>
+#include <optional>
+#include <set>
+
+#include "cache/distributed_cache.hpp"
+#include "core/config.hpp"
+#include "core/metrics.hpp"
+#include "core/parameter_function.hpp"
+#include "core/policy_io.hpp"
+#include "rl/actor.hpp"
+#include "serverless/data_loader.hpp"
+#include "serverless/platform.hpp"
+#include "sim/engine.hpp"
+
+namespace stellaris::core {
+
+class StellarisTrainer {
+ public:
+  explicit StellarisTrainer(TrainConfig cfg);
+  ~StellarisTrainer();
+
+  /// Run the configured number of training rounds; returns full telemetry.
+  TrainResult train();
+
+ private:
+  struct PolicySnapshot {
+    std::vector<float> params;
+    std::uint64_t version = 0;
+  };
+
+  void launch_actor(std::size_t actor_idx);
+  void on_actor_complete(std::size_t actor_idx,
+                         const std::shared_ptr<PolicySnapshot>& snapshot,
+                         const serverless::ServerlessPlatform::InvokeResult& r);
+  void maybe_launch_learner();
+  bool ssp_blocks_launch() const;
+  void on_learner_complete(
+      std::uint64_t learner_id,
+      const std::shared_ptr<PolicySnapshot>& snapshot,
+      const std::vector<std::uint64_t>& traj_ids,
+      const serverless::ServerlessPlatform::InvokeResult& r);
+  void on_gradient(GradientMsg msg);
+  void try_aggregate();
+  void start_aggregation(std::vector<GradientQueue::Item> group);
+  void finish_round(const ParameterFunction::AggregateStats& stats,
+                    double round_kl);
+  PolicySnapshot latest_policy() const;
+  std::size_t learner_limit() const;
+
+  TrainConfig cfg_;
+  envs::EnvSpec env_spec_;
+  nn::NetworkSpec net_spec_;
+
+  sim::Engine engine_;
+  std::unique_ptr<serverless::ServerlessPlatform> platform_;
+  cache::DistributedCache cache_;
+
+  std::unique_ptr<ParameterFunction> param_fn_;
+  StalenessSchedule schedule_;
+  GradientQueue queue_;
+
+  // Scratch models (virtual time is single-threaded, so these are reused
+  // across events instead of re-allocated per function invocation).
+  std::unique_ptr<nn::ActorCritic> actor_model_;
+  std::unique_ptr<nn::ActorCritic> learner_model_;
+  std::unique_ptr<nn::ActorCritic> target_model_;  // IMPACT
+  std::unique_ptr<nn::ActorCritic> probe_model_;
+
+  std::vector<std::unique_ptr<rl::Actor>> actors_;
+  std::unique_ptr<envs::Env> eval_env_;
+  Rng rng_;
+
+  // Run state.
+  bool done_ = false;
+  bool param_fn_busy_ = false;
+  std::size_t rounds_completed_ = 0;
+  std::size_t calib_updates_ = 0;
+  std::size_t calib_target_ = 0;
+  std::size_t rounds_after_calib_ = 0;
+  std::uint64_t next_traj_id_ = 0;
+  std::uint64_t next_grad_id_ = 0;
+  std::uint64_t next_learner_id_ = 0;
+  std::size_t active_learners_ = 0;
+  std::deque<std::uint64_t> pending_trajs_;
+  std::vector<std::size_t> paused_actors_;  // backpressured actor indices
+  std::unique_ptr<serverless::GpuDataLoader> data_loader_;
+  std::map<std::uint64_t, std::uint64_t> traj_loader_ids_;  // traj -> loader
+  std::multiset<std::uint64_t> inflight_pulled_versions_;  // SSP gating
+  std::vector<float> target_params_;  // IMPACT target network
+  std::size_t updates_since_target_ = 0;
+  Tensor probe_obs_;
+  double last_round_kl_ = 0.0;
+  double last_gate_threshold_ = 0.0;  // β_k in force when the group fired
+  // Learner-stat accumulators since the previous round record.
+  double acc_learner_kl_ = 0.0;
+  double acc_ratio_ = 0.0;
+  double acc_vloss_ = 0.0;
+  double acc_entropy_ = 0.0;
+  std::size_t acc_count_ = 0;
+
+  TrainResult result_;
+};
+
+/// Convenience wrapper: configure + train + return.
+TrainResult run_training(const TrainConfig& cfg);
+
+}  // namespace stellaris::core

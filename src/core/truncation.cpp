@@ -1,0 +1,33 @@
+#include "core/truncation.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace stellaris::core {
+
+double global_truncated_ratio(const std::vector<double>& learner_ratios,
+                              double rho) {
+  STELLARIS_CHECK_MSG(!learner_ratios.empty(),
+                      "truncation over empty learner group");
+  STELLARIS_CHECK_MSG(rho > 0.0, "rho must be positive");
+  double min_ratio = std::numeric_limits<double>::infinity();
+  for (double r : learner_ratios) min_ratio = std::min(min_ratio, r);
+  return std::min(std::abs(min_ratio), rho);
+}
+
+std::vector<double> truncation_scales(
+    const std::vector<double>& learner_ratios, double rho) {
+  const double r_prime = global_truncated_ratio(learner_ratios, rho);
+  std::vector<double> scales;
+  scales.reserve(learner_ratios.size());
+  for (double r : learner_ratios) {
+    const double denom = std::max(std::abs(r), 1e-9);
+    scales.push_back(std::min(1.0, r_prime / denom));
+  }
+  return scales;
+}
+
+}  // namespace stellaris::core

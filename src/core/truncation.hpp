@@ -1,0 +1,31 @@
+// Importance-sampling truncation with a global view (§V-A, Eq. 2).
+//
+// Each learner bounds its local ratio π_i/μ, but asynchronous learners hold
+// distinct policies, so an unbounded *cross-learner* ratio can still blow up
+// the aggregated update. Stellaris therefore truncates at aggregation time
+// using the most conservative learner-actor ratio observed in the group:
+//
+//   R' = min(|min_i(π_i/μ)|, ρ)                                     (Eq. 2)
+//
+// Two layers implement this here:
+//  1. learner-side: per-sample ratios are capped at ρ inside the surrogate
+//     (ppo/impact `ratio_cap` parameter) — the classic truncated-IS part;
+//  2. aggregation-side: each gradient in the group is rescaled by
+//     min(1, R'/r̄_i) where r̄_i is the learner's batch-mean ratio, pulling
+//     drifted learners back to the group's conservative ratio.
+#pragma once
+
+#include <vector>
+
+namespace stellaris::core {
+
+/// Eq. 2: the group truncation value R' from per-learner mean ratios.
+double global_truncated_ratio(const std::vector<double>& learner_ratios,
+                              double rho);
+
+/// Per-gradient scale factors min(1, R'/r̄_i); all 1.0 when truncation is
+/// disabled or every learner is already within R'.
+std::vector<double> truncation_scales(const std::vector<double>& learner_ratios,
+                                      double rho);
+
+}  // namespace stellaris::core

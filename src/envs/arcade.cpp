@@ -1,0 +1,345 @@
+#include "envs/arcade.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace stellaris::envs {
+
+ArcadeEnv::ArcadeEnv(std::string name, std::size_t n_actions,
+                     std::size_t max_steps, double reward_scale) {
+  spec_.name = std::move(name);
+  spec_.obs = nn::ObsSpec::planes(kArcadeChannels, kArcadeSize, kArcadeSize);
+  spec_.action_kind = nn::ActionKind::kDiscrete;
+  spec_.act_dim = n_actions;
+  spec_.max_steps = max_steps;
+  spec_.reward_scale = reward_scale;
+}
+
+float& ArcadeEnv::plane(std::vector<float>& canvas, std::size_t c,
+                        std::size_t y, std::size_t x) const {
+  STELLARIS_DCHECK(c < kArcadeChannels && y < kArcadeSize && x < kArcadeSize);
+  return canvas[(c * kArcadeSize + y) * kArcadeSize + x];
+}
+
+std::vector<float> ArcadeEnv::reset(std::uint64_t seed) {
+  rng_ = Rng(seed);
+  step_count_ = 0;
+  reset_game();
+  return observe();
+}
+
+StepResult ArcadeEnv::step_discrete(std::size_t action) {
+  STELLARIS_CHECK_MSG(action < spec_.act_dim,
+                      spec_.name << ": action " << action << " out of range");
+  auto [reward, done] = tick(action);
+  ++step_count_;
+  StepResult r;
+  r.reward = reward;
+  r.done = done || step_count_ >= spec_.max_steps;
+  r.obs = observe();
+  return r;
+}
+
+std::vector<float> ArcadeEnv::observe() {
+  std::vector<float> canvas(kArcadeChannels * kArcadeSize * kArcadeSize, 0.0f);
+  render(canvas);
+  return canvas;
+}
+
+// ---------------------------------------------------------------------------
+// SpaceInvaders
+// ---------------------------------------------------------------------------
+
+SpaceInvadersEnv::SpaceInvadersEnv()
+    : ArcadeEnv("SpaceInvaders", 4, 160, 180.0),
+      grid_rows_(3),
+      grid_cols_(8) {}
+
+void SpaceInvadersEnv::reset_game() {
+  alive_.assign(grid_rows_ * grid_cols_, 1);
+  block_x_ = 2;
+  block_y_ = 1;
+  block_dir_ = 1;
+  player_x_ = kArcadeSize / 2;
+  player_shots_.clear();
+  alien_shots_.clear();
+  fire_cooldown_ = 0;
+}
+
+std::pair<double, bool> SpaceInvadersEnv::tick(std::size_t action) {
+  double reward = 0.0;
+
+  // Player movement / firing.
+  if (action == 1 && player_x_ > 0) --player_x_;
+  if (action == 2 && player_x_ + 1 < kArcadeSize) ++player_x_;
+  if (fire_cooldown_ > 0) --fire_cooldown_;
+  if (action == 3 && fire_cooldown_ == 0) {
+    player_shots_.push_back({player_x_, kArcadeSize - 2});
+    fire_cooldown_ = 3;
+  }
+
+  // Advance player shots and resolve alien hits.
+  for (auto it = player_shots_.begin(); it != player_shots_.end();) {
+    if (it->y == 0) {
+      it = player_shots_.erase(it);
+      continue;
+    }
+    --it->y;
+    bool hit = false;
+    for (std::size_t r = 0; r < grid_rows_ && !hit; ++r) {
+      for (std::size_t c = 0; c < grid_cols_ && !hit; ++c) {
+        if (!alive_[r * grid_cols_ + c]) continue;
+        const auto ax =
+            static_cast<std::ptrdiff_t>(c * 2) + block_x_;
+        const auto ay = static_cast<std::ptrdiff_t>(block_y_ + r);
+        if (ax == static_cast<std::ptrdiff_t>(it->x) &&
+            ay == static_cast<std::ptrdiff_t>(it->y)) {
+          alive_[r * grid_cols_ + c] = 0;
+          reward += 10.0;
+          hit = true;
+        }
+      }
+    }
+    it = hit ? player_shots_.erase(it) : it + 1;
+  }
+
+  // Alien block march: shift sideways every other tick; descend at edges.
+  if (step_count_ % 2 == 0) {
+    block_x_ += block_dir_;
+    const auto span = static_cast<std::ptrdiff_t>(grid_cols_ * 2 - 1);
+    if (block_x_ <= 0 ||
+        block_x_ + span >= static_cast<std::ptrdiff_t>(kArcadeSize)) {
+      block_dir_ = -block_dir_;
+      ++block_y_;
+    }
+  }
+
+  // Occasional alien bombs from a random live column.
+  if (rng_.bernoulli(0.15)) {
+    std::vector<std::size_t> live_cols;
+    for (std::size_t c = 0; c < grid_cols_; ++c)
+      for (std::size_t r = 0; r < grid_rows_; ++r)
+        if (alive_[r * grid_cols_ + c]) {
+          live_cols.push_back(c);
+          break;
+        }
+    if (!live_cols.empty()) {
+      const std::size_t c = live_cols[rng_.uniform_int(live_cols.size())];
+      const auto ax = static_cast<std::ptrdiff_t>(c * 2) + block_x_;
+      if (ax >= 0 && ax < static_cast<std::ptrdiff_t>(kArcadeSize))
+        alien_shots_.push_back(
+            {static_cast<std::size_t>(ax), block_y_ + grid_rows_});
+    }
+  }
+  bool dead = false;
+  for (auto it = alien_shots_.begin(); it != alien_shots_.end();) {
+    ++it->y;
+    if (it->y >= kArcadeSize) {
+      it = alien_shots_.erase(it);
+      continue;
+    }
+    if (it->y == kArcadeSize - 1 && it->x == player_x_) {
+      dead = true;
+      break;
+    }
+    ++it;
+  }
+  if (dead) return {reward - 15.0, true};
+
+  // Win/lose conditions.
+  const bool cleared =
+      std::all_of(alive_.begin(), alive_.end(), [](auto a) { return !a; });
+  if (cleared) return {reward + 50.0, true};
+  if (block_y_ + grid_rows_ >= kArcadeSize - 1) return {reward - 15.0, true};
+  return {reward, false};
+}
+
+void SpaceInvadersEnv::render(std::vector<float>& canvas) const {
+  plane(canvas, 0, kArcadeSize - 1, player_x_) = 1.0f;
+  for (std::size_t r = 0; r < grid_rows_; ++r) {
+    for (std::size_t c = 0; c < grid_cols_; ++c) {
+      if (!alive_[r * grid_cols_ + c]) continue;
+      const auto ax = static_cast<std::ptrdiff_t>(c * 2) + block_x_;
+      const std::size_t ay = block_y_ + r;
+      if (ax >= 0 && ax < static_cast<std::ptrdiff_t>(kArcadeSize) &&
+          ay < kArcadeSize)
+        plane(canvas, 1, ay, static_cast<std::size_t>(ax)) = 1.0f;
+    }
+  }
+  for (const auto& s : player_shots_)
+    if (s.y < kArcadeSize) plane(canvas, 2, s.y, s.x) = 1.0f;
+  for (const auto& s : alien_shots_)
+    if (s.y < kArcadeSize) plane(canvas, 2, s.y, s.x) = 0.5f;
+}
+
+// ---------------------------------------------------------------------------
+// Qbert
+// ---------------------------------------------------------------------------
+
+QbertEnv::QbertEnv() : ArcadeEnv("Qbert", 4, 120, 400.0) {}
+
+void QbertEnv::reset_game() {
+  painted_.assign(rows_ * (rows_ + 1) / 2, 0);
+  player_row_ = 0;
+  player_col_ = 0;
+  painted_[0] = 1;  // start cell counts as painted
+  ball_row_ = -1;
+  ball_delay_ = 4 + rng_.uniform_int(4);
+}
+
+bool QbertEnv::on_pyramid(std::ptrdiff_t row, std::ptrdiff_t col) const {
+  return row >= 0 && row < static_cast<std::ptrdiff_t>(rows_) && col >= 0 &&
+         col <= row;
+}
+
+std::pair<double, bool> QbertEnv::tick(std::size_t action) {
+  // Hops: 0 = up-left, 1 = up-right, 2 = down-left, 3 = down-right.
+  std::ptrdiff_t nr = player_row_, nc = player_col_;
+  switch (action) {
+    case 0: --nr; --nc; break;
+    case 1: --nr; break;
+    case 2: ++nr; break;
+    case 3: ++nr; ++nc; break;
+    default: break;
+  }
+  if (!on_pyramid(nr, nc)) return {-10.0, true};  // hopped off the pyramid
+  player_row_ = nr;
+  player_col_ = nc;
+
+  double reward = -0.5;  // step cost: encourages efficient painting
+  const std::size_t idx =
+      static_cast<std::size_t>(nr) * (static_cast<std::size_t>(nr) + 1) / 2 +
+      static_cast<std::size_t>(nc);
+  if (!painted_[idx]) {
+    painted_[idx] = 1;
+    reward += 25.0;
+  }
+
+  // Enemy ball: spawns at the apex after a delay, hops downward randomly.
+  if (ball_row_ < 0) {
+    if (ball_delay_ == 0) {
+      ball_row_ = 0;
+      ball_col_ = 0;
+    } else {
+      --ball_delay_;
+    }
+  } else {
+    ++ball_row_;
+    ball_col_ += rng_.bernoulli(0.5) ? 1 : 0;
+    if (!on_pyramid(ball_row_, ball_col_)) {
+      ball_row_ = -1;  // rolled off; respawn later
+      ball_delay_ = 4 + rng_.uniform_int(4);
+    }
+  }
+  if (ball_row_ == player_row_ && ball_col_ == player_col_)
+    return {reward - 20.0, true};
+
+  const bool all_painted =
+      std::all_of(painted_.begin(), painted_.end(), [](auto p) { return p; });
+  if (all_painted) return {reward + 100.0, true};
+  return {reward, false};
+}
+
+void QbertEnv::render(std::vector<float>& canvas) const {
+  // Pyramid cell (r, c) -> canvas position; centered horizontally.
+  auto cell_pos = [&](std::ptrdiff_t r, std::ptrdiff_t c) {
+    const std::size_t y = 3 + static_cast<std::size_t>(r) * 2;
+    const std::size_t x = kArcadeSize / 2 - static_cast<std::size_t>(r) +
+                          static_cast<std::size_t>(c) * 2;
+    return std::pair<std::size_t, std::size_t>{y, x};
+  };
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c <= r; ++c) {
+      const auto [y, x] = cell_pos(static_cast<std::ptrdiff_t>(r),
+                                   static_cast<std::ptrdiff_t>(c));
+      const std::size_t idx = r * (r + 1) / 2 + c;
+      plane(canvas, 1, y, x) = painted_[idx] ? 1.0f : 0.3f;
+    }
+  }
+  {
+    const auto [y, x] = cell_pos(player_row_, player_col_);
+    plane(canvas, 0, y, x) = 1.0f;
+  }
+  if (ball_row_ >= 0 && on_pyramid(ball_row_, ball_col_)) {
+    const auto [y, x] = cell_pos(ball_row_, ball_col_);
+    plane(canvas, 2, y, x) = 1.0f;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Gravitar
+// ---------------------------------------------------------------------------
+
+GravitarEnv::GravitarEnv() : ArcadeEnv("Gravitar", 4, 160, 120.0) {}
+
+void GravitarEnv::reset_game() {
+  ship_x_ = kArcadeSize / 2.0;
+  ship_y_ = 3.0;
+  vel_x_ = 0.0;
+  vel_y_ = 0.0;
+  terrain_height_.assign(kArcadeSize, 0);
+  // Rolling random terrain along the bottom, height 1..4.
+  std::size_t h = 2;
+  for (std::size_t x = 0; x < kArcadeSize; ++x) {
+    if (rng_.bernoulli(0.4))
+      h = std::clamp<std::size_t>(h + (rng_.bernoulli(0.5) ? 1 : -1), 1, 4);
+    terrain_height_[x] = h;
+  }
+  depots_.clear();
+  while (depots_.size() < 4) {
+    const std::size_t x = rng_.uniform_int(kArcadeSize);
+    const std::size_t y =
+        5 + rng_.uniform_int(kArcadeSize - 7 - terrain_height_[x]);
+    depots_.emplace_back(x, y);
+  }
+}
+
+std::pair<double, bool> GravitarEnv::tick(std::size_t action) {
+  constexpr double kGravity = 0.06;
+  constexpr double kThrust = 0.17;
+  vel_y_ += kGravity;
+  if (action == 1) vel_y_ -= kThrust;
+  if (action == 2) vel_x_ -= kThrust * 0.7;
+  if (action == 3) vel_x_ += kThrust * 0.7;
+  vel_x_ = std::clamp(vel_x_, -1.0, 1.0);
+  vel_y_ = std::clamp(vel_y_, -1.0, 1.0);
+  ship_x_ += vel_x_;
+  ship_y_ += vel_y_;
+
+  // Side walls are lethal, like Gravitar's cavern walls.
+  if (ship_x_ < 0.0 || ship_x_ >= kArcadeSize || ship_y_ < 0.0)
+    return {-15.0, true};
+
+  const auto cx = static_cast<std::size_t>(ship_x_);
+  const double ground = static_cast<double>(kArcadeSize -
+                                            terrain_height_[cx]);
+  if (ship_y_ >= ground) return {-15.0, true};  // crashed into terrain
+
+  double reward = 0.1;  // survival trickle to shape early learning
+  for (auto it = depots_.begin(); it != depots_.end();) {
+    const double dx = ship_x_ - static_cast<double>(it->first);
+    const double dy = ship_y_ - static_cast<double>(it->second);
+    if (dx * dx + dy * dy <= 2.0) {
+      reward += 20.0;
+      it = depots_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  if (depots_.empty()) return {reward + 50.0, true};
+  return {reward, false};
+}
+
+void GravitarEnv::render(std::vector<float>& canvas) const {
+  const auto sx = static_cast<std::size_t>(
+      std::clamp(ship_x_, 0.0, static_cast<double>(kArcadeSize - 1)));
+  const auto sy = static_cast<std::size_t>(
+      std::clamp(ship_y_, 0.0, static_cast<double>(kArcadeSize - 1)));
+  plane(canvas, 0, sy, sx) = 1.0f;
+  for (const auto& [x, y] : depots_) plane(canvas, 1, y, x) = 1.0f;
+  for (std::size_t x = 0; x < kArcadeSize; ++x)
+    for (std::size_t h = 0; h < terrain_height_[x]; ++h)
+      plane(canvas, 2, kArcadeSize - 1 - h, x) = 1.0f;
+}
+
+}  // namespace stellaris::envs

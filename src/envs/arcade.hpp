@@ -1,0 +1,117 @@
+// Grid-arcade games — the Atari substitutes.
+//
+// Three games matching the paper's discrete-action suite, each emitting a
+// 3-plane 20×20 image observation (entity planes rather than raw pixels —
+// same tensor geometry, without the ROM):
+//   SpaceInvaders: move/fire under a descending alien grid, +score per kill.
+//   Qbert:         hop a pyramid painting cells, dodge the descending ball.
+//   Gravitar:      thrust a ship against gravity collecting fuel depots.
+// All three exercise the conv-net policy path, frame-style observations,
+// sparse-ish score rewards, and death-terminated episodes.
+#pragma once
+
+#include <cstdint>
+
+#include "envs/env.hpp"
+#include "util/rng.hpp"
+
+namespace stellaris::envs {
+
+/// Shared canvas geometry for the arcade games.
+inline constexpr std::size_t kArcadeSize = 20;
+inline constexpr std::size_t kArcadeChannels = 3;
+
+/// Common plumbing: observation canvas, step cap, scoring.
+class ArcadeEnv : public Env {
+ public:
+  const EnvSpec& spec() const override { return spec_; }
+  std::vector<float> reset(std::uint64_t seed) override;
+  StepResult step_discrete(std::size_t action) override;
+
+ protected:
+  ArcadeEnv(std::string name, std::size_t n_actions, std::size_t max_steps,
+            double reward_scale);
+
+  /// Game-specific episode state reset.
+  virtual void reset_game() = 0;
+  /// Advance one tick; return (reward, done).
+  virtual std::pair<double, bool> tick(std::size_t action) = 0;
+  /// Draw the three entity planes into `canvas` (zeroed beforehand);
+  /// canvas[c][y][x] indexed via plane().
+  virtual void render(std::vector<float>& canvas) const = 0;
+
+  float& plane(std::vector<float>& canvas, std::size_t c, std::size_t y,
+               std::size_t x) const;
+
+  Rng rng_{1};
+  std::size_t step_count_ = 0;
+
+ private:
+  std::vector<float> observe();
+
+  EnvSpec spec_;
+};
+
+/// SpaceInvaders proxy: actions {noop, left, right, fire}.
+class SpaceInvadersEnv final : public ArcadeEnv {
+ public:
+  SpaceInvadersEnv();
+
+ protected:
+  void reset_game() override;
+  std::pair<double, bool> tick(std::size_t action) override;
+  void render(std::vector<float>& canvas) const override;
+
+ private:
+  struct Shot {
+    std::size_t x, y;
+  };
+  std::vector<std::uint8_t> alive_;  // alien grid, row-major
+  std::size_t grid_rows_, grid_cols_;
+  std::ptrdiff_t block_x_ = 0;       // alien block offset
+  std::size_t block_y_ = 0;
+  int block_dir_ = 1;
+  std::size_t player_x_ = kArcadeSize / 2;
+  std::vector<Shot> player_shots_;
+  std::vector<Shot> alien_shots_;
+  std::size_t fire_cooldown_ = 0;
+};
+
+/// Qbert proxy: actions {up-left, up-right, down-left, down-right}.
+class QbertEnv final : public ArcadeEnv {
+ public:
+  QbertEnv();
+
+ protected:
+  void reset_game() override;
+  std::pair<double, bool> tick(std::size_t action) override;
+  void render(std::vector<float>& canvas) const override;
+
+ private:
+  bool on_pyramid(std::ptrdiff_t row, std::ptrdiff_t col) const;
+
+  std::size_t rows_ = 7;
+  std::vector<std::uint8_t> painted_;  // triangular, row r has r+1 cells
+  std::ptrdiff_t player_row_ = 0, player_col_ = 0;
+  std::ptrdiff_t ball_row_ = -1, ball_col_ = 0;
+  std::size_t ball_delay_ = 0;
+};
+
+/// Gravitar proxy: actions {noop, thrust-up, thrust-left, thrust-right}.
+class GravitarEnv final : public ArcadeEnv {
+ public:
+  GravitarEnv();
+
+ protected:
+  void reset_game() override;
+  std::pair<double, bool> tick(std::size_t action) override;
+  void render(std::vector<float>& canvas) const override;
+
+ private:
+  double ship_x_ = 0, ship_y_ = 0;
+  double vel_x_ = 0, vel_y_ = 0;
+  std::vector<std::pair<std::size_t, std::size_t>> depots_;
+  std::vector<std::size_t> terrain_height_;  // per column
+};
+
+}  // namespace stellaris::envs

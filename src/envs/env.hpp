@@ -1,0 +1,66 @@
+// Environment interface — the C++ equivalent of the Gym API surface the
+// paper's actors program against: reset(seed) → obs, step(action) →
+// (obs, reward, done), plus a static spec describing spaces.
+//
+// Six environments mirror the paper's benchmark suite (§VIII-A):
+//   continuous (MuJoCo proxies):  Hopper, Humanoid, Walker2d
+//   discrete  (Atari proxies):    SpaceInvaders, Qbert, Gravitar
+// See DESIGN.md §1 for why these substitutions preserve the relevant
+// behaviour.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "nn/actor_critic.hpp"
+
+namespace stellaris::envs {
+
+/// Static description of an environment's interface.
+struct EnvSpec {
+  std::string name;
+  nn::ObsSpec obs;
+  nn::ActionKind action_kind = nn::ActionKind::kContinuous;
+  std::size_t act_dim = 0;       ///< action vector dim, or #discrete actions
+  std::size_t max_steps = 0;     ///< episode step cap
+  /// Reward scale hint: roughly the per-episode reward of a competent
+  /// policy; benches use it to normalize curves across environments.
+  double reward_scale = 1.0;
+};
+
+/// Result of one environment step.
+struct StepResult {
+  std::vector<float> obs;
+  double reward = 0.0;
+  bool done = false;
+};
+
+class Env {
+ public:
+  virtual ~Env() = default;
+
+  virtual const EnvSpec& spec() const = 0;
+
+  /// Start a new episode; the seed fully determines the episode's noise.
+  virtual std::vector<float> reset(std::uint64_t seed) = 0;
+
+  /// Continuous step. Throws for discrete environments.
+  virtual StepResult step(std::span<const float> action);
+
+  /// Discrete step. Throws for continuous environments.
+  virtual StepResult step_discrete(std::size_t action);
+};
+
+/// Construct an environment by paper name: "Hopper", "Humanoid",
+/// "Walker2d", "SpaceInvaders", "Qbert", "Gravitar".
+std::unique_ptr<Env> make_env(const std::string& name);
+
+/// Spec lookup without construction (cheap; used by config validation).
+EnvSpec env_spec(const std::string& name);
+
+/// All six benchmark environment names, MuJoCo proxies first.
+const std::vector<std::string>& benchmark_env_names();
+
+}  // namespace stellaris::envs

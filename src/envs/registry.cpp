@@ -1,0 +1,39 @@
+#include "envs/env.hpp"
+
+#include "envs/arcade.hpp"
+#include "envs/locomotion.hpp"
+#include "util/error.hpp"
+
+namespace stellaris::envs {
+
+StepResult Env::step(std::span<const float>) {
+  throw Error(spec().name + " is not a continuous-action environment");
+}
+
+StepResult Env::step_discrete(std::size_t) {
+  throw Error(spec().name + " is not a discrete-action environment");
+}
+
+std::unique_ptr<Env> make_env(const std::string& name) {
+  if (name == "Hopper")
+    return std::make_unique<LocomotionEnv>(LocomotionParams::hopper());
+  if (name == "Walker2d")
+    return std::make_unique<LocomotionEnv>(LocomotionParams::walker2d());
+  if (name == "Humanoid")
+    return std::make_unique<LocomotionEnv>(LocomotionParams::humanoid());
+  if (name == "SpaceInvaders") return std::make_unique<SpaceInvadersEnv>();
+  if (name == "Qbert") return std::make_unique<QbertEnv>();
+  if (name == "Gravitar") return std::make_unique<GravitarEnv>();
+  throw ConfigError("unknown environment: " + name);
+}
+
+EnvSpec env_spec(const std::string& name) { return make_env(name)->spec(); }
+
+const std::vector<std::string>& benchmark_env_names() {
+  static const std::vector<std::string> names = {
+      "Hopper", "Humanoid", "Walker2d",
+      "SpaceInvaders", "Qbert", "Gravitar"};
+  return names;
+}
+
+}  // namespace stellaris::envs

@@ -1,0 +1,87 @@
+#include "envs/vec_env.hpp"
+
+#include "util/error.hpp"
+
+namespace stellaris::envs {
+
+VecEnv::VecEnv(const std::string& name, std::size_t n, std::uint64_t seed,
+               std::size_t threads)
+    : rng_(seed) {
+  STELLARIS_CHECK_MSG(n > 0, "VecEnv needs at least one environment");
+  envs_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) envs_.push_back(make_env(name));
+  spec_ = envs_.front()->spec();
+  env_seeds_.resize(n);
+  running_returns_.assign(n, 0.0);
+  if (threads > 0) pool_ = std::make_unique<ThreadPool>(threads);
+}
+
+Tensor VecEnv::reset_all() {
+  Tensor obs({envs_.size(), spec_.obs.flat_dim});
+  for (std::size_t i = 0; i < envs_.size(); ++i) {
+    env_seeds_[i] = rng_.next();
+    const auto o = envs_[i]->reset(env_seeds_[i]);
+    std::copy(o.begin(), o.end(), obs.row(i).begin());
+    running_returns_[i] = 0.0;
+  }
+  return obs;
+}
+
+template <typename StepFn>
+VecEnv::StepBatch VecEnv::step_impl(const StepFn& fn) {
+  const std::size_t n = envs_.size();
+  StepBatch out;
+  out.obs = Tensor({n, spec_.obs.flat_dim});
+  out.rewards.resize(n);
+  out.dones.assign(n, false);
+  std::vector<StepResult> results(n);
+
+  // Auto-reset seeds must come from the single shared stream, so draw them
+  // up-front (deterministically) before any parallel work.
+  std::vector<std::uint64_t> reset_seeds(n);
+  for (std::size_t i = 0; i < n; ++i) reset_seeds[i] = rng_.next();
+
+  auto step_one = [&](std::size_t i) {
+    results[i] = fn(i);
+    if (results[i].done)
+      results[i].obs = envs_[i]->reset(reset_seeds[i]);
+  };
+  if (pool_) {
+    pool_->parallel_for(n, step_one);
+  } else {
+    for (std::size_t i = 0; i < n; ++i) step_one(i);
+  }
+
+  for (std::size_t i = 0; i < n; ++i) {
+    out.rewards[i] = results[i].reward;
+    out.dones[i] = results[i].done;
+    running_returns_[i] += results[i].reward;
+    if (results[i].done) {
+      out.episode_returns.push_back(running_returns_[i]);
+      running_returns_[i] = 0.0;
+    }
+    std::copy(results[i].obs.begin(), results[i].obs.end(),
+              out.obs.row(i).begin());
+  }
+  total_steps_ += n;
+  return out;
+}
+
+VecEnv::StepBatch VecEnv::step(const Tensor& actions) {
+  STELLARIS_CHECK_MSG(actions.rank() == 2 && actions.dim(0) == envs_.size() &&
+                          actions.dim(1) == spec_.act_dim,
+                      "VecEnv::step action shape "
+                          << shape_str(actions.shape()));
+  return step_impl(
+      [&](std::size_t i) { return envs_[i]->step(actions.row(i)); });
+}
+
+VecEnv::StepBatch VecEnv::step_discrete(
+    const std::vector<std::size_t>& actions) {
+  STELLARIS_CHECK_MSG(actions.size() == envs_.size(),
+                      "VecEnv::step_discrete action count mismatch");
+  return step_impl(
+      [&](std::size_t i) { return envs_[i]->step_discrete(actions[i]); });
+}
+
+}  // namespace stellaris::envs

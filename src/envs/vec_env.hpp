@@ -1,0 +1,64 @@
+// Vectorized environment driver: N environment copies stepped as a batch,
+// optionally across real threads.
+//
+// The paper's actors each own one environment; this wrapper is the
+// substrate for *serverful* multi-core actors (one process driving many
+// envs, as RLlib's rollout workers do) and for users who want batched
+// inference. Stepping is deterministic in serial mode; the threaded mode
+// partitions envs statically across the pool so results are identical to
+// serial for the same seeds.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "envs/env.hpp"
+#include "tensor/tensor.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace stellaris::envs {
+
+class VecEnv {
+ public:
+  /// Construct `n` copies of `name`. `threads` > 0 enables a thread pool
+  /// (each env is still stepped by exactly one thread per call).
+  VecEnv(const std::string& name, std::size_t n, std::uint64_t seed,
+         std::size_t threads = 0);
+
+  std::size_t size() const { return envs_.size(); }
+  const EnvSpec& spec() const { return spec_; }
+
+  /// Reset every environment; returns stacked observations (n, obs_dim).
+  Tensor reset_all();
+
+  /// Step every environment with the given batch of actions. Continuous:
+  /// `actions` is (n, act_dim). Environments that finish are auto-reset;
+  /// their `done` flag is reported and the returned observation is the
+  /// first of the new episode (the standard Gym vector-env contract).
+  struct StepBatch {
+    Tensor obs;                    ///< (n, obs_dim)
+    std::vector<double> rewards;   ///< (n)
+    std::vector<bool> dones;       ///< (n)
+    std::vector<double> episode_returns;  ///< completed this step
+  };
+  StepBatch step(const Tensor& actions);
+  StepBatch step_discrete(const std::vector<std::size_t>& actions);
+
+  /// Total environment steps taken across all copies.
+  std::uint64_t total_steps() const { return total_steps_; }
+
+ private:
+  template <typename StepFn>
+  StepBatch step_impl(const StepFn& fn);
+
+  EnvSpec spec_;
+  std::vector<std::unique_ptr<Env>> envs_;
+  std::vector<std::uint64_t> env_seeds_;
+  std::vector<double> running_returns_;
+  std::unique_ptr<ThreadPool> pool_;
+  Rng rng_;
+  std::uint64_t total_steps_ = 0;
+};
+
+}  // namespace stellaris::envs

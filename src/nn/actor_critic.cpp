@@ -1,0 +1,186 @@
+#include "nn/actor_critic.hpp"
+
+#include "util/rng.hpp"
+
+namespace stellaris::nn {
+
+NetworkSpec NetworkSpec::mujoco(std::size_t width) {
+  NetworkSpec spec;
+  spec.use_cnn = false;
+  spec.hidden = {width, width};
+  return spec;
+}
+
+NetworkSpec NetworkSpec::atari() {
+  NetworkSpec spec;
+  spec.use_cnn = true;
+  // Scaled from Table II's 16×8×8 / 32×4×4 stack to the 3×20×20 arcade
+  // frames produced by src/envs/arcade.
+  spec.convs = {{8, 5, 2}, {16, 3, 2}};
+  spec.fc_hidden = 128;
+  return spec;
+}
+
+ActorCritic::ActorCritic(const ObsSpec& obs, ActionKind kind,
+                         std::size_t act_dim, const NetworkSpec& net,
+                         std::uint64_t seed)
+    : obs_(obs), kind_(kind), act_dim_(act_dim), net_spec_(net), seed_(seed) {
+  STELLARIS_CHECK_MSG(obs.flat_dim > 0, "observation dim must be positive");
+  STELLARIS_CHECK_MSG(act_dim > 0, "action dim must be positive");
+  if (net.use_cnn)
+    STELLARIS_CHECK_MSG(obs.image, "CNN spec requires image observations");
+
+  Rng rng_policy(seed);
+  Rng rng_value(seed ^ 0xabcdef1234567890ULL);
+  policy_net_ = build_torso(act_dim_, rng_policy);
+  value_net_ = build_torso(1, rng_value);
+
+  if (kind_ == ActionKind::kContinuous) {
+    // Start at σ ≈ e^{-0.5} ≈ 0.61: exploratory but not saturating the
+    // torque-limited locomotion actuators.
+    log_std_ = Tensor::full({act_dim_}, -0.5f);
+    dlog_std_ = Tensor({act_dim_});
+  }
+}
+
+Sequential ActorCritic::build_torso(std::size_t out_dim, Rng& rng) const {
+  Sequential seq;
+  if (!net_spec_.use_cnn) {
+    std::size_t in = obs_.flat_dim;
+    for (std::size_t h : net_spec_.hidden) {
+      seq.add(std::make_unique<Linear>(in, h, rng));
+      seq.add(std::make_unique<Tanh>());
+      in = h;
+    }
+    seq.add(std::make_unique<Linear>(in, out_dim, rng));
+  } else {
+    std::size_t c = obs_.channels, h = obs_.height, w = obs_.width;
+    for (const auto& cl : net_spec_.convs) {
+      ops::Conv2dSpec spec;
+      spec.in_channels = c;
+      spec.out_channels = cl.out_channels;
+      spec.in_h = h;
+      spec.in_w = w;
+      spec.kernel = cl.kernel;
+      spec.stride = cl.stride;
+      spec.padding = 0;
+      STELLARIS_CHECK_MSG(h >= cl.kernel && w >= cl.kernel,
+                          "conv kernel larger than feature map");
+      auto conv = std::make_unique<Conv2d>(spec, rng);
+      c = cl.out_channels;
+      h = spec.out_h();
+      w = spec.out_w();
+      seq.add(std::move(conv));
+      seq.add(std::make_unique<Relu>());
+    }
+    const std::size_t flat = c * h * w;
+    seq.add(std::make_unique<Linear>(flat, net_spec_.fc_hidden, rng));
+    seq.add(std::make_unique<Relu>());
+    seq.add(std::make_unique<Linear>(net_spec_.fc_hidden, out_dim, rng));
+  }
+  return seq;
+}
+
+std::unique_ptr<ActorCritic> ActorCritic::clone() const {
+  auto copy = std::make_unique<ActorCritic>(obs_, kind_, act_dim_, net_spec_,
+                                            seed_);
+  copy->set_flat_params(flat_params());
+  return copy;
+}
+
+Tensor ActorCritic::policy_forward(const Tensor& obs) {
+  STELLARIS_CHECK_MSG(obs.rank() == 2 && obs.dim(1) == obs_.flat_dim,
+                      "policy_forward obs " << shape_str(obs.shape()));
+  return policy_net_.forward(obs);
+}
+
+void ActorCritic::policy_backward(const Tensor& dout) {
+  policy_net_.backward(dout);
+}
+
+Tensor ActorCritic::value_forward(const Tensor& obs) {
+  Tensor v = value_net_.forward(obs);  // (batch, 1)
+  return v.reshaped({v.dim(0)});
+}
+
+void ActorCritic::value_backward(const Tensor& dvalues) {
+  STELLARIS_CHECK_MSG(dvalues.rank() == 1, "value_backward expects (batch)");
+  value_net_.backward(dvalues.reshaped({dvalues.dim(0), 1}));
+}
+
+Tensor* ActorCritic::log_std() {
+  return kind_ == ActionKind::kContinuous ? &log_std_ : nullptr;
+}
+
+const Tensor* ActorCritic::log_std() const {
+  return kind_ == ActionKind::kContinuous ? &log_std_ : nullptr;
+}
+
+Tensor* ActorCritic::log_std_grad() {
+  return kind_ == ActionKind::kContinuous ? &dlog_std_ : nullptr;
+}
+
+std::vector<Tensor*> ActorCritic::parameters() {
+  std::vector<Tensor*> out = policy_net_.parameters();
+  if (kind_ == ActionKind::kContinuous) out.push_back(&log_std_);
+  for (Tensor* p : value_net_.parameters()) out.push_back(p);
+  return out;
+}
+
+std::vector<Tensor*> ActorCritic::gradients() {
+  std::vector<Tensor*> out = policy_net_.gradients();
+  if (kind_ == ActionKind::kContinuous) out.push_back(&dlog_std_);
+  for (Tensor* g : value_net_.gradients()) out.push_back(g);
+  return out;
+}
+
+void ActorCritic::zero_grad() {
+  for (Tensor* g : gradients()) g->zero();
+}
+
+std::pair<std::size_t, std::size_t> ActorCritic::log_std_span() const {
+  if (kind_ != ActionKind::kContinuous) return {0, 0};
+  std::size_t offset = 0;
+  for (const Tensor* p :
+       const_cast<ActorCritic*>(this)->policy_net_.parameters())
+    offset += p->numel();
+  return {offset, act_dim_};
+}
+
+std::size_t ActorCritic::flat_size() const {
+  std::size_t n = 0;
+  for (const Tensor* p : const_cast<ActorCritic*>(this)->parameters())
+    n += p->numel();
+  return n;
+}
+
+std::vector<float> ActorCritic::flat_params() const {
+  std::vector<float> out;
+  out.reserve(flat_size());
+  for (const Tensor* p : const_cast<ActorCritic*>(this)->parameters())
+    out.insert(out.end(), p->vec().begin(), p->vec().end());
+  return out;
+}
+
+void ActorCritic::set_flat_params(std::span<const float> flat) {
+  STELLARIS_CHECK_MSG(flat.size() == flat_size(),
+                      "flat params size " << flat.size() << " != "
+                                          << flat_size());
+  std::size_t off = 0;
+  for (Tensor* p : parameters()) {
+    std::copy(flat.begin() + static_cast<std::ptrdiff_t>(off),
+              flat.begin() + static_cast<std::ptrdiff_t>(off + p->numel()),
+              p->vec().begin());
+    off += p->numel();
+  }
+}
+
+std::vector<float> ActorCritic::flat_grads() const {
+  std::vector<float> out;
+  out.reserve(flat_size());
+  for (const Tensor* g : const_cast<ActorCritic*>(this)->gradients())
+    out.insert(out.end(), g->vec().begin(), g->vec().end());
+  return out;
+}
+
+}  // namespace stellaris::nn

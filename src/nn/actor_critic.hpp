@@ -1,0 +1,125 @@
+// Actor–critic model: a policy network and a value network built to the
+// paper's Table II architectures, plus the flat-vector parameter interface
+// used to ship policies and gradients through the distributed cache.
+//
+// Table II (paper):           This repo (scaled for a single-core box):
+//   MuJoCo: 2×256 FC, Tanh      2×H FC (H configurable, default 64), Tanh
+//   Atari:  16 8×8 / 32 4×4 /   conv stack + FC head, configurable
+//           256 11×11, ReLU
+// The critic shares the policy architecture (separate weights), as in the
+// paper.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "nn/layers.hpp"
+
+namespace stellaris::nn {
+
+/// Continuous (diagonal Gaussian) vs discrete (categorical) action space.
+enum class ActionKind { kContinuous, kDiscrete };
+
+/// Observation layout. Vector observations set only `flat_dim`; image
+/// observations also carry the (C, H, W) geometry for the conv torso.
+struct ObsSpec {
+  std::size_t flat_dim = 0;
+  bool image = false;
+  std::size_t channels = 0;
+  std::size_t height = 0;
+  std::size_t width = 0;
+
+  static ObsSpec vector(std::size_t dim) { return {dim, false, 0, 0, 0}; }
+  static ObsSpec planes(std::size_t c, std::size_t h, std::size_t w) {
+    return {c * h * w, true, c, h, w};
+  }
+};
+
+/// Network topology. Either an MLP (hidden sizes + Tanh) or a conv stack
+/// followed by one FC hidden layer (+ ReLU), mirroring Table II.
+struct NetworkSpec {
+  struct ConvLayer {
+    std::size_t out_channels;
+    std::size_t kernel;
+    std::size_t stride;
+  };
+
+  bool use_cnn = false;
+  std::vector<std::size_t> hidden = {64, 64};  // MLP path
+  std::vector<ConvLayer> convs;                // CNN path
+  std::size_t fc_hidden = 128;                 // CNN path final FC
+
+  /// Table II MuJoCo row, width-scaled.
+  static NetworkSpec mujoco(std::size_t width = 64);
+  /// Table II Atari row, geometry-scaled to this repo's arcade frames.
+  static NetworkSpec atari();
+};
+
+/// Policy + value networks with explicit backprop and flat (de)serialization.
+class ActorCritic {
+ public:
+  ActorCritic(const ObsSpec& obs, ActionKind kind, std::size_t act_dim,
+              const NetworkSpec& net, std::uint64_t seed);
+
+  // Non-copyable (layers own big buffers); use clone() for explicit copies.
+  ActorCritic(const ActorCritic&) = delete;
+  ActorCritic& operator=(const ActorCritic&) = delete;
+  ActorCritic(ActorCritic&&) = default;
+  ActorCritic& operator=(ActorCritic&&) = default;
+
+  /// Deep copy with identical parameters.
+  std::unique_ptr<ActorCritic> clone() const;
+
+  ActionKind kind() const { return kind_; }
+  std::size_t act_dim() const { return act_dim_; }
+  const ObsSpec& obs_spec() const { return obs_; }
+
+  /// Policy head output: Gaussian means (batch, act_dim) or logits
+  /// (batch, n_actions).
+  Tensor policy_forward(const Tensor& obs);
+  /// Push dL/d(policy output) back through the policy net.
+  void policy_backward(const Tensor& dout);
+
+  /// State values, shape (batch).
+  Tensor value_forward(const Tensor& obs);
+  /// Push dL/d(values), shape (batch).
+  void value_backward(const Tensor& dvalues);
+
+  /// Learned log-std vector (continuous only; nullptr for discrete).
+  Tensor* log_std();
+  const Tensor* log_std() const;
+  Tensor* log_std_grad();
+
+  std::vector<Tensor*> parameters();
+  std::vector<Tensor*> gradients();
+  void zero_grad();
+
+  // -- flat-vector interface (cache wire format) ---------------------------
+  /// (offset, length) of the log-std segment inside the flat parameter
+  /// vector, or (0, 0) for discrete policies. Optimizers clamp this segment
+  /// to a sane range after each step: with small batches the log-std
+  /// gradient is noise-dominated, and adaptive optimizers would otherwise
+  /// random-walk σ into degenerate exploration.
+  std::pair<std::size_t, std::size_t> log_std_span() const;
+  std::size_t flat_size() const;
+  std::vector<float> flat_params() const;
+  void set_flat_params(std::span<const float> flat);
+  std::vector<float> flat_grads() const;
+
+ private:
+  Sequential build_torso(std::size_t out_dim, Rng& rng) const;
+
+  ObsSpec obs_;
+  ActionKind kind_;
+  std::size_t act_dim_;
+  NetworkSpec net_spec_;
+  std::uint64_t seed_;
+
+  Sequential policy_net_;
+  Sequential value_net_;
+  Tensor log_std_;       // (act_dim) for continuous; empty for discrete
+  Tensor dlog_std_;
+};
+
+}  // namespace stellaris::nn

@@ -1,0 +1,154 @@
+#include "nn/layers.hpp"
+
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace stellaris::nn {
+
+Linear::Linear(std::size_t in, std::size_t out, Rng& rng)
+    : w_({in, out}), b_({out}), dw_({in, out}), db_({out}) {
+  // Orthogonal-ish fan-in scaling (He/Xavier hybrid used by most PPO
+  // implementations): stddev = sqrt(2 / (in + out)).
+  const float stddev =
+      std::sqrt(2.0f / static_cast<float>(in + out));
+  w_ = Tensor::randn({in, out}, rng, stddev);
+}
+
+Tensor Linear::forward(const Tensor& x) {
+  STELLARIS_CHECK_MSG(x.rank() == 2 && x.dim(1) == w_.dim(0),
+                      "Linear forward: " << shape_str(x.shape()) << " into "
+                                         << shape_str(w_.shape()));
+  cached_input_ = x;
+  Tensor y = ops::matmul(x, w_);
+  ops::add_bias_rows(y, b_);
+  return y;
+}
+
+Tensor Linear::backward(const Tensor& dy) {
+  STELLARIS_CHECK_MSG(!cached_input_.empty(), "backward before forward");
+  dw_ += ops::matmul_tn(cached_input_, dy);
+  db_ += ops::sum_rows(dy);
+  return ops::matmul_nt(dy, w_);
+}
+
+Conv2d::Conv2d(ops::Conv2dSpec spec, Rng& rng) : spec_(spec) {
+  const std::size_t patch = spec_.in_channels * spec_.kernel * spec_.kernel;
+  const float stddev = std::sqrt(2.0f / static_cast<float>(patch));
+  w_ = Tensor::randn({patch, spec_.out_channels}, rng, stddev);
+  b_ = Tensor({spec_.out_channels});
+  dw_ = Tensor({patch, spec_.out_channels});
+  db_ = Tensor({spec_.out_channels});
+}
+
+std::size_t Conv2d::out_features() const {
+  return spec_.out_channels * spec_.out_h() * spec_.out_w();
+}
+
+Tensor Conv2d::forward(const Tensor& x) {
+  cached_batch_ = x.dim(0);
+  cached_cols_ = ops::im2col(x, spec_);
+  // (N·oh·ow, patch) x (patch, oc) -> (N·oh·ow, oc)
+  Tensor y = ops::matmul(cached_cols_, w_);
+  ops::add_bias_rows(y, b_);
+  // Reorder to channel-major rows (N, oc·oh·ow) so downstream layers see the
+  // conventional CHW flattening.
+  const std::size_t oh = spec_.out_h(), ow = spec_.out_w(),
+                    oc = spec_.out_channels;
+  Tensor out({cached_batch_, oc * oh * ow});
+  const float* py = y.data().data();
+  float* po = out.data().data();
+  for (std::size_t n = 0; n < cached_batch_; ++n)
+    for (std::size_t p = 0; p < oh * ow; ++p)
+      for (std::size_t c = 0; c < oc; ++c)
+        po[n * oc * oh * ow + c * oh * ow + p] =
+            py[(n * oh * ow + p) * oc + c];
+  return out;
+}
+
+Tensor Conv2d::backward(const Tensor& dy) {
+  STELLARIS_CHECK_MSG(!cached_cols_.empty(), "backward before forward");
+  const std::size_t oh = spec_.out_h(), ow = spec_.out_w(),
+                    oc = spec_.out_channels;
+  STELLARIS_CHECK_MSG(dy.rank() == 2 && dy.dim(0) == cached_batch_ &&
+                          dy.dim(1) == oc * oh * ow,
+                      "Conv2d backward shape " << shape_str(dy.shape()));
+  // Undo the channel-major reorder.
+  Tensor dys({cached_batch_ * oh * ow, oc});
+  const float* pd = dy.data().data();
+  float* ps = dys.data().data();
+  for (std::size_t n = 0; n < cached_batch_; ++n)
+    for (std::size_t p = 0; p < oh * ow; ++p)
+      for (std::size_t c = 0; c < oc; ++c)
+        ps[(n * oh * ow + p) * oc + c] =
+            pd[n * oc * oh * ow + c * oh * ow + p];
+
+  dw_ += ops::matmul_tn(cached_cols_, dys);
+  db_ += ops::sum_rows(dys);
+  Tensor dcols = ops::matmul_nt(dys, w_);
+  return ops::col2im(dcols, spec_, cached_batch_);
+}
+
+Tensor Tanh::forward(const Tensor& x) {
+  cached_output_ = ops::tanh_forward(x);
+  return cached_output_;
+}
+
+Tensor Tanh::backward(const Tensor& dy) {
+  STELLARIS_CHECK_MSG(!cached_output_.empty(), "backward before forward");
+  return ops::tanh_backward(cached_output_, dy);
+}
+
+Tensor Relu::forward(const Tensor& x) {
+  cached_input_ = x;
+  return ops::relu_forward(x);
+}
+
+Tensor Relu::backward(const Tensor& dy) {
+  STELLARIS_CHECK_MSG(!cached_input_.empty(), "backward before forward");
+  return ops::relu_backward(cached_input_, dy);
+}
+
+Sequential& Sequential::add(std::unique_ptr<Layer> layer) {
+  layers_.push_back(std::move(layer));
+  return *this;
+}
+
+Tensor Sequential::forward(const Tensor& x) {
+  Tensor cur = x;
+  for (auto& l : layers_) cur = l->forward(cur);
+  return cur;
+}
+
+Tensor Sequential::backward(const Tensor& dy) {
+  Tensor cur = dy;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it)
+    cur = (*it)->backward(cur);
+  return cur;
+}
+
+std::vector<Tensor*> Sequential::parameters() {
+  std::vector<Tensor*> out;
+  for (auto& l : layers_)
+    for (Tensor* p : l->parameters()) out.push_back(p);
+  return out;
+}
+
+std::vector<Tensor*> Sequential::gradients() {
+  std::vector<Tensor*> out;
+  for (auto& l : layers_)
+    for (Tensor* g : l->gradients()) out.push_back(g);
+  return out;
+}
+
+void zero_gradients(Layer& layer) {
+  for (Tensor* g : layer.gradients()) g->zero();
+}
+
+std::size_t parameter_count(Layer& layer) {
+  std::size_t n = 0;
+  for (Tensor* p : layer.parameters()) n += p->numel();
+  return n;
+}
+
+}  // namespace stellaris::nn

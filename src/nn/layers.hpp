@@ -1,0 +1,134 @@
+// Neural-network layers with explicit forward/backward passes.
+//
+// No tape autograd: every layer caches exactly what its backward pass needs
+// during forward, and backward(dy) both returns dx and accumulates parameter
+// gradients. This keeps the training loop deterministic and allocation
+// patterns obvious — important because learner functions serialize whole
+// gradient sets into the distributed cache every round.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/ops.hpp"
+#include "tensor/tensor.hpp"
+
+namespace stellaris {
+
+class Rng;
+
+namespace nn {
+
+/// Abstract layer. Batch-major: inputs are (batch, features).
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  /// Compute outputs; caches whatever backward() needs.
+  virtual Tensor forward(const Tensor& x) = 0;
+
+  /// Given dL/d(output), accumulate parameter grads and return dL/d(input).
+  /// Must be called after the matching forward().
+  virtual Tensor backward(const Tensor& dy) = 0;
+
+  /// Learnable parameter tensors (empty for activations).
+  virtual std::vector<Tensor*> parameters() { return {}; }
+  /// Gradient accumulators, parallel to parameters().
+  virtual std::vector<Tensor*> gradients() { return {}; }
+
+  virtual std::string name() const = 0;
+};
+
+/// Fully-connected layer: y = x·W + b, W is (in, out).
+class Linear final : public Layer {
+ public:
+  Linear(std::size_t in, std::size_t out, Rng& rng);
+
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& dy) override;
+  std::vector<Tensor*> parameters() override { return {&w_, &b_}; }
+  std::vector<Tensor*> gradients() override { return {&dw_, &db_}; }
+  std::string name() const override { return "Linear"; }
+
+  std::size_t in_features() const { return w_.dim(0); }
+  std::size_t out_features() const { return w_.dim(1); }
+
+ private:
+  Tensor w_, b_;
+  Tensor dw_, db_;
+  Tensor cached_input_;
+};
+
+/// 2-D convolution via im2col lowering; input rows are flattened (C,H,W).
+class Conv2d final : public Layer {
+ public:
+  Conv2d(ops::Conv2dSpec spec, Rng& rng);
+
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& dy) override;
+  std::vector<Tensor*> parameters() override { return {&w_, &b_}; }
+  std::vector<Tensor*> gradients() override { return {&dw_, &db_}; }
+  std::string name() const override { return "Conv2d"; }
+
+  const ops::Conv2dSpec& spec() const { return spec_; }
+  /// Flattened output features per sample: out_channels·out_h·out_w.
+  std::size_t out_features() const;
+
+ private:
+  ops::Conv2dSpec spec_;
+  Tensor w_;   // (C·k·k, out_channels)
+  Tensor b_;   // (out_channels)
+  Tensor dw_, db_;
+  Tensor cached_cols_;
+  std::size_t cached_batch_ = 0;
+};
+
+class Tanh final : public Layer {
+ public:
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& dy) override;
+  std::string name() const override { return "Tanh"; }
+
+ private:
+  Tensor cached_output_;
+};
+
+class Relu final : public Layer {
+ public:
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& dy) override;
+  std::string name() const override { return "Relu"; }
+
+ private:
+  Tensor cached_input_;
+};
+
+/// Ordered pipeline of layers.
+class Sequential final : public Layer {
+ public:
+  Sequential() = default;
+
+  Sequential& add(std::unique_ptr<Layer> layer);
+
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& dy) override;
+  std::vector<Tensor*> parameters() override;
+  std::vector<Tensor*> gradients() override;
+  std::string name() const override { return "Sequential"; }
+
+  std::size_t num_layers() const { return layers_.size(); }
+  Layer& layer(std::size_t i) { return *layers_[i]; }
+
+ private:
+  std::vector<std::unique_ptr<Layer>> layers_;
+};
+
+/// Zero every gradient accumulator of `layer`.
+void zero_gradients(Layer& layer);
+
+/// Total learnable scalar count.
+std::size_t parameter_count(Layer& layer);
+
+}  // namespace nn
+}  // namespace stellaris

@@ -1,0 +1,109 @@
+#include "nn/optimizer.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace stellaris::nn {
+
+namespace {
+void check_sizes(const std::vector<float>& params,
+                 std::span<const float> grad) {
+  STELLARIS_CHECK_MSG(params.size() == grad.size(),
+                      "optimizer size mismatch: params " << params.size()
+                                                         << " grad "
+                                                         << grad.size());
+}
+}  // namespace
+
+SgdOptimizer::SgdOptimizer(double lr, double momentum)
+    : FlatOptimizer(lr), momentum_(momentum) {}
+
+void SgdOptimizer::step_with_lr(std::vector<float>& params,
+                                std::span<const float> grad, double lr) {
+  check_sizes(params, grad);
+  if (momentum_ == 0.0) {
+    for (std::size_t i = 0; i < params.size(); ++i)
+      params[i] -= static_cast<float>(lr) * grad[i];
+    return;
+  }
+  if (velocity_.size() != params.size()) velocity_.assign(params.size(), 0.0f);
+  const auto mu = static_cast<float>(momentum_);
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    velocity_[i] = mu * velocity_[i] + grad[i];
+    params[i] -= static_cast<float>(lr) * velocity_[i];
+  }
+}
+
+std::unique_ptr<FlatOptimizer> SgdOptimizer::clone() const {
+  return std::make_unique<SgdOptimizer>(*this);
+}
+
+AdamOptimizer::AdamOptimizer(double lr, double beta1, double beta2, double eps)
+    : FlatOptimizer(lr), beta1_(beta1), beta2_(beta2), eps_(eps) {}
+
+void AdamOptimizer::step_with_lr(std::vector<float>& params,
+                                 std::span<const float> grad, double lr) {
+  check_sizes(params, grad);
+  if (m_.size() != params.size()) {
+    m_.assign(params.size(), 0.0f);
+    v_.assign(params.size(), 0.0f);
+    t_ = 0;
+  }
+  ++t_;
+  const double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
+  const double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));
+  const double alpha = lr * std::sqrt(bc2) / bc1;
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    const double g = grad[i];
+    m_[i] = static_cast<float>(beta1_ * m_[i] + (1.0 - beta1_) * g);
+    v_[i] = static_cast<float>(beta2_ * v_[i] + (1.0 - beta2_) * g * g);
+    params[i] -= static_cast<float>(alpha * m_[i] /
+                                    (std::sqrt(static_cast<double>(v_[i])) +
+                                     eps_));
+  }
+}
+
+std::unique_ptr<FlatOptimizer> AdamOptimizer::clone() const {
+  return std::make_unique<AdamOptimizer>(*this);
+}
+
+RmsPropOptimizer::RmsPropOptimizer(double lr, double decay, double eps)
+    : FlatOptimizer(lr), decay_(decay), eps_(eps) {}
+
+void RmsPropOptimizer::step_with_lr(std::vector<float>& params,
+                                    std::span<const float> grad, double lr) {
+  check_sizes(params, grad);
+  if (sq_.size() != params.size()) sq_.assign(params.size(), 0.0f);
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    const double g = grad[i];
+    sq_[i] = static_cast<float>(decay_ * sq_[i] + (1.0 - decay_) * g * g);
+    params[i] -= static_cast<float>(
+        lr * g / (std::sqrt(static_cast<double>(sq_[i])) + eps_));
+  }
+}
+
+std::unique_ptr<FlatOptimizer> RmsPropOptimizer::clone() const {
+  return std::make_unique<RmsPropOptimizer>(*this);
+}
+
+std::unique_ptr<FlatOptimizer> make_optimizer(const std::string& name,
+                                              double lr) {
+  if (name == "sgd") return std::make_unique<SgdOptimizer>(lr);
+  if (name == "adam") return std::make_unique<AdamOptimizer>(lr);
+  if (name == "rmsprop") return std::make_unique<RmsPropOptimizer>(lr);
+  throw ConfigError("unknown optimizer: " + name);
+}
+
+double clip_grad_norm(std::vector<float>& grad, double max_norm) {
+  double sq = 0.0;
+  for (float g : grad) sq += static_cast<double>(g) * g;
+  const double norm = std::sqrt(sq);
+  if (norm > max_norm && norm > 0.0) {
+    const auto scale = static_cast<float>(max_norm / norm);
+    for (float& g : grad) g *= scale;
+  }
+  return norm;
+}
+
+}  // namespace stellaris::nn

@@ -1,0 +1,144 @@
+#include "rl/actor.hpp"
+
+#include "nn/distributions.hpp"
+
+namespace stellaris::rl {
+
+Actor::Actor(std::unique_ptr<envs::Env> env, std::uint64_t seed)
+    : env_(std::move(env)), rng_(seed) {}
+
+void Actor::ensure_episode() {
+  if (!episode_active_) {
+    current_obs_ = env_->reset(rng_.next());
+    episode_active_ = true;
+    episode_return_ = 0.0;
+    ++episode_counter_;
+  }
+}
+
+SampleBatch Actor::sample(nn::ActorCritic& policy, std::size_t horizon,
+                          std::uint64_t policy_version) {
+  STELLARIS_CHECK_MSG(horizon > 0, "sample horizon must be positive");
+  const auto& spec = env_->spec();
+  const std::size_t obs_dim = spec.obs.flat_dim;
+  const bool continuous = spec.action_kind == nn::ActionKind::kContinuous;
+
+  SampleBatch batch;
+  batch.action_kind = spec.action_kind;
+  batch.policy_version = policy_version;
+  batch.obs = Tensor({horizon, obs_dim});
+  if (continuous) batch.actions_cont = Tensor({horizon, spec.act_dim});
+  batch.rewards = Tensor({horizon});
+  batch.dones = Tensor({horizon});
+  batch.behaviour_log_probs = Tensor({horizon});
+  batch.values = Tensor({horizon});
+
+  for (std::size_t t = 0; t < horizon; ++t) {
+    ensure_episode();
+    // Single-row forward; learner-side batching happens over whole batches.
+    Tensor obs_row({1, obs_dim},
+                   std::vector<float>(current_obs_.begin(),
+                                      current_obs_.end()));
+    Tensor pol_out = policy.policy_forward(obs_row);
+    Tensor value = policy.value_forward(obs_row);
+
+    std::copy(current_obs_.begin(), current_obs_.end(),
+              batch.obs.row(t).begin());
+    batch.values[t] = value[0];
+
+    envs::StepResult result;
+    if (continuous) {
+      Tensor action = nn::gaussian_sample(pol_out, *policy.log_std(), rng_);
+      const Tensor logp =
+          nn::gaussian_log_prob(pol_out, *policy.log_std(), action);
+      batch.behaviour_log_probs[t] = logp[0];
+      std::copy(action.vec().begin(), action.vec().end(),
+                batch.actions_cont.row(t).begin());
+      result = env_->step(action.row(0));
+    } else {
+      const auto actions = nn::categorical_sample(pol_out, rng_);
+      const Tensor logp = nn::categorical_log_prob(pol_out, actions);
+      batch.behaviour_log_probs[t] = logp[0];
+      batch.actions_disc.push_back(actions[0]);
+      result = env_->step_discrete(actions[0]);
+    }
+
+    batch.rewards[t] = static_cast<float>(result.reward);
+    episode_return_ += result.reward;
+    batch.dones[t] = result.done ? 1.0f : 0.0f;
+    if (result.done) {
+      batch.episode_returns.push_back(episode_return_);
+      episode_active_ = false;
+    } else {
+      current_obs_ = std::move(result.obs);
+    }
+  }
+
+  // Bootstrap value for a truncated final transition.
+  if (batch.dones[horizon - 1] < 0.5f) {
+    Tensor obs_row({1, obs_dim},
+                   std::vector<float>(current_obs_.begin(),
+                                      current_obs_.end()));
+    batch.bootstrap_value = policy.value_forward(obs_row)[0];
+  }
+  return batch;
+}
+
+double Actor::evaluate_episode(nn::ActorCritic& policy, std::uint64_t seed) {
+  const auto& spec = env_->spec();
+  const bool continuous = spec.action_kind == nn::ActionKind::kContinuous;
+  std::vector<float> obs = env_->reset(seed);
+  Rng eval_rng(seed ^ 0xeba1eba1eba1ULL);
+  double total = 0.0;
+  for (;;) {
+    Tensor obs_row({1, spec.obs.flat_dim},
+                   std::vector<float>(obs.begin(), obs.end()));
+    Tensor pol_out = policy.policy_forward(obs_row);
+    envs::StepResult result;
+    if (continuous) {
+      Tensor action =
+          nn::gaussian_sample(pol_out, *policy.log_std(), eval_rng);
+      result = env_->step(action.row(0));
+    } else {
+      const auto actions = nn::categorical_sample(pol_out, eval_rng);
+      result = env_->step_discrete(actions[0]);
+    }
+    total += result.reward;
+    if (result.done) break;
+    obs = std::move(result.obs);
+  }
+  // Evaluation interrupts any in-flight sampling episode.
+  episode_active_ = false;
+  return total;
+}
+
+double evaluate_policy(envs::Env& env, nn::ActorCritic& policy,
+                       std::size_t episodes, std::uint64_t seed) {
+  const auto& spec = env.spec();
+  const bool continuous = spec.action_kind == nn::ActionKind::kContinuous;
+  Rng eval_rng(seed);
+  double total = 0.0;
+  for (std::size_t e = 0; e < episodes; ++e) {
+    std::vector<float> obs = env.reset(eval_rng.next());
+    for (;;) {
+      Tensor obs_row({1, spec.obs.flat_dim},
+                     std::vector<float>(obs.begin(), obs.end()));
+      Tensor pol_out = policy.policy_forward(obs_row);
+      envs::StepResult result;
+      if (continuous) {
+        Tensor action =
+            nn::gaussian_sample(pol_out, *policy.log_std(), eval_rng);
+        result = env.step(action.row(0));
+      } else {
+        const auto actions = nn::categorical_sample(pol_out, eval_rng);
+        result = env.step_discrete(actions[0]);
+      }
+      total += result.reward;
+      if (result.done) break;
+      obs = std::move(result.obs);
+    }
+  }
+  return total / static_cast<double>(episodes);
+}
+
+}  // namespace stellaris::rl

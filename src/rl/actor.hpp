@@ -1,0 +1,52 @@
+// The actor: interacts with one environment copy under a policy and emits
+// trajectory SampleBatches — Step ① of the paper's workflow (§IV).
+//
+// An Actor persists its environment across sample() calls, so episodes span
+// training rounds instead of being truncated at every round boundary, and
+// records completed-episode returns for the reward curves.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "envs/env.hpp"
+#include "nn/actor_critic.hpp"
+#include "rl/sample_batch.hpp"
+#include "util/rng.hpp"
+
+namespace stellaris::rl {
+
+class Actor {
+ public:
+  Actor(std::unique_ptr<envs::Env> env, std::uint64_t seed);
+
+  /// Roll the environment `horizon` steps under `policy` (stochastic
+  /// actions), continuing across episode boundaries. `policy_version` is
+  /// recorded for the staleness bookkeeping.
+  SampleBatch sample(nn::ActorCritic& policy, std::size_t horizon,
+                     std::uint64_t policy_version);
+
+  /// Run one full episode under the policy and return the episode reward
+  /// (used by evaluation; stochastic actions as in the paper's episodic
+  /// reward curves).
+  double evaluate_episode(nn::ActorCritic& policy, std::uint64_t seed);
+
+  const envs::EnvSpec& env_spec() const { return env_->spec(); }
+
+ private:
+  /// Act in the current state; fills per-step records.
+  void ensure_episode();
+
+  std::unique_ptr<envs::Env> env_;
+  Rng rng_;
+  std::vector<float> current_obs_;
+  bool episode_active_ = false;
+  double episode_return_ = 0.0;
+  std::uint64_t episode_counter_ = 0;
+};
+
+/// Average episode reward of `policy` over `episodes` rollouts.
+double evaluate_policy(envs::Env& env, nn::ActorCritic& policy,
+                       std::size_t episodes, std::uint64_t seed);
+
+}  // namespace stellaris::rl

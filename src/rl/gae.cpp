@@ -1,0 +1,52 @@
+#include "rl/gae.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace stellaris::rl {
+
+void compute_gae(SampleBatch& batch, double gamma, double lambda) {
+  const std::size_t n = batch.size();
+  STELLARIS_CHECK_MSG(n > 0, "compute_gae on empty batch");
+  STELLARIS_CHECK_MSG(batch.values.numel() == n && batch.dones.numel() == n,
+                      "batch field sizes inconsistent");
+  batch.advantages = Tensor({n});
+  batch.value_targets = Tensor({n});
+
+  // Per independent segment, so concatenated batches never bootstrap across
+  // the seam between two actors' rollouts.
+  for (const auto& seg : batch.segment_views()) {
+    double adv = 0.0;
+    double next_value = seg.bootstrap;
+    for (std::size_t t = seg.end; t-- > seg.start;) {
+      const double not_done = batch.dones[t] > 0.5f ? 0.0 : 1.0;
+      const double delta = batch.rewards[t] + gamma * next_value * not_done -
+                           batch.values[t];
+      adv = delta + gamma * lambda * not_done * adv;
+      batch.advantages[t] = static_cast<float>(adv);
+      batch.value_targets[t] = static_cast<float>(adv + batch.values[t]);
+      next_value = batch.values[t];
+    }
+  }
+}
+
+void normalize_advantages(SampleBatch& batch) {
+  const std::size_t n = batch.advantages.numel();
+  if (n < 2) return;
+  double mean = 0.0;
+  for (std::size_t i = 0; i < n; ++i) mean += batch.advantages[i];
+  mean /= static_cast<double>(n);
+  double var = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double d = batch.advantages[i] - mean;
+    var += d * d;
+  }
+  var /= static_cast<double>(n - 1);
+  const double inv_std = 1.0 / (std::sqrt(var) + 1e-8);
+  for (std::size_t i = 0; i < n; ++i)
+    batch.advantages[i] =
+        static_cast<float>((batch.advantages[i] - mean) * inv_std);
+}
+
+}  // namespace stellaris::rl

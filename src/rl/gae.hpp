@@ -1,0 +1,21 @@
+// Generalized Advantage Estimation (Schulman et al., 2016) — the advantage
+// estimator the paper's PPO uses (§VIII-B1).
+#pragma once
+
+#include "rl/sample_batch.hpp"
+
+namespace stellaris::rl {
+
+/// Fill `batch.advantages` and `batch.value_targets` from rewards, values,
+/// dones, and the bootstrap value, via the standard backward GAE(λ)
+/// recursion:
+///   δ_t = r_t + γ·V(s_{t+1})·(1−done_t) − V(s_t)
+///   A_t = δ_t + γλ·(1−done_t)·A_{t+1}
+///   target_t = A_t + V(s_t)
+void compute_gae(SampleBatch& batch, double gamma, double lambda);
+
+/// Standardize advantages in place to zero mean / unit variance (the usual
+/// PPO stabilization; no-op for batches of size < 2).
+void normalize_advantages(SampleBatch& batch);
+
+}  // namespace stellaris::rl

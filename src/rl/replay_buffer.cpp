@@ -1,0 +1,44 @@
+#include "rl/replay_buffer.hpp"
+
+#include "util/error.hpp"
+
+namespace stellaris::rl {
+
+ReplayBuffer::ReplayBuffer(std::size_t capacity, std::uint64_t max_age)
+    : capacity_(capacity), max_age_(max_age) {
+  STELLARIS_CHECK_MSG(capacity > 0, "replay capacity must be positive");
+}
+
+void ReplayBuffer::add(SampleBatch batch) {
+  total_timesteps_ += batch.size();
+  buffer_.push_back(std::move(batch));
+  while (buffer_.size() > capacity_) {
+    total_timesteps_ -= buffer_.front().size();
+    buffer_.pop_front();
+  }
+}
+
+void ReplayBuffer::evict_stale(std::uint64_t current_version) {
+  if (max_age_ == 0) return;
+  while (!buffer_.empty() &&
+         buffer_.front().policy_version + max_age_ < current_version) {
+    total_timesteps_ -= buffer_.front().size();
+    buffer_.pop_front();
+  }
+}
+
+SampleBatch ReplayBuffer::sample(Rng& rng) const {
+  STELLARIS_CHECK_MSG(!buffer_.empty(), "sampling from empty replay buffer");
+  return buffer_[rng.uniform_int(buffer_.size())];
+}
+
+SampleBatch ReplayBuffer::sample_concat(std::size_t n, Rng& rng) const {
+  STELLARIS_CHECK_MSG(n > 0, "sample_concat of zero batches");
+  std::vector<SampleBatch> parts;
+  parts.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) parts.push_back(sample(rng));
+  return parts.size() == 1 ? std::move(parts.front())
+                           : SampleBatch::concat(parts);
+}
+
+}  // namespace stellaris::rl

@@ -1,0 +1,48 @@
+// Replay buffer for off-policy training (IMPACT's batch reuse).
+//
+// A bounded FIFO of SampleBatches with uniform random sampling. IMPACT's
+// V-trace corrections make modestly-stale batches usable, so learners can
+// mix fresh trajectories with replayed ones — the "replay_proportion"
+// mechanism of the original IMPALA/IMPACT implementations.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+#include "rl/sample_batch.hpp"
+#include "util/rng.hpp"
+
+namespace stellaris::rl {
+
+class ReplayBuffer {
+ public:
+  /// `capacity` is in batches; `max_age` bounds how many policy versions a
+  /// batch may lag before it is evicted on insert (0 = no age bound).
+  explicit ReplayBuffer(std::size_t capacity, std::uint64_t max_age = 0);
+
+  void add(SampleBatch batch);
+
+  /// Drop batches older than (current_version − max_age). No-op when the
+  /// age bound is disabled.
+  void evict_stale(std::uint64_t current_version);
+
+  bool empty() const { return buffer_.empty(); }
+  std::size_t size() const { return buffer_.size(); }
+  std::size_t capacity() const { return capacity_; }
+  /// Total timesteps stored.
+  std::size_t total_timesteps() const { return total_timesteps_; }
+
+  /// Uniformly sample one stored batch (copied). Throws when empty.
+  SampleBatch sample(Rng& rng) const;
+
+  /// Sample `n` batches (with replacement) and concatenate them.
+  SampleBatch sample_concat(std::size_t n, Rng& rng) const;
+
+ private:
+  std::size_t capacity_;
+  std::uint64_t max_age_;
+  std::deque<SampleBatch> buffer_;
+  std::size_t total_timesteps_ = 0;
+};
+
+}  // namespace stellaris::rl

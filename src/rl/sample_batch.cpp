@@ -1,0 +1,219 @@
+#include "rl/sample_batch.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace stellaris::rl {
+
+namespace {
+void put_tensor(ByteWriter& w, const Tensor& t) {
+  std::vector<std::uint64_t> dims(t.shape().begin(), t.shape().end());
+  w.put_u64_vector(dims);
+  w.put_f32_vector(t.vec());
+}
+
+Tensor get_tensor(ByteReader& r) {
+  const auto dims = r.get_u64_vector();
+  Shape shape(dims.begin(), dims.end());
+  auto data = r.get_f32_vector();
+  return Tensor(std::move(shape), std::move(data));
+}
+}  // namespace
+
+std::vector<std::uint8_t> SampleBatch::serialize() const {
+  ByteWriter w;
+  w.put_u8(action_kind == nn::ActionKind::kContinuous ? 0 : 1);
+  put_tensor(w, obs);
+  put_tensor(w, actions_cont);
+  {
+    std::vector<std::uint64_t> acts(actions_disc.begin(), actions_disc.end());
+    w.put_u64_vector(acts);
+  }
+  put_tensor(w, rewards);
+  put_tensor(w, dones);
+  put_tensor(w, behaviour_log_probs);
+  put_tensor(w, values);
+  w.put_f32(bootstrap_value);
+  {
+    std::vector<std::uint64_t> seg_starts;
+    std::vector<float> seg_boot;
+    for (const auto& s : segments) {
+      seg_starts.push_back(s.start);
+      seg_boot.push_back(s.bootstrap);
+    }
+    w.put_u64_vector(seg_starts);
+    w.put_f32_vector(seg_boot);
+  }
+  w.put_u64(policy_version);
+  put_tensor(w, advantages);
+  put_tensor(w, value_targets);
+  w.put_f64_vector(episode_returns);
+  return w.take();
+}
+
+SampleBatch SampleBatch::deserialize(const std::vector<std::uint8_t>& bytes) {
+  ByteReader r(bytes);
+  SampleBatch b;
+  b.action_kind = r.get_u8() == 0 ? nn::ActionKind::kContinuous
+                                  : nn::ActionKind::kDiscrete;
+  b.obs = get_tensor(r);
+  b.actions_cont = get_tensor(r);
+  {
+    const auto acts = r.get_u64_vector();
+    b.actions_disc.assign(acts.begin(), acts.end());
+  }
+  b.rewards = get_tensor(r);
+  b.dones = get_tensor(r);
+  b.behaviour_log_probs = get_tensor(r);
+  b.values = get_tensor(r);
+  b.bootstrap_value = r.get_f32();
+  {
+    const auto seg_starts = r.get_u64_vector();
+    const auto seg_boot = r.get_f32_vector();
+    for (std::size_t i = 0; i < seg_starts.size(); ++i)
+      b.segments.push_back(
+          {static_cast<std::size_t>(seg_starts[i]), seg_boot[i]});
+  }
+  b.policy_version = r.get_u64();
+  b.advantages = get_tensor(r);
+  b.value_targets = get_tensor(r);
+  b.episode_returns = r.get_f64_vector();
+  return b;
+}
+
+std::vector<SampleBatch::SegmentView> SampleBatch::segment_views() const {
+  std::vector<SegmentView> views;
+  if (segments.empty()) {
+    views.push_back({0, size(), bootstrap_value});
+    return views;
+  }
+  for (std::size_t i = 0; i < segments.size(); ++i) {
+    const std::size_t end =
+        i + 1 < segments.size() ? segments[i + 1].start : size();
+    views.push_back({segments[i].start, end, segments[i].bootstrap});
+  }
+  return views;
+}
+
+SampleBatch SampleBatch::concat(const std::vector<SampleBatch>& parts) {
+  STELLARIS_CHECK_MSG(!parts.empty(), "concat of zero batches");
+  SampleBatch out;
+  out.action_kind = parts.front().action_kind;
+  out.policy_version = parts.front().policy_version;
+  out.bootstrap_value = parts.back().bootstrap_value;
+
+  // Record the seams so advantage estimators never bootstrap across them.
+  {
+    std::size_t offset = 0;
+    for (const auto& p : parts) {
+      for (const auto& sv : p.segment_views())
+        out.segments.push_back({offset + sv.start, sv.bootstrap});
+      offset += p.size();
+    }
+  }
+
+  std::size_t total = 0;
+  for (const auto& p : parts) {
+    STELLARIS_CHECK_MSG(p.action_kind == out.action_kind,
+                        "concat mixes action kinds");
+    total += p.size();
+  }
+
+  auto cat1 = [&](auto accessor) {
+    std::vector<float> data;
+    data.reserve(total);
+    for (const auto& p : parts) {
+      const Tensor& t = accessor(p);
+      data.insert(data.end(), t.vec().begin(), t.vec().end());
+    }
+    return Tensor({total}, std::move(data));
+  };
+  auto cat2 = [&](auto accessor) {
+    std::size_t width = 0;
+    for (const auto& p : parts) {
+      const Tensor& t = accessor(p);
+      if (t.numel() > 0) width = t.dim(1);
+    }
+    if (width == 0) return Tensor();
+    std::vector<float> data;
+    data.reserve(total * width);
+    for (const auto& p : parts) {
+      const Tensor& t = accessor(p);
+      data.insert(data.end(), t.vec().begin(), t.vec().end());
+    }
+    const std::size_t rows = data.size() / width;  // before the move below
+    return Tensor({rows, width}, std::move(data));
+  };
+
+  out.obs = cat2([](const SampleBatch& p) -> const Tensor& { return p.obs; });
+  out.actions_cont = cat2(
+      [](const SampleBatch& p) -> const Tensor& { return p.actions_cont; });
+  for (const auto& p : parts)
+    out.actions_disc.insert(out.actions_disc.end(), p.actions_disc.begin(),
+                            p.actions_disc.end());
+  out.rewards =
+      cat1([](const SampleBatch& p) -> const Tensor& { return p.rewards; });
+  out.dones =
+      cat1([](const SampleBatch& p) -> const Tensor& { return p.dones; });
+  out.behaviour_log_probs = cat1([](const SampleBatch& p) -> const Tensor& {
+    return p.behaviour_log_probs;
+  });
+  out.values =
+      cat1([](const SampleBatch& p) -> const Tensor& { return p.values; });
+  const bool all_adv = std::all_of(parts.begin(), parts.end(),
+                                   [](const auto& p) {
+                                     return p.has_advantages();
+                                   });
+  if (all_adv) {
+    out.advantages = cat1(
+        [](const SampleBatch& p) -> const Tensor& { return p.advantages; });
+    out.value_targets = cat1(
+        [](const SampleBatch& p) -> const Tensor& { return p.value_targets; });
+  }
+  for (const auto& p : parts)
+    out.episode_returns.insert(out.episode_returns.end(),
+                               p.episode_returns.begin(),
+                               p.episode_returns.end());
+  return out;
+}
+
+SampleBatch SampleBatch::select(const std::vector<std::size_t>& idx) const {
+  SampleBatch out;
+  out.action_kind = action_kind;
+  out.policy_version = policy_version;
+  out.bootstrap_value = bootstrap_value;
+
+  auto sel1 = [&](const Tensor& t) {
+    if (t.empty()) return Tensor();
+    std::vector<float> data;
+    data.reserve(idx.size());
+    for (std::size_t i : idx) data.push_back(t[i]);
+    return Tensor({idx.size()}, std::move(data));
+  };
+  auto sel2 = [&](const Tensor& t) {
+    if (t.empty()) return Tensor();
+    const std::size_t w = t.dim(1);
+    std::vector<float> data;
+    data.reserve(idx.size() * w);
+    for (std::size_t i : idx) {
+      auto r = t.row(i);
+      data.insert(data.end(), r.begin(), r.end());
+    }
+    return Tensor({idx.size(), w}, std::move(data));
+  };
+
+  out.obs = sel2(obs);
+  out.actions_cont = sel2(actions_cont);
+  if (!actions_disc.empty())
+    for (std::size_t i : idx) out.actions_disc.push_back(actions_disc[i]);
+  out.rewards = sel1(rewards);
+  out.dones = sel1(dones);
+  out.behaviour_log_probs = sel1(behaviour_log_probs);
+  out.values = sel1(values);
+  out.advantages = sel1(advantages);
+  out.value_targets = sel1(value_targets);
+  return out;
+}
+
+}  // namespace stellaris::rl

@@ -1,0 +1,80 @@
+// Trajectory containers — the training-data unit that flows from actors
+// through the distributed cache to learner functions.
+//
+// Struct-of-arrays layout: a batch of T timesteps holds tensors for
+// observations, actions, rewards, dones, behaviour log-probs (log μ(a|s)),
+// and value estimates at sample time. After advantage estimation the batch
+// also carries GAE advantages and value targets. Batches serialize to the
+// cache wire format; the byte size drives the data-passing latency model.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/actor_critic.hpp"
+#include "tensor/tensor.hpp"
+#include "util/serialize.hpp"
+
+namespace stellaris::rl {
+
+struct SampleBatch {
+  nn::ActionKind action_kind = nn::ActionKind::kContinuous;
+
+  Tensor obs;                            ///< (T, obs_dim)
+  Tensor actions_cont;                   ///< (T, act_dim) — continuous only
+  std::vector<std::size_t> actions_disc; ///< (T) — discrete only
+  Tensor rewards;                        ///< (T)
+  Tensor dones;                          ///< (T), 1.0 at episode boundaries
+  Tensor behaviour_log_probs;            ///< (T) log μ(a_t|s_t)
+  Tensor values;                         ///< (T) V(s_t) at sample time
+
+  /// Bootstrap value V(s_T) if the final transition was truncated (not a
+  /// true terminal); ignored when the batch ends on done.
+  float bootstrap_value = 0.0f;
+
+  /// Independent trajectory segments inside this batch. Empty means one
+  /// segment covering the whole batch with `bootstrap_value`. concat()
+  /// fills this so that GAE / V-trace never bootstrap across the seam
+  /// between two different actors' rollouts.
+  struct Segment {
+    std::size_t start = 0;
+    float bootstrap = 0.0f;
+  };
+  std::vector<Segment> segments;
+
+  /// Segments with explicit end indices (resolves the implicit layout).
+  struct SegmentView {
+    std::size_t start = 0;
+    std::size_t end = 0;  ///< one past the last index
+    float bootstrap = 0.0f;
+  };
+  std::vector<SegmentView> segment_views() const;
+
+  /// Version of the actor policy μ that sampled this batch; the staleness
+  /// bookkeeping and IS truncation key off this.
+  std::uint64_t policy_version = 0;
+
+  // Filled by compute_gae():
+  Tensor advantages;  ///< (T)
+  Tensor value_targets;  ///< (T)
+
+  /// Episode returns completed while sampling this batch (for reward
+  /// curves).
+  std::vector<double> episode_returns;
+
+  std::size_t size() const { return rewards.numel(); }
+  bool has_advantages() const { return !advantages.empty(); }
+
+  /// Wire round-trip (the "pickle" of the system).
+  std::vector<std::uint8_t> serialize() const;
+  static SampleBatch deserialize(const std::vector<std::uint8_t>& bytes);
+
+  /// Concatenate batches (all must share layout and policy version rules
+  /// don't apply — used by learners that merge several actor submissions).
+  static SampleBatch concat(const std::vector<SampleBatch>& parts);
+
+  /// Rows `idx` as a new batch (for minibatch SGD).
+  SampleBatch select(const std::vector<std::size_t>& idx) const;
+};
+
+}  // namespace stellaris::rl

@@ -1,0 +1,51 @@
+#include "rl/vtrace.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace stellaris::rl {
+
+VtraceResult compute_vtrace(const Tensor& behaviour_logp,
+                            const Tensor& target_logp, const Tensor& rewards,
+                            const Tensor& dones, const Tensor& values,
+                            float bootstrap_value, double gamma,
+                            double rho_bar, double c_bar) {
+  const std::size_t n = rewards.numel();
+  STELLARIS_CHECK_MSG(n > 0 && behaviour_logp.numel() == n &&
+                          target_logp.numel() == n && dones.numel() == n &&
+                          values.numel() == n,
+                      "vtrace input sizes inconsistent");
+
+  VtraceResult out{Tensor({n}), Tensor({n})};
+  // Backward pass accumulating vs_{t+1} − V_{t+1}.
+  double vs_minus_v_next = 0.0;
+  double v_next = bootstrap_value;
+  double vs_next = bootstrap_value;
+  for (std::size_t t = n; t-- > 0;) {
+    const double not_done = dones[t] > 0.5f ? 0.0 : 1.0;
+    const double log_ratio =
+        std::clamp(static_cast<double>(target_logp[t]) -
+                       static_cast<double>(behaviour_logp[t]),
+                   -20.0, 20.0);
+    const double w = std::exp(log_ratio);
+    const double rho = std::min(rho_bar, w);
+    const double c = std::min(c_bar, w);
+
+    const double delta =
+        rho * (rewards[t] + gamma * v_next * not_done - values[t]);
+    const double vs =
+        values[t] + delta + gamma * c * not_done * vs_minus_v_next;
+    out.vs[t] = static_cast<float>(vs);
+    out.pg_advantages[t] = static_cast<float>(
+        rho * (rewards[t] + gamma * vs_next * not_done - values[t]));
+
+    vs_next = vs;
+    v_next = values[t];
+    vs_minus_v_next = vs - values[t];
+  }
+  return out;
+}
+
+}  // namespace stellaris::rl

@@ -1,0 +1,29 @@
+// V-trace off-policy correction (Espeholt et al., IMPALA, 2018), used by
+// the IMPACT integration (§VIII-B1): truncated importance weights turn
+// behaviour-policy returns into value targets and policy-gradient
+// advantages for the current (or target) policy.
+#pragma once
+
+#include "tensor/tensor.hpp"
+
+namespace stellaris::rl {
+
+struct VtraceResult {
+  Tensor vs;             ///< (T) corrected value targets
+  Tensor pg_advantages;  ///< (T) policy-gradient advantages
+};
+
+/// Compute V-trace targets.
+///   ρ_t = min(ρ̄, exp(target_logp_t − behaviour_logp_t))
+///   c_t = min(c̄, exp(target_logp_t − behaviour_logp_t))
+///   δ_t = ρ_t (r_t + γ·V_{t+1}·(1−d_t) − V_t)
+///   vs_t = V_t + δ_t + γ·c_t·(1−d_t)·(vs_{t+1} − V_{t+1})
+///   adv_t = ρ_t (r_t + γ·vs_{t+1}·(1−d_t) − V_t)
+/// `bootstrap_value` stands in for V_{T} when the batch is truncated.
+VtraceResult compute_vtrace(const Tensor& behaviour_logp,
+                            const Tensor& target_logp, const Tensor& rewards,
+                            const Tensor& dones, const Tensor& values,
+                            float bootstrap_value, double gamma,
+                            double rho_bar = 1.0, double c_bar = 1.0);
+
+}  // namespace stellaris::rl

@@ -1,0 +1,70 @@
+#include "serverless/container_pool.hpp"
+
+#include "util/error.hpp"
+
+namespace stellaris::serverless {
+
+ContainerPool::ContainerPool(std::size_t capacity, const LatencyModel& lat,
+                             std::uint64_t seed)
+    : slots_(capacity), lat_(lat), rng_(seed) {
+  STELLARIS_CHECK_MSG(capacity > 0, "container pool needs capacity > 0");
+}
+
+std::optional<ContainerPool::Acquisition> ContainerPool::acquire(double now) {
+  if (busy_count_ >= slots_.size()) return std::nullopt;
+  // Prefer a warm idle container; expire stale keep-alives on the way.
+  std::size_t cold_candidate = slots_.size();
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    Slot& s = slots_[i];
+    if (s.state == State::kWarmIdle && s.warm_until < now)
+      s.state = State::kCold;
+    if (s.state == State::kWarmIdle) {
+      s.state = State::kBusy;
+      ++busy_count_;
+      ++warm_starts_;
+      return Acquisition{i, lat_.jittered(lat_.warm_start_s, rng_), false};
+    }
+    if (s.state == State::kCold && cold_candidate == slots_.size())
+      cold_candidate = i;
+  }
+  STELLARIS_CHECK(cold_candidate < slots_.size());
+  slots_[cold_candidate].state = State::kBusy;
+  ++busy_count_;
+  ++cold_starts_;
+  return Acquisition{cold_candidate, lat_.jittered(lat_.cold_start_s, rng_),
+                     true};
+}
+
+void ContainerPool::release(std::size_t container_id, double now) {
+  STELLARIS_CHECK_MSG(container_id < slots_.size(), "bad container id");
+  Slot& s = slots_[container_id];
+  STELLARIS_CHECK_MSG(s.state == State::kBusy,
+                      "releasing a container that is not busy");
+  s.state = State::kWarmIdle;
+  s.warm_until = now + lat_.keep_alive_s;
+  --busy_count_;
+}
+
+std::size_t ContainerPool::prewarm(std::size_t n, double now) {
+  std::size_t warmed = 0;
+  for (auto& s : slots_) {
+    if (warmed == n) break;
+    if (s.state == State::kWarmIdle && s.warm_until < now)
+      s.state = State::kCold;
+    if (s.state == State::kCold) {
+      s.state = State::kWarmIdle;
+      s.warm_until = now + lat_.keep_alive_s;
+      ++warmed;
+    }
+  }
+  return warmed;
+}
+
+std::size_t ContainerPool::warm_idle(double now) const {
+  std::size_t n = 0;
+  for (const auto& s : slots_)
+    if (s.state == State::kWarmIdle && s.warm_until >= now) ++n;
+  return n;
+}
+
+}  // namespace stellaris::serverless

@@ -1,0 +1,65 @@
+// Container pool: the serverless function substrate.
+//
+// Models the lifecycle the paper implements with Docker on EC2 (§VII):
+// a fixed slot capacity per pool (learner slots per GPU, actor slots per
+// core), cold starts when no warm container exists, pre-warming ahead of
+// predicted invocations, and a keep-alive window (10 minutes, as in
+// OpenWhisk) after release before a container goes cold. Runs in virtual
+// time: callers pass `now` explicitly.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "serverless/latency_model.hpp"
+
+namespace stellaris::serverless {
+
+class ContainerPool {
+ public:
+  /// `capacity` = maximum concurrently running containers.
+  ContainerPool(std::size_t capacity, const LatencyModel& lat,
+                std::uint64_t seed);
+
+  struct Acquisition {
+    std::size_t container_id = 0;
+    double start_latency_s = 0.0;
+    bool cold = false;
+  };
+
+  /// Claim a container at virtual time `now`; nullopt if the pool is full.
+  std::optional<Acquisition> acquire(double now);
+
+  /// Return a container to the warm pool at `now`; it stays warm for the
+  /// keep-alive window.
+  void release(std::size_t container_id, double now);
+
+  /// Warm up to `n` idle containers at `now` (subject to capacity). Returns
+  /// how many were actually warmed. Pre-warm time is excluded from cost,
+  /// matching the paper's cost model.
+  std::size_t prewarm(std::size_t n, double now);
+
+  std::size_t capacity() const { return slots_.size(); }
+  std::size_t busy() const { return busy_count_; }
+  std::size_t warm_idle(double now) const;
+
+  std::uint64_t cold_starts() const { return cold_starts_; }
+  std::uint64_t warm_starts() const { return warm_starts_; }
+
+ private:
+  enum class State { kCold, kWarmIdle, kBusy };
+  struct Slot {
+    State state = State::kCold;
+    double warm_until = -1.0;
+  };
+
+  std::vector<Slot> slots_;
+  LatencyModel lat_;
+  Rng rng_;
+  std::size_t busy_count_ = 0;
+  std::uint64_t cold_starts_ = 0;
+  std::uint64_t warm_starts_ = 0;
+};
+
+}  // namespace stellaris::serverless

@@ -1,0 +1,59 @@
+#include "serverless/cost_meter.hpp"
+
+#include "util/error.hpp"
+
+namespace stellaris::serverless {
+
+const char* fn_kind_name(FnKind kind) {
+  switch (kind) {
+    case FnKind::kLearner: return "learner";
+    case FnKind::kParameter: return "parameter";
+    case FnKind::kActor: return "actor";
+  }
+  return "?";
+}
+
+CostMeter::PerKind& CostMeter::bucket(FnKind kind) {
+  switch (kind) {
+    case FnKind::kLearner: return learner_;
+    case FnKind::kParameter: return parameter_;
+    case FnKind::kActor: return actor_;
+  }
+  throw Error("bad FnKind");
+}
+
+const CostMeter::PerKind& CostMeter::bucket(FnKind kind) const {
+  return const_cast<CostMeter*>(this)->bucket(kind);
+}
+
+void CostMeter::record(FnKind kind, double unit_price_per_s,
+                       double duration_s) {
+  STELLARIS_CHECK_MSG(unit_price_per_s >= 0.0 && duration_s >= 0.0,
+                      "negative price or duration");
+  auto& b = bucket(kind);
+  b.cost += unit_price_per_s * duration_s;
+  b.seconds += duration_s;
+  ++b.count;
+}
+
+double CostMeter::cost(FnKind kind) const { return bucket(kind).cost; }
+
+double CostMeter::total_cost() const {
+  return learner_.cost + parameter_.cost + actor_.cost;
+}
+
+double CostMeter::busy_seconds(FnKind kind) const {
+  return bucket(kind).seconds;
+}
+
+std::uint64_t CostMeter::invocations(FnKind kind) const {
+  return bucket(kind).count;
+}
+
+void CostMeter::reset() {
+  learner_ = PerKind{};
+  parameter_ = PerKind{};
+  actor_ = PerKind{};
+}
+
+}  // namespace stellaris::serverless

@@ -1,0 +1,43 @@
+// Cost accounting per the paper's §VIII-A cost model: every function
+// invocation is charged (dollar-per-resource-second) × (execution seconds),
+// where the unit price is the VM hourly price divided by 3600 and by the
+// VM's maximum concurrent-function capacity. Pre-warming and keep-alive are
+// explicitly excluded, as in the paper. Costs are also split learner vs
+// actor for the stacked bars of Fig. 8.
+#pragma once
+
+#include <cstdint>
+
+namespace stellaris::serverless {
+
+enum class FnKind { kLearner, kParameter, kActor };
+
+const char* fn_kind_name(FnKind kind);
+
+class CostMeter {
+ public:
+  /// Charge one invocation: unit price ($/s) × execution duration (s).
+  void record(FnKind kind, double unit_price_per_s, double duration_s);
+
+  double cost(FnKind kind) const;
+  double total_cost() const;
+
+  /// Accumulated billable execution seconds per kind.
+  double busy_seconds(FnKind kind) const;
+  std::uint64_t invocations(FnKind kind) const;
+
+  void reset();
+
+ private:
+  struct PerKind {
+    double cost = 0.0;
+    double seconds = 0.0;
+    std::uint64_t count = 0;
+  };
+  PerKind& bucket(FnKind kind);
+  const PerKind& bucket(FnKind kind) const;
+
+  PerKind learner_, parameter_, actor_;
+};
+
+}  // namespace stellaris::serverless

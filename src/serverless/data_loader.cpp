@@ -1,0 +1,36 @@
+#include "serverless/data_loader.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace stellaris::serverless {
+
+GpuDataLoader::GpuDataLoader(const LatencyModel& latency, std::uint64_t seed)
+    : latency_(latency), rng_(seed) {}
+
+std::uint64_t GpuDataLoader::on_trajectory(double now, std::size_t bytes) {
+  const double transfer =
+      latency_.jittered(latency_.transfer_s(DataTier::kCache, bytes), rng_);
+  const std::uint64_t id = next_id_++;
+  in_flight_[id] = Transfer{now, now + transfer};
+  return id;
+}
+
+double GpuDataLoader::learner_wait_s(std::uint64_t id, double now) {
+  auto it = in_flight_.find(id);
+  STELLARIS_CHECK_MSG(it != in_flight_.end(),
+                      "unknown or already-claimed batch " << id);
+  const Transfer t = it->second;
+  in_flight_.erase(it);
+  if (t.ready <= now) {
+    ++hits_;
+    overlapped_s_ += t.ready - t.start;  // the whole transfer was hidden
+    return 0.0;
+  }
+  ++misses_;
+  overlapped_s_ += std::max(0.0, now - t.start);  // partial overlap
+  return t.ready - now;
+}
+
+}  // namespace stellaris::serverless

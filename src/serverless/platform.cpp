@@ -1,0 +1,109 @@
+#include "serverless/platform.hpp"
+
+#include "util/error.hpp"
+
+namespace stellaris::serverless {
+
+ServerlessPlatform::ServerlessPlatform(sim::Engine& engine,
+                                       ClusterSpec cluster,
+                                       LatencyModel latency,
+                                       std::uint64_t seed)
+    : engine_(engine),
+      cluster_(std::move(cluster)),
+      latency_(latency),
+      rng_(seed),
+      gpu_pool_(cluster_.learner_slots(), latency_, seed ^ 0x6b75ULL),
+      actor_pool_(std::max<std::size_t>(cluster_.actor_slots(), 1), latency_,
+                  seed ^ 0xac70ULL) {}
+
+ContainerPool& ServerlessPlatform::pool_for(FnKind kind) {
+  return kind == FnKind::kActor ? actor_pool_ : gpu_pool_;
+}
+
+std::deque<ServerlessPlatform::Pending>& ServerlessPlatform::queue_for(
+    FnKind kind) {
+  return kind == FnKind::kActor ? actor_queue_ : gpu_queue_;
+}
+
+double ServerlessPlatform::unit_price(FnKind kind) const {
+  // Parameter functions run on the GPU VMs at learner pricing.
+  return kind == FnKind::kActor ? cluster_.actor_unit_price()
+                                : cluster_.learner_unit_price();
+}
+
+void ServerlessPlatform::invoke(const InvokeOptions& options, Callback cb) {
+  queue_for(options.kind).push_back(
+      Pending{options, std::move(cb), engine_.now()});
+  try_dispatch(options.kind);
+}
+
+void ServerlessPlatform::try_dispatch(FnKind kind) {
+  auto& queue = queue_for(kind);
+  auto& pool = pool_for(kind);
+  while (!queue.empty() && pool.busy() < pool.capacity()) {
+    Pending p = std::move(queue.front());
+    queue.pop_front();
+    dispatch(std::move(p));
+  }
+}
+
+void ServerlessPlatform::dispatch(Pending pending) {
+  const FnKind kind = pending.options.kind;
+  auto& pool = pool_for(kind);
+  auto acq = pool.acquire(engine_.now());
+  STELLARIS_CHECK(acq.has_value());  // try_dispatch checked capacity
+
+  InvokeResult result;
+  result.submit_time_s = pending.submit_time;
+  result.start_time_s = engine_.now();
+  result.cold = acq->cold;
+  result.start_latency_s = acq->start_latency_s;
+  if (pending.options.on_start) pending.options.on_start(result.start_time_s);
+
+  const double transfer_in = latency_.transfer_s(
+      pending.options.tier, pending.options.payload_in_bytes);
+  const double transfer_out = latency_.transfer_s(
+      pending.options.tier, pending.options.payload_out_bytes);
+  result.transfer_s = transfer_in + transfer_out;
+  result.compute_s = latency_.jittered(pending.options.compute_s, rng_);
+
+  const double duration = latency_.invoke_overhead_s +
+                          result.start_latency_s + result.transfer_s +
+                          result.compute_s;
+  result.end_time_s = engine_.now() + duration;
+  result.billed_s = duration;
+  result.cost_usd = unit_price(kind) * result.billed_s;
+
+  const std::size_t container = acq->container_id;
+  auto cb = std::move(pending.cb);
+  engine_.schedule_after(duration, [this, kind, container, result,
+                                    cb = std::move(cb)] {
+    costs_.record(kind, unit_price(kind), result.billed_s);
+    if (kind != FnKind::kActor) learner_busy_s_ += result.billed_s;
+    pool_for(kind).release(container, engine_.now());
+    if (cb) cb(result);
+    try_dispatch(kind);
+  });
+}
+
+std::size_t ServerlessPlatform::prewarm_learners(std::size_t n) {
+  return gpu_pool_.prewarm(n, engine_.now());
+}
+
+std::size_t ServerlessPlatform::prewarm_actors(std::size_t n) {
+  return actor_pool_.prewarm(n, engine_.now());
+}
+
+double ServerlessPlatform::gpu_utilization() const {
+  const double elapsed = engine_.now();
+  if (elapsed <= 0.0) return 0.0;
+  const double slot_seconds =
+      static_cast<double>(gpu_pool_.capacity()) * elapsed;
+  return learner_busy_s_ / slot_seconds;
+}
+
+std::size_t ServerlessPlatform::queued(FnKind kind) const {
+  return kind == FnKind::kActor ? actor_queue_.size() : gpu_queue_.size();
+}
+
+}  // namespace stellaris::serverless

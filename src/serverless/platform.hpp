@@ -1,0 +1,101 @@
+// ServerlessPlatform: the function invoker tying together the virtual-time
+// engine, container pools, latency model, and cost meter.
+//
+// Learner and parameter functions share the GPU slot pool (capacity =
+// GPUs × slots-per-GPU); actors get the CPU-core pool. Invocations that
+// find the pool full queue FIFO and dispatch as slots free — the queueing
+// that makes learner count vs. learning time non-linear in Fig. 3(a).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+
+#include "serverless/cluster.hpp"
+#include "serverless/container_pool.hpp"
+#include "serverless/cost_meter.hpp"
+#include "serverless/latency_model.hpp"
+#include "sim/engine.hpp"
+
+namespace stellaris::serverless {
+
+class ServerlessPlatform {
+ public:
+  ServerlessPlatform(sim::Engine& engine, ClusterSpec cluster,
+                     LatencyModel latency, std::uint64_t seed);
+
+  struct InvokeOptions {
+    FnKind kind = FnKind::kLearner;
+    double compute_s = 0.0;               ///< pre-jitter compute duration
+    std::size_t payload_in_bytes = 0;     ///< input fetched before compute
+    std::size_t payload_out_bytes = 0;    ///< output written after compute
+    DataTier tier = DataTier::kCache;
+    /// Fires when the container is acquired (after any queueing) — the
+    /// moment a function "pulls the latest policy" in the paper's workflow.
+    std::function<void(double start_time_s)> on_start;
+  };
+
+  struct InvokeResult {
+    double submit_time_s = 0.0;
+    double start_time_s = 0.0;  ///< container acquired (after queueing)
+    double end_time_s = 0.0;
+    bool cold = false;
+    double start_latency_s = 0.0;
+    double transfer_s = 0.0;
+    double compute_s = 0.0;
+    double billed_s = 0.0;
+    double cost_usd = 0.0;
+  };
+  using Callback = std::function<void(const InvokeResult&)>;
+
+  /// Submit an invocation; `cb` fires (in virtual time) at completion.
+  void invoke(const InvokeOptions& options, Callback cb);
+
+  /// Pre-warm up to n learner-pool containers (free of charge, per the
+  /// paper's cost model).
+  std::size_t prewarm_learners(std::size_t n);
+  std::size_t prewarm_actors(std::size_t n);
+
+  double now() const { return engine_.now(); }
+  sim::Engine& engine() { return engine_; }
+  const ClusterSpec& cluster() const { return cluster_; }
+  const LatencyModel& latency() const { return latency_; }
+  CostMeter& costs() { return costs_; }
+  const CostMeter& costs() const { return costs_; }
+
+  /// Busy-slot-seconds accumulated by completed + running learner
+  /// invocations up to `now` divided by slots × elapsed: the GPU
+  /// utilization metric of Fig. 3(a).
+  double gpu_utilization() const;
+
+  std::uint64_t learner_cold_starts() const { return gpu_pool_.cold_starts(); }
+  std::uint64_t learner_warm_starts() const { return gpu_pool_.warm_starts(); }
+  std::size_t queued(FnKind kind) const;
+
+ private:
+  struct Pending {
+    InvokeOptions options;
+    Callback cb;
+    double submit_time;
+  };
+
+  ContainerPool& pool_for(FnKind kind);
+  std::deque<Pending>& queue_for(FnKind kind);
+  double unit_price(FnKind kind) const;
+  void try_dispatch(FnKind kind);
+  void dispatch(Pending pending);
+
+  sim::Engine& engine_;
+  ClusterSpec cluster_;
+  LatencyModel latency_;
+  Rng rng_;
+  ContainerPool gpu_pool_;
+  ContainerPool actor_pool_;
+  std::deque<Pending> gpu_queue_;
+  std::deque<Pending> actor_queue_;
+  CostMeter costs_;
+  double learner_busy_s_ = 0.0;
+};
+
+}  // namespace stellaris::serverless

@@ -1,0 +1,72 @@
+#include "serverless/profiler.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace stellaris::serverless {
+
+FunctionProfiler::FunctionProfiler(double headroom) : headroom_(headroom) {
+  STELLARIS_CHECK_MSG(headroom >= 1.0, "headroom must be >= 1");
+}
+
+FunctionProfiler::PerKind& FunctionProfiler::bucket(FnKind kind) {
+  switch (kind) {
+    case FnKind::kLearner: return learner_;
+    case FnKind::kParameter: return parameter_;
+    case FnKind::kActor: return actor_;
+  }
+  throw Error("bad FnKind");
+}
+
+const FunctionProfiler::PerKind& FunctionProfiler::bucket(FnKind kind) const {
+  return const_cast<FunctionProfiler*>(this)->bucket(kind);
+}
+
+void FunctionProfiler::record(FnKind kind, double start_time_s,
+                              double duration_s) {
+  STELLARIS_CHECK_MSG(duration_s >= 0.0, "negative duration");
+  auto& b = bucket(kind);
+  if (b.count == 0) b.first_start = start_time_s;
+  b.last_start = std::max(b.last_start, start_time_s);
+  b.durations.add(duration_s);
+  b.duration_samples.push_back(duration_s);
+  ++b.count;
+}
+
+std::size_t FunctionProfiler::samples(FnKind kind) const {
+  return bucket(kind).count;
+}
+
+std::optional<double> FunctionProfiler::expected_duration_s(
+    FnKind kind) const {
+  const auto& b = bucket(kind);
+  if (b.count == 0) return std::nullopt;
+  return b.durations.mean();
+}
+
+std::optional<double> FunctionProfiler::duration_percentile_s(
+    FnKind kind, double q) const {
+  const auto& b = bucket(kind);
+  if (b.count == 0) return std::nullopt;
+  return percentile(b.duration_samples, q);
+}
+
+double FunctionProfiler::arrival_rate_hz(FnKind kind) const {
+  const auto& b = bucket(kind);
+  if (b.count < 2) return 0.0;
+  const double span = b.last_start - b.first_start;
+  if (span <= 0.0) return 0.0;
+  return static_cast<double>(b.count - 1) / span;
+}
+
+std::size_t FunctionProfiler::recommended_prewarm(FnKind kind) const {
+  const auto duration = expected_duration_s(kind);
+  const double rate = arrival_rate_hz(kind);
+  if (!duration || rate <= 0.0) return 0;
+  // Little's law: mean concurrency = λ · W, padded for bursts.
+  return static_cast<std::size_t>(
+      std::ceil(rate * *duration * headroom_));
+}
+
+}  // namespace stellaris::serverless

@@ -1,0 +1,61 @@
+// Function profiler (§VII): Stellaris profiles the execution time and
+// resource demand of parameter and learner functions during training and
+// uses the estimates to pre-warm containers ahead of predicted invocations.
+//
+// The profiler ingests completed-invocation records, maintains per-kind
+// duration statistics and an arrival-rate estimate, and answers the two
+// questions the orchestrator asks:
+//   - expected_duration(kind): how long will the next invocation run?
+//   - recommended_prewarm(kind): how many containers should be kept warm
+//     (Little's law: arrival rate × expected duration, with headroom)?
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "serverless/cost_meter.hpp"
+#include "util/stats.hpp"
+
+namespace stellaris::serverless {
+
+class FunctionProfiler {
+ public:
+  /// `headroom` multiplies the Little's-law estimate so bursts don't cold
+  /// start (the paper pre-warms "based on estimated completion time").
+  explicit FunctionProfiler(double headroom = 1.25);
+
+  /// Record a completed invocation.
+  void record(FnKind kind, double start_time_s, double duration_s);
+
+  std::size_t samples(FnKind kind) const;
+
+  /// Mean observed duration; nullopt until the first sample.
+  std::optional<double> expected_duration_s(FnKind kind) const;
+
+  /// p-quantile of observed durations (for completion-time estimates).
+  std::optional<double> duration_percentile_s(FnKind kind, double q) const;
+
+  /// Observed arrival rate (invocations per second since the first record).
+  double arrival_rate_hz(FnKind kind) const;
+
+  /// Containers to keep warm: ceil(rate × duration × headroom); 0 until
+  /// enough samples exist to estimate both.
+  std::size_t recommended_prewarm(FnKind kind) const;
+
+ private:
+  struct PerKind {
+    RunningStat durations;
+    std::vector<double> duration_samples;
+    double first_start = 0.0;
+    double last_start = 0.0;
+    std::size_t count = 0;
+  };
+  PerKind& bucket(FnKind kind);
+  const PerKind& bucket(FnKind kind) const;
+
+  double headroom_;
+  PerKind learner_, parameter_, actor_;
+};
+
+}  // namespace stellaris::serverless

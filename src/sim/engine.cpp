@@ -1,0 +1,41 @@
+#include "sim/engine.hpp"
+
+#include "util/error.hpp"
+
+namespace stellaris::sim {
+
+void Engine::schedule_at(SimTime t, std::function<void()> fn) {
+  STELLARIS_CHECK_MSG(t >= now_, "scheduling into the past: t=" << t
+                                                                << " now="
+                                                                << now_);
+  queue_.push(Event{t, next_seq_++, std::move(fn)});
+}
+
+void Engine::schedule_after(SimTime delay, std::function<void()> fn) {
+  STELLARIS_CHECK_MSG(delay >= 0.0, "negative delay " << delay);
+  schedule_at(now_ + delay, std::move(fn));
+}
+
+bool Engine::step() {
+  if (queue_.empty()) return false;
+  // priority_queue::top() is const; move out via const_cast is UB-adjacent,
+  // so copy the function handle (cheap: shared state inside std::function).
+  Event ev = queue_.top();
+  queue_.pop();
+  now_ = ev.t;
+  ++executed_;
+  ev.fn();
+  return true;
+}
+
+void Engine::run() {
+  while (step()) {
+  }
+}
+
+void Engine::run_until(SimTime deadline) {
+  while (!queue_.empty() && queue_.top().t <= deadline) step();
+  if (now_ < deadline && queue_.empty()) now_ = deadline;
+}
+
+}  // namespace stellaris::sim

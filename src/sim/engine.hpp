@@ -1,0 +1,63 @@
+// Deterministic discrete-event simulation engine.
+//
+// The benchmark harness replays the paper's cluster (GPUs, actors,
+// serverless invocations, cache round-trips) in *virtual time*: every
+// latency is an event scheduled on this engine, so an entire training run
+// is exactly reproducible regardless of host core count. Events at equal
+// timestamps execute in schedule order (a monotone sequence number breaks
+// ties), which pins the interleaving of concurrent learner completions —
+// exactly the source of staleness the paper studies.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace stellaris::sim {
+
+/// Virtual time in seconds.
+using SimTime = double;
+
+class Engine {
+ public:
+  SimTime now() const { return now_; }
+
+  /// Schedule `fn` at absolute virtual time `t` (>= now).
+  void schedule_at(SimTime t, std::function<void()> fn);
+
+  /// Schedule `fn` `delay` seconds from now.
+  void schedule_after(SimTime delay, std::function<void()> fn);
+
+  /// Execute the single earliest event; returns false if none remain.
+  bool step();
+
+  /// Run until the event queue is empty.
+  void run();
+
+  /// Run until the queue is empty or virtual time would exceed `deadline`.
+  void run_until(SimTime deadline);
+
+  std::size_t pending_events() const { return queue_.size(); }
+  std::uint64_t executed_events() const { return executed_; }
+
+ private:
+  struct Event {
+    SimTime t;
+    std::uint64_t seq;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.t != b.t) return a.t > b.t;
+      return a.seq > b.seq;
+    }
+  };
+
+  SimTime now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace stellaris::sim

@@ -1,0 +1,70 @@
+// Tensor kernels: matrix products, activations, softmax family, and the
+// im2col lowering used by the convolution layer.
+//
+// All kernels are plain loops written for the autovectorizer (contiguous
+// inner dimensions, no aliasing through spans); correctness is pinned by
+// unit tests against hand-computed values and finite-difference checks in
+// the nn test suite.
+#pragma once
+
+#include <cstddef>
+
+#include "tensor/tensor.hpp"
+
+namespace stellaris::ops {
+
+/// C = A (m×k) * B (k×n).
+Tensor matmul(const Tensor& a, const Tensor& b);
+
+/// C = Aᵀ (k×m becomes m×k) * B — used in backward passes without
+/// materializing transposes.
+Tensor matmul_tn(const Tensor& a, const Tensor& b);
+
+/// C = A * Bᵀ.
+Tensor matmul_nt(const Tensor& a, const Tensor& b);
+
+/// y = x (m×n) with row-broadcast bias (n) added.
+void add_bias_rows(Tensor& x, const Tensor& bias);
+
+/// Column-sum of a 2-D tensor -> 1-D (n); the bias gradient.
+Tensor sum_rows(const Tensor& x);
+
+// -- activations (out-of-place forward, gradient helpers) -------------------
+Tensor tanh_forward(const Tensor& x);
+/// dx = dy * (1 - y²) where y = tanh(x) from the forward pass.
+Tensor tanh_backward(const Tensor& y, const Tensor& dy);
+
+Tensor relu_forward(const Tensor& x);
+/// dx = dy ⊙ 1[x > 0].
+Tensor relu_backward(const Tensor& x, const Tensor& dy);
+
+// -- softmax family (row-wise over 2-D tensors) ------------------------------
+/// Row-wise softmax with max-subtraction for stability.
+Tensor softmax_rows(const Tensor& logits);
+/// Row-wise log-softmax.
+Tensor log_softmax_rows(const Tensor& logits);
+
+// -- convolution lowering -----------------------------------------------------
+/// Parameters of a 2-D convolution (square kernel/stride, zero padding).
+struct Conv2dSpec {
+  std::size_t in_channels = 0;
+  std::size_t out_channels = 0;
+  std::size_t in_h = 0;
+  std::size_t in_w = 0;
+  std::size_t kernel = 0;
+  std::size_t stride = 1;
+  std::size_t padding = 0;
+
+  std::size_t out_h() const { return (in_h + 2 * padding - kernel) / stride + 1; }
+  std::size_t out_w() const { return (in_w + 2 * padding - kernel) / stride + 1; }
+};
+
+/// Lower an input batch (N, C·H·W flattened rows) into the im2col matrix
+/// with shape (N·out_h·out_w, C·k·k): each row is one receptive field.
+Tensor im2col(const Tensor& input, const Conv2dSpec& spec);
+
+/// Inverse scatter of im2col — accumulates column gradients back into the
+/// input-gradient layout (N, C·H·W).
+Tensor col2im(const Tensor& cols, const Conv2dSpec& spec, std::size_t batch);
+
+}  // namespace stellaris::ops

@@ -1,0 +1,113 @@
+// Dense float32 tensor with value semantics.
+//
+// This is the numeric substrate beneath the neural-network layers: a shape
+// plus contiguous row-major storage. It deliberately has no strides, views,
+// or broadcasting zoo — the NN layers in src/nn/ only need contiguous 1–4D
+// tensors, and keeping storage contiguous makes the serialization and
+// gradient-flattening paths trivial and fast.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace stellaris {
+
+class Rng;
+
+/// Shape of a tensor: up to 4 dimensions in practice (N, C, H, W).
+using Shape = std::vector<std::size_t>;
+
+/// Number of elements implied by a shape (0 for the empty shape — this
+/// library has no rank-0 scalars; the empty shape denotes the empty tensor).
+std::size_t shape_numel(const Shape& shape);
+
+/// Human-readable "[a, b, c]".
+std::string shape_str(const Shape& shape);
+
+class Tensor {
+ public:
+  /// Empty tensor (numel 0, rank 0). Distinct from a scalar.
+  Tensor() = default;
+
+  /// Zero-initialized tensor of the given shape.
+  explicit Tensor(Shape shape);
+
+  /// Tensor with the given shape and explicit data (size must match).
+  Tensor(Shape shape, std::vector<float> data);
+
+  // -- factories ----------------------------------------------------------
+  /// 1-D tensor from explicit values — handy in tests. A named factory (not
+  /// an initializer_list constructor) so `Tensor({m, n})` always means the
+  /// Shape constructor.
+  static Tensor of(std::initializer_list<float> values);
+  static Tensor zeros(Shape shape);
+  static Tensor full(Shape shape, float value);
+  static Tensor ones(Shape shape);
+  /// I.i.d. N(0, stddev^2) entries.
+  static Tensor randn(Shape shape, Rng& rng, float stddev = 1.0f);
+  /// Uniform in [lo, hi).
+  static Tensor rand_uniform(Shape shape, Rng& rng, float lo, float hi);
+
+  // -- introspection -------------------------------------------------------
+  const Shape& shape() const { return shape_; }
+  std::size_t rank() const { return shape_.size(); }
+  std::size_t numel() const { return data_.size(); }
+  std::size_t dim(std::size_t i) const;
+  bool empty() const { return data_.empty(); }
+  bool same_shape(const Tensor& other) const { return shape_ == other.shape_; }
+
+  std::span<float> data() { return data_; }
+  std::span<const float> data() const { return data_; }
+  std::vector<float>& vec() { return data_; }
+  const std::vector<float>& vec() const { return data_; }
+
+  // -- element access (row-major) ------------------------------------------
+  float& operator[](std::size_t i) { return data_[i]; }
+  float operator[](std::size_t i) const { return data_[i]; }
+  float& at(std::size_t i, std::size_t j);
+  float at(std::size_t i, std::size_t j) const;
+  float& at3(std::size_t i, std::size_t j, std::size_t k);
+  float at3(std::size_t i, std::size_t j, std::size_t k) const;
+
+  /// Reinterpret to a new shape with identical numel.
+  Tensor reshaped(Shape shape) const;
+
+  /// Row `i` of a 2-D tensor as a span (no copy).
+  std::span<const float> row(std::size_t i) const;
+  std::span<float> row(std::size_t i);
+
+  // -- in-place arithmetic ---------------------------------------------------
+  Tensor& operator+=(const Tensor& other);
+  Tensor& operator-=(const Tensor& other);
+  Tensor& operator*=(float s);
+  Tensor& add_scaled(const Tensor& other, float s);  ///< this += s * other
+  Tensor& fill(float v);
+  Tensor& zero() { return fill(0.0f); }
+
+  // -- reductions ------------------------------------------------------------
+  float sum() const;
+  float mean() const;
+  float min() const;
+  float max() const;
+  /// L2 norm of the flattened tensor.
+  float norm() const;
+  /// True if every element is finite.
+  bool all_finite() const;
+
+ private:
+  Shape shape_;
+  std::vector<float> data_;
+};
+
+// Out-of-place arithmetic (shape-checked).
+Tensor operator+(Tensor a, const Tensor& b);
+Tensor operator-(Tensor a, const Tensor& b);
+Tensor operator*(Tensor a, float s);
+Tensor operator*(float s, Tensor a);
+
+}  // namespace stellaris

@@ -1,0 +1,106 @@
+#include "util/csv.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace stellaris {
+
+Table::Table(std::vector<std::string> columns) : columns_(std::move(columns)) {
+  STELLARIS_CHECK_MSG(!columns_.empty(), "table needs at least one column");
+}
+
+Table& Table::row() {
+  if (!rows_.empty()) {
+    STELLARIS_CHECK_MSG(rows_.back().size() == columns_.size(),
+                        "previous row incomplete: " << rows_.back().size()
+                                                    << "/" << columns_.size());
+  }
+  rows_.emplace_back();
+  rows_.back().reserve(columns_.size());
+  return *this;
+}
+
+Table& Table::add(const std::string& cell) {
+  STELLARIS_CHECK_MSG(!rows_.empty(), "call row() before add()");
+  STELLARIS_CHECK_MSG(rows_.back().size() < columns_.size(),
+                      "row already full");
+  rows_.back().push_back(cell);
+  return *this;
+}
+
+Table& Table::add(double value, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << value;
+  return add(os.str());
+}
+
+Table& Table::add(std::size_t value) { return add(std::to_string(value)); }
+Table& Table::add(long long value) { return add(std::to_string(value)); }
+
+namespace {
+std::string csv_escape(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += '"';
+  return out;
+}
+}  // namespace
+
+void Table::write_csv(std::ostream& os) const {
+  for (std::size_t i = 0; i < columns_.size(); ++i)
+    os << (i ? "," : "") << csv_escape(columns_[i]);
+  os << '\n';
+  for (const auto& r : rows_) {
+    for (std::size_t i = 0; i < r.size(); ++i)
+      os << (i ? "," : "") << csv_escape(r[i]);
+    os << '\n';
+  }
+}
+
+void Table::write_pretty(std::ostream& os) const {
+  std::vector<std::size_t> widths(columns_.size());
+  for (std::size_t i = 0; i < columns_.size(); ++i)
+    widths[i] = columns_[i].size();
+  for (const auto& r : rows_)
+    for (std::size_t i = 0; i < r.size(); ++i)
+      widths[i] = std::max(widths[i], r[i].size());
+
+  auto line = [&](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < columns_.size(); ++i) {
+      const std::string& c = i < cells.size() ? cells[i] : std::string{};
+      os << "| " << std::left << std::setw(static_cast<int>(widths[i])) << c
+         << ' ';
+    }
+    os << "|\n";
+  };
+  line(columns_);
+  for (std::size_t i = 0; i < columns_.size(); ++i)
+    os << "|" << std::string(widths[i] + 2, '-');
+  os << "|\n";
+  for (const auto& r : rows_) line(r);
+}
+
+void Table::emit(const std::string& title, const std::string& csv_path) const {
+  std::cout << "\n== " << title << " ==\n";
+  write_pretty(std::cout);
+  if (!csv_path.empty()) {
+    std::ofstream f(csv_path);
+    if (f) {
+      write_csv(f);
+      std::cout << "(csv written to " << csv_path << ")\n";
+    } else {
+      std::cout << "(warning: could not open " << csv_path << ")\n";
+    }
+  }
+  std::cout.flush();
+}
+
+}  // namespace stellaris

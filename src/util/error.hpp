@@ -1,0 +1,74 @@
+// Error handling primitives shared by every Stellaris module.
+//
+// Policy (per C++ Core Guidelines E.2/E.3): programming errors and violated
+// preconditions throw `stellaris::Error`, which carries the failing
+// expression and location. Hot loops use STELLARIS_DCHECK, compiled out in
+// release builds.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace stellaris {
+
+/// Base exception for all Stellaris failures.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when a shape/dimension contract between tensors is violated.
+class ShapeError : public Error {
+ public:
+  explicit ShapeError(const std::string& what) : Error(what) {}
+};
+
+/// Thrown when a cache lookup misses or times out.
+class CacheError : public Error {
+ public:
+  explicit CacheError(const std::string& what) : Error(what) {}
+};
+
+/// Thrown on invalid training / cluster configuration.
+class ConfigError : public Error {
+ public:
+  explicit ConfigError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void fail_check(const char* expr, const char* file,
+                                    int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "check failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+}  // namespace detail
+
+}  // namespace stellaris
+
+/// Always-on invariant check; throws stellaris::Error on failure.
+#define STELLARIS_CHECK(expr)                                              \
+  do {                                                                     \
+    if (!(expr)) ::stellaris::detail::fail_check(#expr, __FILE__, __LINE__, \
+                                                 "");                      \
+  } while (0)
+
+/// Always-on invariant check with a streamed message.
+#define STELLARIS_CHECK_MSG(expr, msg)                                \
+  do {                                                                \
+    if (!(expr)) {                                                    \
+      std::ostringstream os_;                                         \
+      os_ << msg;                                                     \
+      ::stellaris::detail::fail_check(#expr, __FILE__, __LINE__,      \
+                                      os_.str());                     \
+    }                                                                 \
+  } while (0)
+
+/// Debug-only check for hot paths; disappears when NDEBUG is defined.
+#ifdef NDEBUG
+#define STELLARIS_DCHECK(expr) ((void)0)
+#else
+#define STELLARIS_DCHECK(expr) STELLARIS_CHECK(expr)
+#endif

@@ -1,0 +1,64 @@
+// Minimal leveled logger.
+//
+// Thread-safe (one mutex around the sink), with a process-wide level so the
+// benchmark harness can silence training chatter. Messages are composed via
+// streaming into a temporary, so disabled levels cost a branch.
+#pragma once
+
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace stellaris {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global log configuration. Defaults to kInfo on stderr.
+class Logger {
+ public:
+  static Logger& instance();
+
+  void set_level(LogLevel level);
+  LogLevel level() const;
+
+  /// Emit a pre-formatted line at `level` (no-op below threshold).
+  void write(LogLevel level, const std::string& msg);
+
+ private:
+  Logger() = default;
+  mutable std::mutex mu_;
+  LogLevel level_ = LogLevel::kInfo;
+};
+
+namespace detail {
+/// RAII line builder: streams into a buffer, flushes on destruction.
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { Logger::instance().write(level_, os_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+}  // namespace stellaris
+
+#define STELLARIS_LOG(severity)                                    \
+  if (static_cast<int>(::stellaris::Logger::instance().level()) <= \
+      static_cast<int>(::stellaris::LogLevel::severity))           \
+  ::stellaris::detail::LogLine(::stellaris::LogLevel::severity)
+
+#define LOG_DEBUG STELLARIS_LOG(kDebug)
+#define LOG_INFO STELLARIS_LOG(kInfo)
+#define LOG_WARN STELLARIS_LOG(kWarn)
+#define LOG_ERROR STELLARIS_LOG(kError)

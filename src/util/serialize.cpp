@@ -1,0 +1,139 @@
+#include "util/serialize.hpp"
+
+namespace stellaris {
+
+namespace {
+template <typename T>
+void append_raw(std::vector<std::uint8_t>& buf, T v) {
+  const auto* p = reinterpret_cast<const std::uint8_t*>(&v);
+  buf.insert(buf.end(), p, p + sizeof(T));
+}
+}  // namespace
+
+void ByteWriter::put_u32(std::uint32_t v) {
+  buf_.push_back(wire::kU32);
+  append_raw(buf_, v);
+}
+
+void ByteWriter::put_u64(std::uint64_t v) {
+  buf_.push_back(wire::kU64);
+  append_raw(buf_, v);
+}
+
+void ByteWriter::put_i64(std::int64_t v) {
+  buf_.push_back(wire::kI64);
+  append_raw(buf_, v);
+}
+
+void ByteWriter::put_f32(float v) {
+  buf_.push_back(wire::kF32);
+  append_raw(buf_, v);
+}
+
+void ByteWriter::put_f64(double v) {
+  buf_.push_back(wire::kF64);
+  append_raw(buf_, v);
+}
+
+void ByteWriter::put_string(const std::string& s) {
+  buf_.push_back(wire::kString);
+  append_raw(buf_, static_cast<std::uint32_t>(s.size()));
+  buf_.insert(buf_.end(), s.begin(), s.end());
+}
+
+void ByteWriter::put_f32_vector(const std::vector<float>& v) {
+  buf_.push_back(wire::kF32Vec);
+  append_raw(buf_, static_cast<std::uint64_t>(v.size()));
+  const auto* p = reinterpret_cast<const std::uint8_t*>(v.data());
+  buf_.insert(buf_.end(), p, p + v.size() * sizeof(float));
+}
+
+void ByteWriter::put_f64_vector(const std::vector<double>& v) {
+  buf_.push_back(wire::kF64Vec);
+  append_raw(buf_, static_cast<std::uint64_t>(v.size()));
+  const auto* p = reinterpret_cast<const std::uint8_t*>(v.data());
+  buf_.insert(buf_.end(), p, p + v.size() * sizeof(double));
+}
+
+void ByteWriter::put_u64_vector(const std::vector<std::uint64_t>& v) {
+  buf_.push_back(wire::kU64Vec);
+  append_raw(buf_, static_cast<std::uint64_t>(v.size()));
+  const auto* p = reinterpret_cast<const std::uint8_t*>(v.data());
+  buf_.insert(buf_.end(), p, p + v.size() * sizeof(std::uint64_t));
+}
+
+namespace {
+void expect_tag(std::uint8_t got, std::uint8_t want, const char* what) {
+  if (got != want)
+    throw Error(std::string("wire tag mismatch decoding ") + what +
+                ": got 0x" + std::to_string(got));
+}
+}  // namespace
+
+std::uint8_t ByteReader::get_u8() { return raw<std::uint8_t>(); }
+
+std::uint32_t ByteReader::get_u32() {
+  expect_tag(get_u8(), wire::kU32, "u32");
+  return raw<std::uint32_t>();
+}
+
+std::uint64_t ByteReader::get_u64() {
+  expect_tag(get_u8(), wire::kU64, "u64");
+  return raw<std::uint64_t>();
+}
+
+std::int64_t ByteReader::get_i64() {
+  expect_tag(get_u8(), wire::kI64, "i64");
+  return raw<std::int64_t>();
+}
+
+float ByteReader::get_f32() {
+  expect_tag(get_u8(), wire::kF32, "f32");
+  return raw<float>();
+}
+
+double ByteReader::get_f64() {
+  expect_tag(get_u8(), wire::kF64, "f64");
+  return raw<double>();
+}
+
+std::string ByteReader::get_string() {
+  expect_tag(get_u8(), wire::kString, "string");
+  const auto n = raw<std::uint32_t>();
+  need(n);
+  std::string s(reinterpret_cast<const char*>(data_ + pos_), n);
+  pos_ += n;
+  return s;
+}
+
+std::vector<float> ByteReader::get_f32_vector() {
+  expect_tag(get_u8(), wire::kF32Vec, "f32vec");
+  const auto n = raw<std::uint64_t>();
+  need(n * sizeof(float));
+  std::vector<float> v(n);
+  std::memcpy(v.data(), data_ + pos_, n * sizeof(float));
+  pos_ += n * sizeof(float);
+  return v;
+}
+
+std::vector<double> ByteReader::get_f64_vector() {
+  expect_tag(get_u8(), wire::kF64Vec, "f64vec");
+  const auto n = raw<std::uint64_t>();
+  need(n * sizeof(double));
+  std::vector<double> v(n);
+  std::memcpy(v.data(), data_ + pos_, n * sizeof(double));
+  pos_ += n * sizeof(double);
+  return v;
+}
+
+std::vector<std::uint64_t> ByteReader::get_u64_vector() {
+  expect_tag(get_u8(), wire::kU64Vec, "u64vec");
+  const auto n = raw<std::uint64_t>();
+  need(n * sizeof(std::uint64_t));
+  std::vector<std::uint64_t> v(n);
+  std::memcpy(v.data(), data_ + pos_, n * sizeof(std::uint64_t));
+  pos_ += n * sizeof(std::uint64_t);
+  return v;
+}
+
+}  // namespace stellaris

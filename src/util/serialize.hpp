@@ -1,0 +1,98 @@
+// Binary serialization codec — the stand-in for the Python pickle layer the
+// paper uses between actors, learners, and the distributed cache.
+//
+// Little-endian, length-prefixed, with a per-type tag byte so decoding
+// errors are caught instead of silently misreading. Payload sizes reported
+// by the codec feed the data-passing latency model (bytes / bandwidth).
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace stellaris {
+
+/// Growable byte sink.
+class ByteWriter {
+ public:
+  const std::vector<std::uint8_t>& bytes() const { return buf_; }
+  std::vector<std::uint8_t> take() { return std::move(buf_); }
+  std::size_t size() const { return buf_.size(); }
+
+  void put_u8(std::uint8_t v) { buf_.push_back(v); }
+  void put_u32(std::uint32_t v);
+  void put_u64(std::uint64_t v);
+  void put_i64(std::int64_t v);
+  void put_f32(float v);
+  void put_f64(double v);
+  void put_string(const std::string& s);
+  void put_f32_vector(const std::vector<float>& v);
+  void put_f64_vector(const std::vector<double>& v);
+  void put_u64_vector(const std::vector<std::uint64_t>& v);
+
+ private:
+  std::vector<std::uint8_t> buf_;
+};
+
+/// Sequential reader over an immutable byte span; throws Error on any
+/// tag mismatch or overrun.
+class ByteReader {
+ public:
+  explicit ByteReader(const std::vector<std::uint8_t>& buf)
+      : data_(buf.data()), size_(buf.size()) {}
+  ByteReader(const std::uint8_t* data, std::size_t size)
+      : data_(data), size_(size) {}
+
+  bool exhausted() const { return pos_ == size_; }
+  std::size_t remaining() const { return size_ - pos_; }
+
+  std::uint8_t get_u8();
+  std::uint32_t get_u32();
+  std::uint64_t get_u64();
+  std::int64_t get_i64();
+  float get_f32();
+  double get_f64();
+  std::string get_string();
+  std::vector<float> get_f32_vector();
+  std::vector<double> get_f64_vector();
+  std::vector<std::uint64_t> get_u64_vector();
+
+ private:
+  void need(std::size_t n) const {
+    if (pos_ + n > size_)
+      throw Error("ByteReader overrun: need " + std::to_string(n) +
+                  " bytes, have " + std::to_string(size_ - pos_));
+  }
+  template <typename T>
+  T raw() {
+    need(sizeof(T));
+    T v;
+    std::memcpy(&v, data_ + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return v;
+  }
+
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+namespace wire {
+// Type tags: each primitive is preceded by its tag so corrupted or
+// mis-ordered reads fail fast.
+inline constexpr std::uint8_t kU8 = 0x01;
+inline constexpr std::uint8_t kU32 = 0x02;
+inline constexpr std::uint8_t kU64 = 0x03;
+inline constexpr std::uint8_t kI64 = 0x04;
+inline constexpr std::uint8_t kF32 = 0x05;
+inline constexpr std::uint8_t kF64 = 0x06;
+inline constexpr std::uint8_t kString = 0x07;
+inline constexpr std::uint8_t kF32Vec = 0x08;
+inline constexpr std::uint8_t kF64Vec = 0x09;
+inline constexpr std::uint8_t kU64Vec = 0x0a;
+}  // namespace wire
+
+}  // namespace stellaris

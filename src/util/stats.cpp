@@ -1,0 +1,127 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace stellaris {
+
+void RunningStat::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStat::merge(const RunningStat& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double n = na + nb;
+  mean_ += delta * nb / n;
+  m2_ += other.m2_ + delta * delta * na * nb / n;
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double RunningStat::variance() const {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double RunningStat::stddev() const { return std::sqrt(variance()); }
+
+double RunningStat::ci95_halfwidth() const {
+  if (n_ < 2) return 0.0;
+  return 1.96 * stddev() / std::sqrt(static_cast<double>(n_));
+}
+
+void Ema::add(double x) {
+  acc_ = alpha_ * acc_ + (1.0 - alpha_) * x;
+  ++n_;
+}
+
+double Ema::value() const {
+  if (n_ == 0) return 0.0;
+  // Bias correction: divide out the weight mass 1 - alpha^n.
+  const double correction = 1.0 - std::pow(alpha_, static_cast<double>(n_));
+  return acc_ / correction;
+}
+
+double percentile(std::vector<double> xs, double q) {
+  std::sort(xs.begin(), xs.end());
+  return percentile_sorted(xs, q);
+}
+
+double percentile_sorted(const std::vector<double>& sorted, double q) {
+  STELLARIS_CHECK_MSG(!sorted.empty(), "percentile of empty sample");
+  STELLARIS_CHECK(q >= 0.0 && q <= 1.0);
+  if (sorted.size() == 1) return sorted.front();
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const double frac = pos - static_cast<double>(lo);
+  if (lo + 1 >= sorted.size()) return sorted.back();
+  return sorted[lo] * (1.0 - frac) + sorted[lo + 1] * frac;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(bins)),
+      counts_(bins, 0) {
+  STELLARIS_CHECK_MSG(hi > lo && bins > 0, "degenerate histogram range");
+}
+
+void Histogram::add(double x) {
+  auto i = static_cast<std::ptrdiff_t>((x - lo_) / width_);
+  i = std::clamp<std::ptrdiff_t>(i, 0,
+                                 static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(i)];
+  ++total_;
+}
+
+double Histogram::bin_lo(std::size_t i) const {
+  return lo_ + width_ * static_cast<double>(i);
+}
+
+double Histogram::bin_hi(std::size_t i) const { return bin_lo(i) + width_; }
+
+double Histogram::bin_center(std::size_t i) const {
+  return bin_lo(i) + 0.5 * width_;
+}
+
+std::vector<double> Histogram::density() const {
+  std::vector<double> d(counts_.size(), 0.0);
+  if (total_ == 0) return d;
+  const double norm = 1.0 / (static_cast<double>(total_) * width_);
+  for (std::size_t i = 0; i < counts_.size(); ++i)
+    d[i] = static_cast<double>(counts_[i]) * norm;
+  return d;
+}
+
+double mean_of(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+double stddev_of(const std::vector<double>& xs) {
+  if (xs.size() < 2) return 0.0;
+  const double m = mean_of(xs);
+  double s = 0.0;
+  for (double x : xs) s += (x - m) * (x - m);
+  return std::sqrt(s / static_cast<double>(xs.size() - 1));
+}
+
+}  // namespace stellaris

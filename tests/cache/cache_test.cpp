@@ -1,0 +1,164 @@
+#include "cache/distributed_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "util/error.hpp"
+
+namespace stellaris::cache {
+namespace {
+
+Bytes bytes_of(std::initializer_list<std::uint8_t> v) { return Bytes(v); }
+
+TEST(Cache, PutGetRoundTrip) {
+  DistributedCache cache;
+  cache.put("k", bytes_of({1, 2, 3}));
+  auto v = cache.get("k");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->data, bytes_of({1, 2, 3}));
+  EXPECT_EQ(v->version, 1u);
+}
+
+TEST(Cache, MissingKeyIsNullopt) {
+  DistributedCache cache;
+  EXPECT_FALSE(cache.get("nope").has_value());
+  EXPECT_THROW(cache.get_or_throw("nope"), CacheError);
+}
+
+TEST(Cache, VersionsIncrementPerKey) {
+  DistributedCache cache;
+  EXPECT_EQ(cache.put("a", {}), 1u);
+  EXPECT_EQ(cache.put("a", {}), 2u);
+  EXPECT_EQ(cache.put("b", {}), 1u);
+  EXPECT_EQ(cache.version("a"), 2u);
+  EXPECT_EQ(cache.version("missing"), 0u);
+}
+
+TEST(Cache, OverwriteReplacesValue) {
+  DistributedCache cache;
+  cache.put("k", bytes_of({1}));
+  cache.put("k", bytes_of({9, 9}));
+  EXPECT_EQ(cache.get("k")->data, bytes_of({9, 9}));
+  EXPECT_EQ(cache.resident_bytes(), 2u);
+}
+
+TEST(Cache, EraseRemoves) {
+  DistributedCache cache;
+  cache.put("k", bytes_of({1, 2}));
+  EXPECT_TRUE(cache.erase("k"));
+  EXPECT_FALSE(cache.erase("k"));
+  EXPECT_FALSE(cache.contains("k"));
+  EXPECT_EQ(cache.resident_bytes(), 0u);
+}
+
+TEST(Cache, PrefixScanIsSortedAndScoped) {
+  DistributedCache cache;
+  cache.put("traj/2", {});
+  cache.put("traj/10", {});
+  cache.put("grad/1", {});
+  cache.put("traj/1", {});
+  auto keys = cache.keys_with_prefix("traj/");
+  ASSERT_EQ(keys.size(), 3u);
+  EXPECT_EQ(keys[0], "traj/1");   // lexicographic
+  EXPECT_EQ(keys[1], "traj/10");
+  EXPECT_EQ(keys[2], "traj/2");
+}
+
+TEST(Cache, ErasePrefixRemovesAllMatches) {
+  DistributedCache cache;
+  cache.put("traj/1", bytes_of({1}));
+  cache.put("traj/2", bytes_of({2}));
+  cache.put("grad/1", bytes_of({3}));
+  EXPECT_EQ(cache.erase_prefix("traj/"), 2u);
+  EXPECT_EQ(cache.num_keys(), 1u);
+  EXPECT_TRUE(cache.contains("grad/1"));
+}
+
+TEST(Cache, StatsTrackTraffic) {
+  DistributedCache cache;
+  cache.put("k", bytes_of({1, 2, 3, 4}));
+  (void)cache.get("k");
+  (void)cache.get("absent");
+  auto s = cache.stats();
+  EXPECT_EQ(s.puts, 1u);
+  EXPECT_EQ(s.gets, 2u);
+  EXPECT_EQ(s.hits, 1u);
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(s.bytes_written, 4u);
+  EXPECT_EQ(s.bytes_read, 4u);
+  cache.reset_stats();
+  EXPECT_EQ(cache.stats().puts, 0u);
+}
+
+TEST(Cache, BlockingGetReturnsExistingNewValue) {
+  DistributedCache cache;
+  cache.put("k", bytes_of({5}));
+  auto v = cache.get_blocking("k", 0, std::chrono::milliseconds(10));
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->version, 1u);
+}
+
+TEST(Cache, BlockingGetTimesOutOnStaleVersion) {
+  DistributedCache cache;
+  cache.put("k", bytes_of({5}));
+  // Demand version > 1, nobody writes: timeout.
+  auto v = cache.get_blocking("k", 1, std::chrono::milliseconds(20));
+  EXPECT_FALSE(v.has_value());
+}
+
+TEST(Cache, BlockingGetWakesOnWrite) {
+  DistributedCache cache;
+  std::thread writer([&cache] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    cache.put("k", bytes_of({7}));
+  });
+  auto v = cache.get_blocking("k", 0, std::chrono::seconds(5));
+  writer.join();
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->data, bytes_of({7}));
+}
+
+TEST(Cache, ConcurrentWritersKeepCountsConsistent) {
+  DistributedCache cache;
+  constexpr int kThreads = 4;
+  constexpr int kWrites = 500;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&cache, t] {
+      for (int i = 0; i < kWrites; ++i)
+        cache.put("key/" + std::to_string(t) + "/" + std::to_string(i),
+                  Bytes(8, static_cast<std::uint8_t>(i)));
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(cache.num_keys(), kThreads * kWrites);
+  EXPECT_EQ(cache.stats().puts, kThreads * kWrites);
+  EXPECT_EQ(cache.resident_bytes(), kThreads * kWrites * 8u);
+}
+
+TEST(Cache, ConcurrentSameKeyVersionsAreDense) {
+  DistributedCache cache;
+  constexpr int kThreads = 4;
+  constexpr int kWrites = 250;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([&cache] {
+      for (int i = 0; i < kWrites; ++i) cache.put("hot", Bytes{1});
+    });
+  for (auto& th : threads) th.join();
+  // Every write bumped the version exactly once.
+  EXPECT_EQ(cache.version("hot"), kThreads * kWrites);
+}
+
+TEST(Cache, ClearEmptiesStore) {
+  DistributedCache cache;
+  cache.put("a", bytes_of({1}));
+  cache.put("b", bytes_of({2}));
+  cache.clear();
+  EXPECT_EQ(cache.num_keys(), 0u);
+  EXPECT_EQ(cache.resident_bytes(), 0u);
+}
+
+}  // namespace
+}  // namespace stellaris::cache

@@ -1,0 +1,55 @@
+#include "core/kl_probe.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace stellaris::core {
+namespace {
+
+TEST(KlProbe, IdenticalParamsGiveZero) {
+  nn::ActorCritic model(nn::ObsSpec::vector(4), nn::ActionKind::kContinuous,
+                        2, nn::NetworkSpec::mujoco(8), 1);
+  const auto p = model.flat_params();
+  Rng rng(1);
+  Tensor probe = Tensor::randn({8, 4}, rng);
+  EXPECT_NEAR(policy_update_kl(model, p, p, probe), 0.0, 1e-6);
+}
+
+TEST(KlProbe, LargerUpdateLargerKl) {
+  nn::ActorCritic model(nn::ObsSpec::vector(4), nn::ActionKind::kContinuous,
+                        2, nn::NetworkSpec::mujoco(8), 2);
+  const auto p0 = model.flat_params();
+  auto small = p0, big = p0;
+  for (auto& v : small) v += 0.01f;
+  for (auto& v : big) v += 0.1f;
+  Rng rng(2);
+  Tensor probe = Tensor::randn({16, 4}, rng);
+  const double kl_small = policy_update_kl(model, p0, small, probe);
+  const double kl_big = policy_update_kl(model, p0, big, probe);
+  EXPECT_GT(kl_small, 0.0);
+  EXPECT_GT(kl_big, kl_small);
+}
+
+TEST(KlProbe, WorksForDiscretePolicies) {
+  nn::ActorCritic model(nn::ObsSpec::planes(3, 20, 20),
+                        nn::ActionKind::kDiscrete, 4,
+                        nn::NetworkSpec::atari(), 3);
+  const auto p0 = model.flat_params();
+  auto p1 = p0;
+  for (auto& v : p1) v += 0.05f;
+  Rng rng(3);
+  Tensor probe = Tensor::rand_uniform({4, 3 * 20 * 20}, rng, 0.0f, 1.0f);
+  EXPECT_GT(policy_update_kl(model, p0, p1, probe), 0.0);
+  EXPECT_NEAR(policy_update_kl(model, p0, p0, probe), 0.0, 1e-6);
+}
+
+TEST(KlProbe, EmptyProbeThrows) {
+  nn::ActorCritic model(nn::ObsSpec::vector(4), nn::ActionKind::kContinuous,
+                        2, nn::NetworkSpec::mujoco(8), 4);
+  const auto p = model.flat_params();
+  EXPECT_THROW(policy_update_kl(model, p, p, Tensor()), Error);
+}
+
+}  // namespace
+}  // namespace stellaris::core

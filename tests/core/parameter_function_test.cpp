@@ -1,0 +1,154 @@
+#include "core/parameter_function.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace stellaris::core {
+namespace {
+
+ParameterFunction::Config sgd_config() {
+  ParameterFunction::Config cfg;
+  cfg.alpha0 = 1.0;
+  cfg.optimizer = "sgd";
+  cfg.max_grad_norm = 1e9;
+  return cfg;
+}
+
+GradientQueue::Item item(std::vector<float> grad, std::uint64_t pulled,
+                         double ratio = 1.0) {
+  GradientQueue::Item it;
+  it.msg.grad = std::move(grad);
+  it.msg.pulled_version = pulled;
+  it.msg.mean_ratio = ratio;
+  return it;
+}
+
+TEST(ParameterFunction, SingleFreshGradientIsPlainStep) {
+  ParameterFunction pf({1.0f, 2.0f}, sgd_config());
+  auto stats = pf.aggregate({item({0.5f, -0.5f}, 0)});
+  EXPECT_EQ(stats.new_version, 1u);
+  EXPECT_EQ(stats.group_size, 1u);
+  EXPECT_DOUBLE_EQ(stats.mean_staleness, 0.0);
+  EXPECT_FLOAT_EQ(pf.params()[0], 0.5f);
+  EXPECT_FLOAT_EQ(pf.params()[1], 2.5f);
+}
+
+TEST(ParameterFunction, GroupMeanIsApplied) {
+  ParameterFunction pf({0.0f}, sgd_config());
+  auto stats = pf.aggregate({item({1.0f}, 0), item({3.0f}, 0)});
+  EXPECT_FLOAT_EQ(pf.params()[0], -2.0f);  // mean of {1,3}
+  EXPECT_EQ(stats.group_size, 2u);
+}
+
+TEST(ParameterFunction, Eq4WeightsStaleGradients) {
+  auto cfg = sgd_config();
+  cfg.smooth_v = 3.0;
+  cfg.enable_truncation = false;
+  ParameterFunction pf({0.0f}, cfg);
+  pf.aggregate({item({0.0f}, 0)});  // bump to version 1 with a no-op
+  // Gradient pulled at version 0 → staleness 1... make staleness 8 by
+  // advancing versions first.
+  for (int i = 0; i < 7; ++i) pf.aggregate({item({0.0f}, pf.version())});
+  ASSERT_EQ(pf.version(), 8u);
+  auto stats = pf.aggregate({item({8.0f}, 0)});  // staleness 8 → δ^{-1/3}=0.5
+  EXPECT_DOUBLE_EQ(stats.mean_staleness, 8.0);
+  EXPECT_NEAR(stats.mean_lr_factor, 0.5, 1e-9);
+  EXPECT_NEAR(pf.params()[0], -4.0f, 1e-5);
+}
+
+TEST(ParameterFunction, StalenessLrDisabledUsesFullWeight) {
+  auto cfg = sgd_config();
+  cfg.enable_staleness_lr = false;
+  ParameterFunction pf({0.0f}, cfg);
+  for (int i = 0; i < 8; ++i) pf.aggregate({item({0.0f}, pf.version())});
+  auto stats = pf.aggregate({item({8.0f}, 0)});
+  EXPECT_DOUBLE_EQ(stats.mean_lr_factor, 1.0);
+  EXPECT_NEAR(pf.params()[0], -8.0f, 1e-5);
+}
+
+TEST(ParameterFunction, TruncationRescalesDriftedGradients) {
+  auto cfg = sgd_config();
+  cfg.rho = 1.0;
+  ParameterFunction pf({0.0f}, cfg);
+  // Two learners: ratios 1.0 and 2.0 → R' = 1, scales {1, 0.5}.
+  auto stats =
+      pf.aggregate({item({2.0f}, 0, 1.0), item({2.0f}, 0, 2.0)});
+  EXPECT_NEAR(stats.mean_trunc_scale, 0.75, 1e-9);
+  // Update = mean(1·2, 0.5·2) = 1.5.
+  EXPECT_NEAR(pf.params()[0], -1.5f, 1e-5);
+}
+
+TEST(ParameterFunction, TruncationDisabledLeavesScalesAtOne) {
+  auto cfg = sgd_config();
+  cfg.enable_truncation = false;
+  ParameterFunction pf({0.0f}, cfg);
+  auto stats = pf.aggregate({item({2.0f}, 0, 5.0)});
+  EXPECT_DOUBLE_EQ(stats.mean_trunc_scale, 1.0);
+  EXPECT_NEAR(pf.params()[0], -2.0f, 1e-5);
+}
+
+TEST(ParameterFunction, StalenessHistoryRecordsEveryGradient) {
+  ParameterFunction pf({0.0f}, sgd_config());
+  pf.aggregate({item({0.0f}, 0)});
+  pf.aggregate({item({0.0f}, 0), item({0.0f}, 1)});
+  const auto& hist = pf.staleness_history();
+  ASSERT_EQ(hist.size(), 3u);
+  EXPECT_DOUBLE_EQ(hist[0], 0.0);
+  EXPECT_DOUBLE_EQ(hist[1], 1.0);  // pulled 0, aggregated at version 1
+  EXPECT_DOUBLE_EQ(hist[2], 0.0);
+}
+
+TEST(ParameterFunction, ClampSegmentIsEnforced) {
+  auto cfg = sgd_config();
+  cfg.clamp_offset = 1;
+  cfg.clamp_len = 1;
+  cfg.clamp_lo = -0.5f;
+  cfg.clamp_hi = 0.5f;
+  ParameterFunction pf({0.0f, 0.0f}, cfg);
+  pf.aggregate({item({-10.0f, -10.0f}, 0)});
+  EXPECT_FLOAT_EQ(pf.params()[0], 10.0f);  // unclamped dimension
+  EXPECT_FLOAT_EQ(pf.params()[1], 0.5f);   // clamped dimension
+}
+
+TEST(ParameterFunction, GradNormGuardScalesGroups) {
+  auto cfg = sgd_config();
+  cfg.max_grad_norm = 1.0;
+  ParameterFunction pf({0.0f}, cfg);
+  auto stats = pf.aggregate({item({100.0f}, 0)});
+  EXPECT_NEAR(stats.grad_norm, 100.0, 1e-6);
+  EXPECT_NEAR(pf.params()[0], -1.0f, 1e-5);
+}
+
+TEST(ParameterFunction, DimMismatchThrows) {
+  ParameterFunction pf({0.0f, 0.0f}, sgd_config());
+  EXPECT_THROW(pf.aggregate({item({1.0f}, 0)}), Error);
+}
+
+TEST(ParameterFunction, FutureGradientThrows) {
+  ParameterFunction pf({0.0f}, sgd_config());
+  EXPECT_THROW(pf.aggregate({item({1.0f}, 5)}), Error);
+}
+
+TEST(ParameterFunction, EmptyGroupThrows) {
+  ParameterFunction pf({0.0f}, sgd_config());
+  EXPECT_THROW(pf.aggregate({}), Error);
+}
+
+TEST(ParameterFunction, EmptyInitThrows) {
+  EXPECT_THROW(ParameterFunction({}, sgd_config()), Error);
+}
+
+TEST(ParameterFunction, AdamOptimizerIsSupported) {
+  auto cfg = sgd_config();
+  cfg.optimizer = "adam";
+  cfg.alpha0 = 0.1;
+  ParameterFunction pf({1.0f}, cfg);
+  pf.aggregate({item({1.0f}, 0)});
+  EXPECT_NEAR(pf.params()[0], 0.9f, 1e-4);  // first Adam step ≈ lr
+}
+
+}  // namespace
+}  // namespace stellaris::core

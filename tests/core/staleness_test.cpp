@@ -1,0 +1,157 @@
+#include "core/staleness.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace stellaris::core {
+namespace {
+
+GradientMsg msg_with_version(std::uint64_t pulled) {
+  GradientMsg m;
+  m.grad = {1.0f};
+  m.pulled_version = pulled;
+  return m;
+}
+
+TEST(Schedule, Eq3DecaySchedule) {
+  StalenessSchedule s(0.96, 1.0, /*threshold_floor=*/0.0);
+  s.observe_round0(4.0);
+  s.finalize_round0();
+  EXPECT_DOUBLE_EQ(s.delta_max(), 4.0);
+  EXPECT_DOUBLE_EQ(s.threshold(0), 4.0);
+  EXPECT_NEAR(s.threshold(10), 4.0 * std::pow(0.96, 10), 1e-12);
+  EXPECT_GT(s.threshold(5), s.threshold(20));
+}
+
+TEST(Schedule, DZeroForcesSynchronization) {
+  StalenessSchedule s(0.0);
+  s.observe_round0(9.0);
+  s.finalize_round0();
+  EXPECT_DOUBLE_EQ(s.threshold(0), 0.0);
+  EXPECT_DOUBLE_EQ(s.threshold(100), 0.0);
+}
+
+TEST(Schedule, DOneIsPureAsync) {
+  StalenessSchedule s(1.0, 1.0, 0.0);
+  s.observe_round0(7.0);
+  s.finalize_round0();
+  EXPECT_DOUBLE_EQ(s.threshold(0), 7.0);
+  EXPECT_DOUBLE_EQ(s.threshold(1000), 7.0);
+}
+
+TEST(Schedule, FloorBoundsLateRounds) {
+  StalenessSchedule s(0.9, 1.0, 1.0);
+  s.observe_round0(4.0);
+  s.finalize_round0();
+  EXPECT_DOUBLE_EQ(s.threshold(1000), 1.0);
+  EXPECT_GT(s.threshold(1), 1.0);
+}
+
+TEST(Schedule, Round0TakesMaxObservation) {
+  StalenessSchedule s(0.96, 1.0, 0.0);
+  s.observe_round0(2.0);
+  s.observe_round0(5.0);
+  s.observe_round0(3.0);
+  s.finalize_round0();
+  EXPECT_DOUBLE_EQ(s.delta_max(), 5.0);
+}
+
+TEST(Schedule, ObserveAfterFinalizeThrows) {
+  StalenessSchedule s(0.96);
+  s.finalize_round0();
+  EXPECT_THROW(s.observe_round0(1.0), Error);
+}
+
+TEST(Schedule, InvalidDecayThrows) {
+  EXPECT_THROW(StalenessSchedule(-0.1), Error);
+  EXPECT_THROW(StalenessSchedule(1.1), Error);
+}
+
+TEST(StalenessLr, Eq4Values) {
+  // α_c = α₀ / δ^{1/v}.
+  EXPECT_DOUBLE_EQ(staleness_lr(0.1, 0.0, 3.0), 0.1);  // fresh: full rate
+  EXPECT_DOUBLE_EQ(staleness_lr(0.1, 1.0, 3.0), 0.1);  // 1^{1/3} = 1
+  EXPECT_NEAR(staleness_lr(0.1, 8.0, 3.0), 0.1 / 2.0, 1e-12);
+  EXPECT_NEAR(staleness_lr(0.1, 4.0, 2.0), 0.05, 1e-12);
+  EXPECT_NEAR(staleness_lr(0.1, 4.0, 1.0), 0.025, 1e-12);
+}
+
+TEST(StalenessLr, LargerVDampsLess) {
+  // Fig. 13(b): larger v keeps step sizes larger under staleness.
+  const double delta = 5.0;
+  EXPECT_LT(staleness_lr(1.0, delta, 1.0), staleness_lr(1.0, delta, 2.0));
+  EXPECT_LT(staleness_lr(1.0, delta, 2.0), staleness_lr(1.0, delta, 4.0));
+}
+
+TEST(StalenessLr, InvalidVThrows) {
+  EXPECT_THROW(staleness_lr(0.1, 1.0, 0.0), Error);
+}
+
+TEST(Queue, MeanAndMaxStaleness) {
+  GradientQueue q;
+  q.push(msg_with_version(5), 0.0);
+  q.push(msg_with_version(3), 0.0);
+  q.push(msg_with_version(7), 0.0);
+  // Against version 7: staleness {2, 4, 0}.
+  EXPECT_DOUBLE_EQ(q.mean_staleness(7), 2.0);
+  EXPECT_DOUBLE_EQ(q.max_staleness(7), 4.0);
+}
+
+TEST(Queue, ReadyRequiresNonEmptyAndLowMean) {
+  GradientQueue q;
+  EXPECT_FALSE(q.ready(5, 100.0));  // empty never fires
+  q.push(msg_with_version(2), 0.0);
+  EXPECT_FALSE(q.ready(5, 2.0));  // staleness 3 > 2
+  EXPECT_TRUE(q.ready(5, 3.0));   // boundary admits
+}
+
+TEST(Queue, FreshGradientsDiluteMeanStaleness) {
+  GradientQueue q;
+  q.push(msg_with_version(0), 0.0);  // staleness 4 vs version 4
+  EXPECT_FALSE(q.ready(4, 2.0));
+  // Three fresh gradients pull the mean to (4+0+0+0)/4 = 1.
+  for (int i = 0; i < 3; ++i) q.push(msg_with_version(4), 0.0);
+  EXPECT_TRUE(q.ready(4, 2.0));
+}
+
+TEST(Queue, DrainEmptiesInFifoOrder) {
+  GradientQueue q;
+  q.push(msg_with_version(1), 0.5);
+  q.push(msg_with_version(2), 0.7);
+  auto items = q.drain();
+  EXPECT_TRUE(q.empty());
+  ASSERT_EQ(items.size(), 2u);
+  EXPECT_EQ(items[0].msg.pulled_version, 1u);
+  EXPECT_DOUBLE_EQ(items[1].enqueue_time, 0.7);
+}
+
+TEST(Queue, EmptyMeanIsZero) {
+  GradientQueue q;
+  EXPECT_DOUBLE_EQ(q.mean_staleness(10), 0.0);
+  EXPECT_DOUBLE_EQ(q.max_staleness(10), 0.0);
+}
+
+// Property: threshold is monotone non-increasing in the round index for any
+// d in (0,1].
+class DecaySweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(DecaySweep, ThresholdMonotoneNonIncreasing) {
+  StalenessSchedule s(GetParam(), 1.0, 0.0);
+  s.observe_round0(6.0);
+  s.finalize_round0();
+  double prev = s.threshold(0);
+  for (std::size_t k = 1; k < 100; ++k) {
+    const double cur = s.threshold(k);
+    EXPECT_LE(cur, prev + 1e-12);
+    prev = cur;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperRange, DecaySweep,
+                         ::testing::Values(0.92, 0.94, 0.96, 0.98, 1.0));
+
+}  // namespace
+}  // namespace stellaris::core

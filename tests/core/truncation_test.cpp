@@ -1,0 +1,82 @@
+#include "core/truncation.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace stellaris::core {
+namespace {
+
+TEST(Truncation, Eq2TakesMinThenClips) {
+  // R' = min(|min_i(r_i)|, ρ).
+  EXPECT_DOUBLE_EQ(global_truncated_ratio({1.2, 0.8, 1.5}, 1.0), 0.8);
+  EXPECT_DOUBLE_EQ(global_truncated_ratio({1.2, 1.4, 1.5}, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(global_truncated_ratio({0.5}, 1.0), 0.5);
+}
+
+TEST(Truncation, AbsoluteValueOfMin) {
+  // |min_i(...)| per Eq. 2 — a (pathological) negative ratio is folded.
+  EXPECT_DOUBLE_EQ(global_truncated_ratio({-0.5, 2.0}, 1.0), 0.5);
+}
+
+TEST(Truncation, RhoCapsFromAbove) {
+  EXPECT_DOUBLE_EQ(global_truncated_ratio({3.0, 4.0}, 0.7), 0.7);
+}
+
+TEST(Truncation, SingleLearnerDegeneratesToLocalClip) {
+  EXPECT_DOUBLE_EQ(global_truncated_ratio({2.5}, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(global_truncated_ratio({0.9}, 1.0), 0.9);
+}
+
+TEST(Truncation, ScalesNeverExceedOne) {
+  const auto scales = truncation_scales({0.8, 1.0, 1.3, 2.0}, 1.0);
+  for (double s : scales) {
+    EXPECT_LE(s, 1.0);
+    EXPECT_GT(s, 0.0);
+  }
+}
+
+TEST(Truncation, ConservativeLearnerKeepsFullWeight) {
+  // The learner holding the group minimum (if within ρ) is not rescaled.
+  const auto scales = truncation_scales({0.8, 1.2}, 1.0);
+  EXPECT_DOUBLE_EQ(scales[0], 1.0);
+  EXPECT_NEAR(scales[1], 0.8 / 1.2, 1e-12);
+}
+
+TEST(Truncation, DriftedLearnersPulledToGlobalRatio) {
+  const auto scales = truncation_scales({1.0, 2.0, 4.0}, 1.0);
+  EXPECT_DOUBLE_EQ(scales[0], 1.0);
+  EXPECT_DOUBLE_EQ(scales[1], 0.5);
+  EXPECT_DOUBLE_EQ(scales[2], 0.25);
+}
+
+TEST(Truncation, UniformGroupIsUntouched) {
+  const auto scales = truncation_scales({1.0, 1.0, 1.0}, 1.0);
+  for (double s : scales) EXPECT_DOUBLE_EQ(s, 1.0);
+}
+
+TEST(Truncation, EmptyGroupThrows) {
+  EXPECT_THROW(global_truncated_ratio({}, 1.0), Error);
+}
+
+TEST(Truncation, NonPositiveRhoThrows) {
+  EXPECT_THROW(global_truncated_ratio({1.0}, 0.0), Error);
+  EXPECT_THROW(global_truncated_ratio({1.0}, -1.0), Error);
+}
+
+// Property sweep over ρ (the Fig. 13(c) axis): R' ≤ ρ always, and scales
+// shrink monotonically as ρ tightens.
+class RhoSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(RhoSweep, GlobalRatioBoundedByRho) {
+  const double rho = GetParam();
+  const std::vector<double> ratios = {0.7, 0.95, 1.1, 1.6};
+  EXPECT_LE(global_truncated_ratio(ratios, rho), rho + 1e-12);
+  for (double s : truncation_scales(ratios, rho)) EXPECT_LE(s, 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperRange, RhoSweep,
+                         ::testing::Values(0.6, 0.8, 1.0, 1.2));
+
+}  // namespace
+}  // namespace stellaris::core

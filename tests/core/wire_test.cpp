@@ -1,0 +1,55 @@
+#include <gtest/gtest.h>
+
+#include "core/gradient.hpp"
+#include "core/policy_io.hpp"
+
+namespace stellaris::core {
+namespace {
+
+TEST(GradientMsg, SerializeRoundTrip) {
+  GradientMsg m;
+  m.grad = {1.0f, -2.0f, 3.5f};
+  m.learner_id = 17;
+  m.pulled_version = 42;
+  m.mean_ratio = 0.93;
+  m.batch_size = 512;
+  m.kl = 0.012;
+  m.compute_time_s = 0.37;
+  GradientMsg c = GradientMsg::deserialize(m.serialize());
+  EXPECT_EQ(c.grad, m.grad);
+  EXPECT_EQ(c.learner_id, 17u);
+  EXPECT_EQ(c.pulled_version, 42u);
+  EXPECT_DOUBLE_EQ(c.mean_ratio, 0.93);
+  EXPECT_EQ(c.batch_size, 512u);
+  EXPECT_DOUBLE_EQ(c.kl, 0.012);
+  EXPECT_DOUBLE_EQ(c.compute_time_s, 0.37);
+}
+
+TEST(GradientMsg, EmptyGradientSurvives) {
+  GradientMsg m;
+  GradientMsg c = GradientMsg::deserialize(m.serialize());
+  EXPECT_TRUE(c.grad.empty());
+}
+
+TEST(PolicyIo, EncodeDecodeRoundTrip) {
+  std::vector<float> params = {0.1f, 0.2f, -0.3f};
+  auto bytes = encode_policy(params, 99);
+  auto [decoded, version] = decode_policy(bytes);
+  EXPECT_EQ(decoded, params);
+  EXPECT_EQ(version, 99u);
+}
+
+TEST(PolicyIo, KeyNamingConventions) {
+  EXPECT_EQ(keys::kPolicyLatest, "policy/latest");
+  EXPECT_EQ(keys::kPolicyTarget, "policy/target");
+  EXPECT_EQ(keys::trajectory(12), "traj/12");
+  EXPECT_EQ(keys::gradient(7), "grad/7");
+}
+
+TEST(PolicyIo, CorruptBytesThrow) {
+  std::vector<std::uint8_t> garbage = {0xff, 0x00, 0x12};
+  EXPECT_THROW(decode_policy(garbage), Error);
+}
+
+}  // namespace
+}  // namespace stellaris::core

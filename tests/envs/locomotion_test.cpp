@@ -1,0 +1,145 @@
+#include "envs/locomotion.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace stellaris::envs {
+namespace {
+
+TEST(Locomotion, HopperSpec) {
+  LocomotionEnv env(LocomotionParams::hopper());
+  const auto& spec = env.spec();
+  EXPECT_EQ(spec.name, "Hopper");
+  EXPECT_EQ(spec.act_dim, 3u);
+  EXPECT_EQ(spec.obs.flat_dim, 2u * 3 + 2);
+  EXPECT_EQ(spec.action_kind, nn::ActionKind::kContinuous);
+}
+
+TEST(Locomotion, MorphologiesDiffer) {
+  LocomotionEnv hopper(LocomotionParams::hopper());
+  LocomotionEnv walker(LocomotionParams::walker2d());
+  LocomotionEnv humanoid(LocomotionParams::humanoid());
+  EXPECT_EQ(walker.spec().act_dim, 6u);
+  EXPECT_EQ(humanoid.spec().act_dim, 8u);
+  EXPECT_LT(hopper.spec().obs.flat_dim, humanoid.spec().obs.flat_dim);
+}
+
+TEST(Locomotion, ResetIsDeterministicPerSeed) {
+  LocomotionEnv a(LocomotionParams::hopper());
+  LocomotionEnv b(LocomotionParams::hopper());
+  EXPECT_EQ(a.reset(5), b.reset(5));
+  EXPECT_NE(a.reset(5), a.reset(6));
+}
+
+TEST(Locomotion, ObsSizeMatchesSpec) {
+  LocomotionEnv env(LocomotionParams::walker2d());
+  auto obs = env.reset(1);
+  EXPECT_EQ(obs.size(), env.spec().obs.flat_dim);
+  auto r = env.step(std::vector<float>(6, 0.0f));
+  EXPECT_EQ(r.obs.size(), env.spec().obs.flat_dim);
+}
+
+TEST(Locomotion, WrongActionDimThrows) {
+  LocomotionEnv env(LocomotionParams::hopper());
+  env.reset(1);
+  EXPECT_THROW(env.step(std::vector<float>(2, 0.0f)), Error);
+}
+
+TEST(Locomotion, DiscreteStepThrows) {
+  LocomotionEnv env(LocomotionParams::hopper());
+  env.reset(1);
+  EXPECT_THROW(env.step_discrete(0), Error);
+}
+
+TEST(Locomotion, EpisodeTerminatesByCap) {
+  LocomotionEnv env(LocomotionParams::hopper());
+  env.reset(2);
+  std::vector<float> zero(3, 0.0f);
+  std::size_t steps = 0;
+  for (; steps < 1000; ++steps) {
+    if (env.step(zero).done) break;
+  }
+  EXPECT_LT(steps, env.spec().max_steps);  // cap reached at max_steps
+}
+
+TEST(Locomotion, TorquesAreClamped) {
+  // Insane torques must not blow up the integrator.
+  LocomotionEnv env(LocomotionParams::hopper());
+  env.reset(3);
+  std::vector<float> huge(3, 1e6f);
+  for (int i = 0; i < 50; ++i) {
+    auto r = env.step(huge);
+    for (float v : r.obs) EXPECT_TRUE(std::isfinite(v));
+    if (r.done) break;
+  }
+}
+
+TEST(Locomotion, UncontrolledDynamicsStayBounded) {
+  // Semi-implicit Euler with damping: limb energy must not diverge when no
+  // torque is applied.
+  LocomotionEnv env(LocomotionParams::hopper());
+  env.reset(4);
+  const double e0 = env.limb_energy();
+  std::vector<float> zero(3, 0.0f);
+  for (int i = 0; i < 150; ++i) {
+    if (env.step(zero).done) break;
+  }
+  EXPECT_LE(env.limb_energy(), e0 + 1e-6);
+}
+
+TEST(Locomotion, CoordinatedPumpingOutrunsNoise) {
+  // The contact-window pumping controller (see DESIGN.md) must reach higher
+  // forward velocity than zero torque — the learnability precondition.
+  auto run = [](int mode) {
+    LocomotionEnv env(LocomotionParams::hopper());
+    auto obs = env.reset(7);
+    double total = 0.0;
+    for (;;) {
+      std::vector<float> a(3, 0.0f);
+      if (mode == 1) {
+        for (std::size_t j = 0; j < 3; ++j) {
+          const double angle = obs[2 * j];
+          a[j] = (angle > -0.3 && angle < 0.85) ? -1.0f : 1.0f;
+        }
+      }
+      auto r = env.step(a);
+      total += r.reward;
+      if (r.done) break;
+      obs = std::move(r.obs);
+    }
+    return total;
+  };
+  EXPECT_GT(run(1), run(0) + 50.0);
+}
+
+TEST(Locomotion, FallEndsEpisodeWithPenalty) {
+  // Drive every joint hard one way until the mean angle exceeds the fall
+  // threshold.
+  LocomotionEnv env(LocomotionParams::hopper());
+  env.reset(8);
+  std::vector<float> push(3, 1.0f);
+  StepResult last;
+  for (int i = 0; i < 500; ++i) {
+    last = env.step(push);
+    if (last.done) break;
+  }
+  EXPECT_TRUE(last.done);
+  EXPECT_LT(last.reward, 0.0);  // the −20 fall penalty dominates
+}
+
+TEST(Locomotion, RewardIsFiniteEverywhere) {
+  LocomotionEnv env(LocomotionParams::humanoid());
+  Rng rng(9);
+  env.reset(9);
+  for (int i = 0; i < 200; ++i) {
+    std::vector<float> a(8);
+    for (auto& v : a) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+    auto r = env.step(a);
+    EXPECT_TRUE(std::isfinite(r.reward));
+    if (r.done) env.reset(rng.next());
+  }
+}
+
+}  // namespace
+}  // namespace stellaris::envs

@@ -1,0 +1,54 @@
+#include "envs/env.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace stellaris::envs {
+namespace {
+
+TEST(Registry, AllBenchmarkEnvsConstruct) {
+  for (const auto& name : benchmark_env_names()) {
+    auto env = make_env(name);
+    ASSERT_NE(env, nullptr) << name;
+    EXPECT_EQ(env->spec().name, name);
+    EXPECT_GT(env->spec().max_steps, 0u);
+    EXPECT_GT(env->spec().act_dim, 0u);
+    auto obs = env->reset(1);
+    EXPECT_EQ(obs.size(), env->spec().obs.flat_dim);
+  }
+}
+
+TEST(Registry, SixEnvironmentsMujocoFirst) {
+  const auto& names = benchmark_env_names();
+  ASSERT_EQ(names.size(), 6u);
+  EXPECT_EQ(names[0], "Hopper");
+  EXPECT_EQ(names[3], "SpaceInvaders");
+}
+
+TEST(Registry, UnknownNameThrows) {
+  EXPECT_THROW(make_env("Pong"), ConfigError);
+  EXPECT_THROW(env_spec(""), ConfigError);
+}
+
+TEST(Registry, SpecMatchesConstructedEnv) {
+  for (const auto& name : benchmark_env_names()) {
+    const auto spec = env_spec(name);
+    auto env = make_env(name);
+    EXPECT_EQ(spec.obs.flat_dim, env->spec().obs.flat_dim);
+    EXPECT_EQ(spec.act_dim, env->spec().act_dim);
+    EXPECT_EQ(spec.action_kind, env->spec().action_kind);
+  }
+}
+
+TEST(Registry, ContinuousAndDiscreteSplit) {
+  EXPECT_EQ(env_spec("Hopper").action_kind, nn::ActionKind::kContinuous);
+  EXPECT_EQ(env_spec("Walker2d").action_kind, nn::ActionKind::kContinuous);
+  EXPECT_EQ(env_spec("Humanoid").action_kind, nn::ActionKind::kContinuous);
+  EXPECT_EQ(env_spec("SpaceInvaders").action_kind, nn::ActionKind::kDiscrete);
+  EXPECT_EQ(env_spec("Qbert").action_kind, nn::ActionKind::kDiscrete);
+  EXPECT_EQ(env_spec("Gravitar").action_kind, nn::ActionKind::kDiscrete);
+}
+
+}  // namespace
+}  // namespace stellaris::envs

@@ -1,0 +1,92 @@
+#include "envs/vec_env.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace stellaris::envs {
+namespace {
+
+TEST(VecEnv, ResetStacksObservations) {
+  VecEnv vec("Hopper", 4, 1);
+  Tensor obs = vec.reset_all();
+  EXPECT_EQ(obs.shape(), (Shape{4, vec.spec().obs.flat_dim}));
+  EXPECT_TRUE(obs.all_finite());
+}
+
+TEST(VecEnv, StepBatchShapes) {
+  VecEnv vec("Hopper", 3, 2);
+  vec.reset_all();
+  Tensor actions({3, vec.spec().act_dim});
+  auto batch = vec.step(actions);
+  EXPECT_EQ(batch.obs.dim(0), 3u);
+  EXPECT_EQ(batch.rewards.size(), 3u);
+  EXPECT_EQ(batch.dones.size(), 3u);
+  EXPECT_EQ(vec.total_steps(), 3u);
+}
+
+TEST(VecEnv, DiscreteBatchStep) {
+  VecEnv vec("Qbert", 2, 3);
+  vec.reset_all();
+  auto batch = vec.step_discrete({2, 3});
+  EXPECT_EQ(batch.obs.dim(0), 2u);
+}
+
+TEST(VecEnv, AutoResetOnDone) {
+  VecEnv vec("Hopper", 2, 4);
+  vec.reset_all();
+  Tensor push = Tensor::full({2, vec.spec().act_dim}, 1.0f);
+  std::size_t episodes = 0;
+  for (int i = 0; i < 600 && episodes == 0; ++i) {
+    auto batch = vec.step(push);
+    episodes += batch.episode_returns.size();
+    // Even after done, the returned obs must be a valid fresh observation.
+    EXPECT_TRUE(batch.obs.all_finite());
+  }
+  EXPECT_GE(episodes, 1u);
+}
+
+TEST(VecEnv, EpisodeReturnsAccumulateRewards) {
+  VecEnv vec("Hopper", 1, 5);
+  vec.reset_all();
+  Tensor zero({1, vec.spec().act_dim});
+  double manual = 0.0;
+  for (;;) {
+    auto batch = vec.step(zero);
+    manual += batch.rewards[0];
+    if (!batch.episode_returns.empty()) {
+      EXPECT_NEAR(batch.episode_returns[0], manual, 1e-9);
+      break;
+    }
+  }
+}
+
+TEST(VecEnv, ThreadedMatchesSerial) {
+  VecEnv serial("Walker2d", 4, 9, /*threads=*/0);
+  VecEnv threaded("Walker2d", 4, 9, /*threads=*/3);
+  serial.reset_all();
+  threaded.reset_all();
+  Rng rng(7);
+  for (int step = 0; step < 40; ++step) {
+    Tensor actions({4, serial.spec().act_dim});
+    for (auto& v : actions.vec())
+      v = static_cast<float>(rng.uniform(-1.0, 1.0));
+    auto a = serial.step(actions);
+    auto b = threaded.step(actions);
+    EXPECT_EQ(a.obs.vec(), b.obs.vec());
+    EXPECT_EQ(a.rewards, b.rewards);
+    EXPECT_EQ(a.dones, b.dones);
+  }
+}
+
+TEST(VecEnv, WrongActionShapeThrows) {
+  VecEnv vec("Hopper", 2, 1);
+  vec.reset_all();
+  EXPECT_THROW(vec.step(Tensor({3, vec.spec().act_dim})), Error);
+  EXPECT_THROW(vec.step_discrete({0}), Error);
+}
+
+TEST(VecEnv, ZeroEnvsThrows) { EXPECT_THROW(VecEnv("Hopper", 0, 1), Error); }
+
+}  // namespace
+}  // namespace stellaris::envs

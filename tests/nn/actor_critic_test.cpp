@@ -1,0 +1,149 @@
+#include "nn/actor_critic.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace stellaris::nn {
+namespace {
+
+ActorCritic make_mujoco_model(std::uint64_t seed = 1) {
+  return ActorCritic(ObsSpec::vector(8), ActionKind::kContinuous, 3,
+                     NetworkSpec::mujoco(16), seed);
+}
+
+ActorCritic make_atari_model(std::uint64_t seed = 1) {
+  return ActorCritic(ObsSpec::planes(3, 20, 20), ActionKind::kDiscrete, 4,
+                     NetworkSpec::atari(), seed);
+}
+
+TEST(ActorCritic, PolicyAndValueShapes) {
+  auto m = make_mujoco_model();
+  Rng rng(2);
+  Tensor obs = Tensor::randn({5, 8}, rng);
+  EXPECT_EQ(m.policy_forward(obs).shape(), (Shape{5, 3}));
+  EXPECT_EQ(m.value_forward(obs).shape(), (Shape{5}));
+}
+
+TEST(ActorCritic, AtariShapes) {
+  auto m = make_atari_model();
+  Rng rng(3);
+  Tensor obs = Tensor::rand_uniform({2, 3 * 20 * 20}, rng, 0.0f, 1.0f);
+  EXPECT_EQ(m.policy_forward(obs).shape(), (Shape{2, 4}));
+  EXPECT_EQ(m.value_forward(obs).shape(), (Shape{2}));
+}
+
+TEST(ActorCritic, ContinuousHasLogStdDiscreteDoesNot) {
+  auto c = make_mujoco_model();
+  auto d = make_atari_model();
+  EXPECT_NE(c.log_std(), nullptr);
+  EXPECT_EQ(c.log_std()->numel(), 3u);
+  EXPECT_EQ(d.log_std(), nullptr);
+}
+
+TEST(ActorCritic, FlatParamRoundTrip) {
+  auto m = make_mujoco_model(7);
+  const auto flat = m.flat_params();
+  EXPECT_EQ(flat.size(), m.flat_size());
+  auto m2 = make_mujoco_model(8);  // different init
+  m2.set_flat_params(flat);
+  EXPECT_EQ(m2.flat_params(), flat);
+}
+
+TEST(ActorCritic, SetFlatWrongSizeThrows) {
+  auto m = make_mujoco_model();
+  std::vector<float> bad(m.flat_size() + 1, 0.0f);
+  EXPECT_THROW(m.set_flat_params(bad), Error);
+}
+
+TEST(ActorCritic, CloneIsDeepAndEqual) {
+  auto m = make_mujoco_model(9);
+  auto c = m.clone();
+  EXPECT_EQ(c->flat_params(), m.flat_params());
+  // Mutating the clone does not touch the original.
+  auto p = c->flat_params();
+  p[0] += 1.0f;
+  c->set_flat_params(p);
+  EXPECT_NE(c->flat_params(), m.flat_params());
+}
+
+TEST(ActorCritic, SameSeedSameInit) {
+  auto a = make_mujoco_model(5);
+  auto b = make_mujoco_model(5);
+  EXPECT_EQ(a.flat_params(), b.flat_params());
+}
+
+TEST(ActorCritic, DifferentSeedDifferentInit) {
+  auto a = make_mujoco_model(5);
+  auto b = make_mujoco_model(6);
+  EXPECT_NE(a.flat_params(), b.flat_params());
+}
+
+TEST(ActorCritic, LogStdSpanPointsAtLogStd) {
+  auto m = make_mujoco_model(10);
+  const auto [off, len] = m.log_std_span();
+  EXPECT_EQ(len, 3u);
+  auto flat = m.flat_params();
+  for (std::size_t i = 0; i < len; ++i)
+    EXPECT_FLOAT_EQ(flat[off + i], (*m.log_std())[i]);
+  // Editing through the span lands in the model's log_std.
+  flat[off] = -1.25f;
+  m.set_flat_params(flat);
+  EXPECT_FLOAT_EQ((*m.log_std())[0], -1.25f);
+}
+
+TEST(ActorCritic, LogStdSpanEmptyForDiscrete) {
+  auto m = make_atari_model();
+  const auto [off, len] = m.log_std_span();
+  EXPECT_EQ(len, 0u);
+  (void)off;
+}
+
+TEST(ActorCritic, ZeroGradClearsAccumulators) {
+  auto m = make_mujoco_model(11);
+  Rng rng(4);
+  Tensor obs = Tensor::randn({3, 8}, rng);
+  Tensor out = m.policy_forward(obs);
+  m.policy_backward(Tensor::ones(out.shape()));
+  Tensor v = m.value_forward(obs);
+  m.value_backward(Tensor::ones({3}));
+  double norm = 0.0;
+  for (float g : m.flat_grads()) norm += std::abs(g);
+  EXPECT_GT(norm, 0.0);
+  m.zero_grad();
+  for (float g : m.flat_grads()) EXPECT_EQ(g, 0.0f);
+}
+
+TEST(ActorCritic, GradSizeMatchesParamSize) {
+  auto m = make_mujoco_model(12);
+  EXPECT_EQ(m.flat_grads().size(), m.flat_size());
+}
+
+TEST(ActorCritic, PolicyAndValueNetsAreIndependent) {
+  auto m = make_mujoco_model(13);
+  Rng rng(5);
+  Tensor obs = Tensor::randn({2, 8}, rng);
+  Tensor v_before = m.value_forward(obs);
+  // Backprop only through the policy; value outputs must be unchanged.
+  Tensor out = m.policy_forward(obs);
+  m.policy_backward(Tensor::ones(out.shape()));
+  Tensor v_after = m.value_forward(obs);
+  for (std::size_t i = 0; i < 2; ++i)
+    EXPECT_FLOAT_EQ(v_before[i], v_after[i]);
+}
+
+TEST(ActorCritic, RejectsBadConstruction) {
+  EXPECT_THROW(ActorCritic(ObsSpec::vector(0), ActionKind::kContinuous, 2,
+                           NetworkSpec::mujoco(8), 1),
+               Error);
+  EXPECT_THROW(ActorCritic(ObsSpec::vector(4), ActionKind::kContinuous, 0,
+                           NetworkSpec::mujoco(8), 1),
+               Error);
+  // CNN spec demands image observations.
+  EXPECT_THROW(ActorCritic(ObsSpec::vector(4), ActionKind::kDiscrete, 2,
+                           NetworkSpec::atari(), 1),
+               Error);
+}
+
+}  // namespace
+}  // namespace stellaris::nn

@@ -1,0 +1,199 @@
+#include "nn/distributions.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace stellaris::nn {
+namespace {
+
+constexpr double kLog2Pi = 1.8378770664093453;
+
+TEST(Gaussian, LogProbMatchesClosedForm) {
+  Tensor mean({1, 2}, {0.0f, 1.0f});
+  Tensor log_std = Tensor::of({0.0f, std::log(2.0f)});
+  Tensor actions({1, 2}, {1.0f, 1.0f});
+  Tensor lp = gaussian_log_prob(mean, log_std, actions);
+  // dim0: z=1, logp = -0.5 - 0 - 0.5·log2π; dim1: z=0, logp = -log2 - 0.5·log2π
+  const double expected = (-0.5 - 0.5 * kLog2Pi) +
+                          (-std::log(2.0) - 0.5 * kLog2Pi);
+  EXPECT_NEAR(lp[0], expected, 1e-5);
+}
+
+TEST(Gaussian, SampleMomentsMatch) {
+  Rng rng(1);
+  Tensor mean = Tensor::full({2000, 1}, 3.0f);
+  Tensor log_std = Tensor::of({std::log(0.5f)});
+  Tensor s = gaussian_sample(mean, log_std, rng);
+  double sum = 0.0, sq = 0.0;
+  for (float v : s.vec()) {
+    sum += v;
+    sq += (v - 3.0) * (v - 3.0);
+  }
+  EXPECT_NEAR(sum / 2000, 3.0, 0.05);
+  EXPECT_NEAR(std::sqrt(sq / 2000), 0.5, 0.03);
+}
+
+TEST(Gaussian, LogProbBackwardMatchesFiniteDifference) {
+  Rng rng(2);
+  Tensor mean = Tensor::randn({4, 3}, rng);
+  Tensor log_std = Tensor::of({-0.3f, 0.1f, 0.4f});
+  Tensor actions = Tensor::randn({4, 3}, rng);
+  Tensor coeff = Tensor::randn({4}, rng);
+
+  auto weighted_logp = [&](const Tensor& m, const Tensor& ls) {
+    Tensor lp = gaussian_log_prob(m, ls, actions);
+    double s = 0.0;
+    for (std::size_t i = 0; i < 4; ++i) s += coeff[i] * lp[i];
+    return s;
+  };
+
+  auto g = gaussian_log_prob_backward(mean, log_std, actions, coeff);
+  const float eps = 1e-3f;
+  for (std::size_t i = 0; i < mean.numel(); ++i) {
+    Tensor mp = mean, mm = mean;
+    mp[i] += eps;
+    mm[i] -= eps;
+    const double fd =
+        (weighted_logp(mp, log_std) - weighted_logp(mm, log_std)) / (2 * eps);
+    EXPECT_NEAR(g.dmean[i], fd, 1e-2);
+  }
+  for (std::size_t j = 0; j < 3; ++j) {
+    Tensor lp = log_std, lm = log_std;
+    lp[j] += eps;
+    lm[j] -= eps;
+    const double fd =
+        (weighted_logp(mean, lp) - weighted_logp(mean, lm)) / (2 * eps);
+    EXPECT_NEAR(g.dlog_std[j], fd, 1e-2);
+  }
+}
+
+TEST(Gaussian, EntropyClosedForm) {
+  Tensor log_std = Tensor::of({0.0f, 1.0f});
+  // H = Σ (logσ + ½log(2πe))
+  const double expected = (0.0 + 0.5 * (kLog2Pi + 1.0)) +
+                          (1.0 + 0.5 * (kLog2Pi + 1.0));
+  EXPECT_NEAR(gaussian_entropy(log_std), expected, 1e-9);
+}
+
+TEST(Gaussian, KlZeroForIdenticalPolicies) {
+  Rng rng(3);
+  Tensor mean = Tensor::randn({5, 2}, rng);
+  Tensor log_std = Tensor::of({0.2f, -0.3f});
+  Tensor kl = gaussian_kl(mean, log_std, mean, log_std);
+  for (std::size_t i = 0; i < 5; ++i) EXPECT_NEAR(kl[i], 0.0f, 1e-6f);
+}
+
+TEST(Gaussian, KlIsNonnegativeAndGrowsWithDistance) {
+  Tensor m1({1, 1}, {0.0f});
+  Tensor m2({1, 1}, {1.0f});
+  Tensor m3({1, 1}, {2.0f});
+  Tensor ls = Tensor::of({0.0f});
+  const float kl_near = gaussian_kl(m1, ls, m2, ls)[0];
+  const float kl_far = gaussian_kl(m1, ls, m3, ls)[0];
+  EXPECT_GT(kl_near, 0.0f);
+  EXPECT_GT(kl_far, kl_near);
+  // KL(N(0,1) ‖ N(1,1)) = 0.5.
+  EXPECT_NEAR(kl_near, 0.5f, 1e-6f);
+}
+
+TEST(Categorical, LogProbIsLogSoftmax) {
+  Tensor logits({2, 3}, {1, 2, 3, 0, 0, 0});
+  Tensor lp = categorical_log_prob(logits, {2, 0});
+  const double denom = std::exp(1.0) + std::exp(2.0) + std::exp(3.0);
+  EXPECT_NEAR(lp[0], std::log(std::exp(3.0) / denom), 1e-5);
+  EXPECT_NEAR(lp[1], std::log(1.0 / 3.0), 1e-5);
+}
+
+TEST(Categorical, SampleFrequenciesMatchSoftmax) {
+  Rng rng(4);
+  Tensor logits({1, 3}, {0.0f, 1.0f, 2.0f});
+  std::vector<int> counts(3, 0);
+  for (int i = 0; i < 30000; ++i) {
+    auto a = categorical_sample(logits, rng);
+    ++counts[a[0]];
+  }
+  const double z = std::exp(0.0) + std::exp(1.0) + std::exp(2.0);
+  EXPECT_NEAR(counts[0] / 30000.0, std::exp(0.0) / z, 0.01);
+  EXPECT_NEAR(counts[2] / 30000.0, std::exp(2.0) / z, 0.01);
+}
+
+TEST(Categorical, LogProbBackwardMatchesFiniteDifference) {
+  Rng rng(5);
+  Tensor logits = Tensor::randn({3, 4}, rng);
+  std::vector<std::size_t> actions = {1, 3, 0};
+  Tensor coeff = Tensor::of({0.5f, -1.0f, 2.0f});
+
+  auto weighted = [&](const Tensor& l) {
+    Tensor lp = categorical_log_prob(l, actions);
+    double s = 0.0;
+    for (std::size_t i = 0; i < 3; ++i) s += coeff[i] * lp[i];
+    return s;
+  };
+
+  Tensor g = categorical_log_prob_backward(logits, actions, coeff);
+  const float eps = 1e-3f;
+  for (std::size_t i = 0; i < logits.numel(); ++i) {
+    Tensor lp = logits, lm = logits;
+    lp[i] += eps;
+    lm[i] -= eps;
+    EXPECT_NEAR(g[i], (weighted(lp) - weighted(lm)) / (2 * eps), 1e-2);
+  }
+}
+
+TEST(Categorical, EntropyUniformIsLogN) {
+  Tensor logits({1, 4});
+  Tensor h = categorical_entropy(logits);
+  EXPECT_NEAR(h[0], std::log(4.0f), 1e-5f);
+}
+
+TEST(Categorical, EntropyBackwardMatchesFiniteDifference) {
+  Rng rng(6);
+  Tensor logits = Tensor::randn({2, 3}, rng);
+  Tensor coeff = Tensor::of({1.0f, -0.5f});
+  auto weighted = [&](const Tensor& l) {
+    Tensor h = categorical_entropy(l);
+    return coeff[0] * h[0] + coeff[1] * h[1];
+  };
+  Tensor g = categorical_entropy_backward(logits, coeff);
+  const float eps = 1e-3f;
+  for (std::size_t i = 0; i < logits.numel(); ++i) {
+    Tensor lp = logits, lm = logits;
+    lp[i] += eps;
+    lm[i] -= eps;
+    EXPECT_NEAR(g[i], (weighted(lp) - weighted(lm)) / (2 * eps), 1e-2);
+  }
+}
+
+TEST(Categorical, KlIdentities) {
+  Rng rng(7);
+  Tensor a = Tensor::randn({4, 5}, rng);
+  Tensor b = Tensor::randn({4, 5}, rng);
+  Tensor self = categorical_kl(a, a);
+  Tensor cross = categorical_kl(a, b);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_NEAR(self[i], 0.0f, 1e-6f);
+    EXPECT_GE(cross[i], 0.0f);
+  }
+}
+
+// Property: KL between a logit set and a shifted copy is invariant to the
+// shift (softmax shift invariance).
+class CategoricalShift : public ::testing::TestWithParam<float> {};
+
+TEST_P(CategoricalShift, KlInvariantToLogitShift) {
+  Rng rng(8);
+  Tensor a = Tensor::randn({2, 4}, rng);
+  Tensor b = a;
+  for (auto& v : b.vec()) v += GetParam();
+  Tensor kl = categorical_kl(a, b);
+  for (std::size_t i = 0; i < 2; ++i) EXPECT_NEAR(kl[i], 0.0f, 1e-5f);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shifts, CategoricalShift,
+                         ::testing::Values(-3.0f, -0.5f, 0.0f, 2.0f, 10.0f));
+
+}  // namespace
+}  // namespace stellaris::nn

@@ -1,0 +1,88 @@
+#include "rl/replay_buffer.hpp"
+
+#include <gtest/gtest.h>
+
+namespace stellaris::rl {
+namespace {
+
+SampleBatch batch_of(std::size_t n, std::uint64_t version) {
+  SampleBatch b;
+  b.action_kind = nn::ActionKind::kContinuous;
+  b.policy_version = version;
+  b.obs = Tensor({n, 2});
+  b.actions_cont = Tensor({n, 1});
+  b.rewards = Tensor::full({n}, static_cast<float>(version));
+  b.dones = Tensor({n});
+  b.behaviour_log_probs = Tensor({n});
+  b.values = Tensor({n});
+  return b;
+}
+
+TEST(ReplayBuffer, AddAndSize) {
+  ReplayBuffer rb(4);
+  rb.add(batch_of(8, 1));
+  rb.add(batch_of(8, 2));
+  EXPECT_EQ(rb.size(), 2u);
+  EXPECT_EQ(rb.total_timesteps(), 16u);
+}
+
+TEST(ReplayBuffer, EvictsFifoAtCapacity) {
+  ReplayBuffer rb(2);
+  rb.add(batch_of(4, 1));
+  rb.add(batch_of(4, 2));
+  rb.add(batch_of(4, 3));
+  EXPECT_EQ(rb.size(), 2u);
+  EXPECT_EQ(rb.total_timesteps(), 8u);
+  // The oldest (version 1) was dropped: every sample comes from 2 or 3.
+  Rng rng(1);
+  for (int i = 0; i < 20; ++i) EXPECT_GE(rb.sample(rng).policy_version, 2u);
+}
+
+TEST(ReplayBuffer, AgeBoundEvicts) {
+  ReplayBuffer rb(10, /*max_age=*/2);
+  rb.add(batch_of(4, 1));
+  rb.add(batch_of(4, 5));
+  rb.evict_stale(6);  // version 1 is 5 behind > 2 → dropped
+  EXPECT_EQ(rb.size(), 1u);
+  Rng rng(2);
+  EXPECT_EQ(rb.sample(rng).policy_version, 5u);
+}
+
+TEST(ReplayBuffer, NoAgeBoundKeepsEverything) {
+  ReplayBuffer rb(10);
+  rb.add(batch_of(4, 1));
+  rb.evict_stale(1000);
+  EXPECT_EQ(rb.size(), 1u);
+}
+
+TEST(ReplayBuffer, SampleFromEmptyThrows) {
+  ReplayBuffer rb(2);
+  Rng rng(3);
+  EXPECT_THROW(rb.sample(rng), Error);
+}
+
+TEST(ReplayBuffer, SampleConcatMergesBatches) {
+  ReplayBuffer rb(4);
+  rb.add(batch_of(4, 1));
+  rb.add(batch_of(4, 2));
+  Rng rng(4);
+  SampleBatch merged = rb.sample_concat(3, rng);
+  EXPECT_EQ(merged.size(), 12u);
+  EXPECT_EQ(merged.segment_views().size(), 3u);  // seams recorded
+}
+
+TEST(ReplayBuffer, SamplingIsUniformIsh) {
+  ReplayBuffer rb(2);
+  rb.add(batch_of(1, 10));
+  rb.add(batch_of(1, 20));
+  Rng rng(5);
+  int tens = 0;
+  for (int i = 0; i < 2000; ++i)
+    if (rb.sample(rng).policy_version == 10) ++tens;
+  EXPECT_NEAR(tens / 2000.0, 0.5, 0.05);
+}
+
+TEST(ReplayBuffer, ZeroCapacityThrows) { EXPECT_THROW(ReplayBuffer(0), Error); }
+
+}  // namespace
+}  // namespace stellaris::rl

@@ -1,0 +1,145 @@
+#include "rl/sample_batch.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace stellaris::rl {
+namespace {
+
+SampleBatch make_batch(std::size_t n, std::uint64_t version, float base) {
+  SampleBatch b;
+  b.action_kind = nn::ActionKind::kContinuous;
+  b.policy_version = version;
+  b.obs = Tensor({n, 2});
+  b.actions_cont = Tensor({n, 1});
+  b.rewards = Tensor({n});
+  b.dones = Tensor({n});
+  b.behaviour_log_probs = Tensor({n});
+  b.values = Tensor({n});
+  for (std::size_t i = 0; i < n; ++i) {
+    b.obs.at(i, 0) = base + static_cast<float>(i);
+    b.rewards[i] = base * 10 + static_cast<float>(i);
+    b.values[i] = base;
+  }
+  b.bootstrap_value = base + 100.0f;
+  return b;
+}
+
+TEST(SampleBatch, SerializeRoundTripContinuous) {
+  SampleBatch b = make_batch(5, 3, 1.0f);
+  b.episode_returns = {12.5, -3.0};
+  b.segments.push_back({0, 1.0f});
+  b.segments.push_back({3, 2.0f});
+  SampleBatch c = SampleBatch::deserialize(b.serialize());
+  EXPECT_EQ(c.action_kind, b.action_kind);
+  EXPECT_EQ(c.policy_version, 3u);
+  EXPECT_EQ(c.obs.vec(), b.obs.vec());
+  EXPECT_EQ(c.rewards.vec(), b.rewards.vec());
+  EXPECT_FLOAT_EQ(c.bootstrap_value, b.bootstrap_value);
+  EXPECT_EQ(c.episode_returns, b.episode_returns);
+  ASSERT_EQ(c.segments.size(), 2u);
+  EXPECT_EQ(c.segments[1].start, 3u);
+  EXPECT_FLOAT_EQ(c.segments[1].bootstrap, 2.0f);
+}
+
+TEST(SampleBatch, SerializeRoundTripDiscrete) {
+  SampleBatch b;
+  b.action_kind = nn::ActionKind::kDiscrete;
+  b.obs = Tensor({2, 3});
+  b.actions_disc = {1, 2};
+  b.rewards = Tensor({2});
+  b.dones = Tensor({2});
+  b.behaviour_log_probs = Tensor({2});
+  b.values = Tensor({2});
+  SampleBatch c = SampleBatch::deserialize(b.serialize());
+  EXPECT_EQ(c.action_kind, nn::ActionKind::kDiscrete);
+  EXPECT_EQ(c.actions_disc, b.actions_disc);
+}
+
+TEST(SampleBatch, ConcatStacksFieldsInOrder) {
+  SampleBatch a = make_batch(3, 1, 0.0f);
+  SampleBatch b = make_batch(2, 1, 10.0f);
+  SampleBatch c = SampleBatch::concat({a, b});
+  EXPECT_EQ(c.size(), 5u);
+  EXPECT_FLOAT_EQ(c.obs.at(0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(c.obs.at(3, 0), 10.0f);
+  EXPECT_FLOAT_EQ(c.rewards[4], 101.0f);
+}
+
+TEST(SampleBatch, ConcatRecordsSegmentSeams) {
+  SampleBatch a = make_batch(3, 1, 0.0f);
+  SampleBatch b = make_batch(2, 1, 10.0f);
+  SampleBatch c = SampleBatch::concat({a, b});
+  const auto views = c.segment_views();
+  ASSERT_EQ(views.size(), 2u);
+  EXPECT_EQ(views[0].start, 0u);
+  EXPECT_EQ(views[0].end, 3u);
+  EXPECT_FLOAT_EQ(views[0].bootstrap, 100.0f);   // a's bootstrap
+  EXPECT_EQ(views[1].start, 3u);
+  EXPECT_EQ(views[1].end, 5u);
+  EXPECT_FLOAT_EQ(views[1].bootstrap, 110.0f);  // b's bootstrap
+}
+
+TEST(SampleBatch, SegmentViewsDefaultToWholeBatch) {
+  SampleBatch a = make_batch(4, 0, 1.0f);
+  const auto views = a.segment_views();
+  ASSERT_EQ(views.size(), 1u);
+  EXPECT_EQ(views[0].start, 0u);
+  EXPECT_EQ(views[0].end, 4u);
+  EXPECT_FLOAT_EQ(views[0].bootstrap, 101.0f);
+}
+
+TEST(SampleBatch, ConcatOfConcatKeepsAllSeams) {
+  SampleBatch a = make_batch(2, 1, 0.0f);
+  SampleBatch b = make_batch(2, 1, 1.0f);
+  SampleBatch ab = SampleBatch::concat({a, b});
+  SampleBatch c = make_batch(2, 1, 2.0f);
+  SampleBatch abc = SampleBatch::concat({ab, c});
+  EXPECT_EQ(abc.segment_views().size(), 3u);
+  EXPECT_EQ(abc.size(), 6u);
+}
+
+TEST(SampleBatch, ConcatMergesEpisodeReturns) {
+  SampleBatch a = make_batch(2, 1, 0.0f);
+  a.episode_returns = {1.0};
+  SampleBatch b = make_batch(2, 1, 0.0f);
+  b.episode_returns = {2.0, 3.0};
+  SampleBatch c = SampleBatch::concat({a, b});
+  EXPECT_EQ(c.episode_returns, (std::vector<double>{1.0, 2.0, 3.0}));
+}
+
+TEST(SampleBatch, ConcatMixedKindsThrows) {
+  SampleBatch a = make_batch(2, 1, 0.0f);
+  SampleBatch b;
+  b.action_kind = nn::ActionKind::kDiscrete;
+  EXPECT_THROW(SampleBatch::concat({a, b}), Error);
+}
+
+TEST(SampleBatch, ConcatEmptyListThrows) {
+  EXPECT_THROW(SampleBatch::concat({}), Error);
+}
+
+TEST(SampleBatch, SelectExtractsRows) {
+  SampleBatch a = make_batch(5, 2, 0.0f);
+  a.advantages = Tensor({5}, {0, 1, 2, 3, 4});
+  a.value_targets = Tensor({5}, {5, 6, 7, 8, 9});
+  SampleBatch s = a.select({4, 0, 2});
+  EXPECT_EQ(s.size(), 3u);
+  EXPECT_FLOAT_EQ(s.obs.at(0, 0), 4.0f);
+  EXPECT_FLOAT_EQ(s.obs.at(1, 0), 0.0f);
+  EXPECT_FLOAT_EQ(s.advantages[2], 2.0f);
+  EXPECT_FLOAT_EQ(s.value_targets[0], 9.0f);
+}
+
+TEST(SampleBatch, RoundTripThroughBytesPreservesAdvantages) {
+  SampleBatch a = make_batch(3, 1, 0.0f);
+  a.advantages = Tensor({3}, {1, 2, 3});
+  a.value_targets = Tensor({3}, {4, 5, 6});
+  SampleBatch c = SampleBatch::deserialize(a.serialize());
+  EXPECT_TRUE(c.has_advantages());
+  EXPECT_EQ(c.advantages.vec(), a.advantages.vec());
+}
+
+}  // namespace
+}  // namespace stellaris::rl

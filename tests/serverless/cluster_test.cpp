@@ -1,0 +1,71 @@
+#include "serverless/cluster.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace stellaris::serverless {
+namespace {
+
+TEST(VmCatalog, PaperPrices) {
+  EXPECT_DOUBLE_EQ(VmType::p3_2xlarge().hourly_price_usd, 3.06);
+  EXPECT_DOUBLE_EQ(VmType::c6a_32xlarge().hourly_price_usd, 4.896);
+  EXPECT_DOUBLE_EQ(VmType::p3_16xlarge().hourly_price_usd, 24.48);
+  EXPECT_DOUBLE_EQ(VmType::hpc7a_96xlarge().hourly_price_usd, 7.2);
+}
+
+TEST(Cluster, RegularTestbedMatchesPaper) {
+  // §VIII-A: two p3.2xlarge + one c6a.32xlarge → 2 V100s, 128 actor cores.
+  const auto spec = ClusterSpec::regular();
+  EXPECT_EQ(spec.total_gpus(), 2u);
+  EXPECT_EQ(spec.actor_slots(), 128u);
+  EXPECT_EQ(spec.learner_slots(), 8u);  // 4 per V100
+}
+
+TEST(Cluster, HpcTestbedMatchesPaper) {
+  // §VIII-A: two p3.16xlarge + five hpc7a.96xlarge → 16 V100s, 960 cores.
+  const auto spec = ClusterSpec::hpc();
+  EXPECT_EQ(spec.total_gpus(), 16u);
+  EXPECT_EQ(spec.actor_slots(), 960u);
+  EXPECT_EQ(spec.learner_slots(), 64u);
+}
+
+TEST(Cluster, LearnerUnitPriceIsPaperCostModel) {
+  // §VIII-A example: p3.2xlarge at capacity 4 → price / 4 / 3600 per sec.
+  const auto spec = ClusterSpec::regular();
+  EXPECT_NEAR(spec.learner_unit_price(), 3.06 / 3600.0 / 4.0, 1e-12);
+}
+
+TEST(Cluster, ActorUnitPriceIsPerCore) {
+  const auto spec = ClusterSpec::regular();
+  EXPECT_NEAR(spec.actor_unit_price(), 4.896 / 3600.0 / 128.0, 1e-12);
+}
+
+TEST(Cluster, SlotsScaleWithCapacityKnob) {
+  auto spec = ClusterSpec::regular();
+  spec.learner_slots_per_gpu = 8;
+  EXPECT_EQ(spec.learner_slots(), 16u);
+  EXPECT_NEAR(spec.learner_unit_price(), 3.06 / 3600.0 / 8.0, 1e-12);
+}
+
+TEST(Cluster, PerSlotTflopsSplitsTheGpu) {
+  const auto spec = ClusterSpec::regular();
+  EXPECT_NEAR(spec.per_slot_tflops(), 14.0 / 4.0, 1e-12);
+}
+
+TEST(Cluster, CpuOnlyClusterThrowsForLearnerQueries) {
+  ClusterSpec spec;
+  spec.vms = {{VmType::c6a_32xlarge(), 1}};
+  EXPECT_THROW(spec.learner_unit_price(), ConfigError);
+  EXPECT_THROW(spec.per_slot_tflops(), ConfigError);
+  EXPECT_EQ(spec.learner_slots(), 0u);
+}
+
+TEST(Cluster, RegularSmallIsRightSized) {
+  const auto spec = ClusterSpec::regular_small();
+  EXPECT_EQ(spec.actor_slots(), 32u);
+  EXPECT_EQ(spec.total_gpus(), 2u);
+}
+
+}  // namespace
+}  // namespace stellaris::serverless

@@ -1,0 +1,57 @@
+#include "serverless/cost_meter.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace stellaris::serverless {
+namespace {
+
+TEST(CostMeter, RecordsPriceTimesDuration) {
+  CostMeter meter;
+  meter.record(FnKind::kLearner, 0.01, 5.0);
+  EXPECT_DOUBLE_EQ(meter.cost(FnKind::kLearner), 0.05);
+  EXPECT_DOUBLE_EQ(meter.busy_seconds(FnKind::kLearner), 5.0);
+  EXPECT_EQ(meter.invocations(FnKind::kLearner), 1u);
+}
+
+TEST(CostMeter, KindsAreIndependent) {
+  CostMeter meter;
+  meter.record(FnKind::kLearner, 1.0, 1.0);
+  meter.record(FnKind::kActor, 1.0, 2.0);
+  meter.record(FnKind::kParameter, 1.0, 3.0);
+  EXPECT_DOUBLE_EQ(meter.cost(FnKind::kLearner), 1.0);
+  EXPECT_DOUBLE_EQ(meter.cost(FnKind::kActor), 2.0);
+  EXPECT_DOUBLE_EQ(meter.cost(FnKind::kParameter), 3.0);
+  EXPECT_DOUBLE_EQ(meter.total_cost(), 6.0);
+}
+
+TEST(CostMeter, Accumulates) {
+  CostMeter meter;
+  for (int i = 0; i < 10; ++i) meter.record(FnKind::kActor, 0.5, 1.0);
+  EXPECT_DOUBLE_EQ(meter.cost(FnKind::kActor), 5.0);
+  EXPECT_EQ(meter.invocations(FnKind::kActor), 10u);
+}
+
+TEST(CostMeter, ResetZeroesEverything) {
+  CostMeter meter;
+  meter.record(FnKind::kLearner, 1.0, 1.0);
+  meter.reset();
+  EXPECT_DOUBLE_EQ(meter.total_cost(), 0.0);
+  EXPECT_EQ(meter.invocations(FnKind::kLearner), 0u);
+}
+
+TEST(CostMeter, RejectsNegativeInputs) {
+  CostMeter meter;
+  EXPECT_THROW(meter.record(FnKind::kActor, -1.0, 1.0), Error);
+  EXPECT_THROW(meter.record(FnKind::kActor, 1.0, -1.0), Error);
+}
+
+TEST(CostMeter, KindNames) {
+  EXPECT_STREQ(fn_kind_name(FnKind::kLearner), "learner");
+  EXPECT_STREQ(fn_kind_name(FnKind::kParameter), "parameter");
+  EXPECT_STREQ(fn_kind_name(FnKind::kActor), "actor");
+}
+
+}  // namespace
+}  // namespace stellaris::serverless

@@ -1,0 +1,78 @@
+#include "serverless/data_loader.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace stellaris::serverless {
+namespace {
+
+LatencyModel no_jitter() {
+  LatencyModel lat;
+  lat.jitter_frac = 0.0;
+  return lat;
+}
+
+TEST(DataLoader, PreloadCompletesBeforeSlowLearner) {
+  GpuDataLoader loader(no_jitter(), 1);
+  const auto id = loader.on_trajectory(0.0, 1 << 20);
+  // A learner arriving long after the transfer finished waits nothing.
+  EXPECT_DOUBLE_EQ(loader.learner_wait_s(id, 100.0), 0.0);
+  EXPECT_EQ(loader.preload_hits(), 1u);
+  EXPECT_EQ(loader.preload_misses(), 0u);
+}
+
+TEST(DataLoader, ImmediateLearnerPaysResidualWait) {
+  LatencyModel lat = no_jitter();
+  GpuDataLoader loader(lat, 1);
+  const std::size_t bytes = 8 << 20;
+  const double transfer = lat.transfer_s(DataTier::kCache, bytes);
+  const auto id = loader.on_trajectory(0.0, bytes);
+  const double wait = loader.learner_wait_s(id, transfer / 2.0);
+  EXPECT_NEAR(wait, transfer / 2.0, 1e-9);
+  EXPECT_EQ(loader.preload_misses(), 1u);
+}
+
+TEST(DataLoader, OverlapIsAccounted) {
+  LatencyModel lat = no_jitter();
+  GpuDataLoader loader(lat, 1);
+  const std::size_t bytes = 4 << 20;
+  const double transfer = lat.transfer_s(DataTier::kCache, bytes);
+  const auto id = loader.on_trajectory(0.0, bytes);
+  (void)loader.learner_wait_s(id, 2.0 * transfer);  // fully overlapped
+  EXPECT_NEAR(loader.overlapped_s(), transfer, 1e-9);
+}
+
+TEST(DataLoader, TracksOutstandingBatches) {
+  GpuDataLoader loader(no_jitter(), 1);
+  const auto a = loader.on_trajectory(0.0, 1024);
+  const auto b = loader.on_trajectory(0.0, 1024);
+  EXPECT_EQ(loader.outstanding(), 2u);
+  (void)loader.learner_wait_s(a, 10.0);
+  EXPECT_EQ(loader.outstanding(), 1u);
+  (void)b;
+}
+
+TEST(DataLoader, DoubleClaimThrows) {
+  GpuDataLoader loader(no_jitter(), 1);
+  const auto id = loader.on_trajectory(0.0, 1024);
+  (void)loader.learner_wait_s(id, 10.0);
+  EXPECT_THROW(loader.learner_wait_s(id, 11.0), Error);
+}
+
+TEST(DataLoader, UnknownIdThrows) {
+  GpuDataLoader loader(no_jitter(), 1);
+  EXPECT_THROW(loader.learner_wait_s(99, 0.0), Error);
+}
+
+TEST(DataLoader, LargerPayloadsTakeLonger) {
+  GpuDataLoader loader(no_jitter(), 1);
+  const auto small = loader.on_trajectory(0.0, 1024);
+  const auto big = loader.on_trajectory(0.0, 64 << 20);
+  const double w_small = loader.learner_wait_s(small, 0.0);
+  const double w_big = loader.learner_wait_s(big, 0.0);
+  EXPECT_GT(w_big, w_small);
+}
+
+}  // namespace
+}  // namespace stellaris::serverless

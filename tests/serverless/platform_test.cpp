@@ -1,0 +1,151 @@
+#include "serverless/platform.hpp"
+
+#include <gtest/gtest.h>
+
+namespace stellaris::serverless {
+namespace {
+
+struct Fixture {
+  sim::Engine engine;
+  ServerlessPlatform platform;
+
+  explicit Fixture(ClusterSpec cluster = ClusterSpec::regular())
+      : platform(engine, std::move(cluster), LatencyModel{}, 1) {}
+};
+
+ServerlessPlatform::InvokeOptions learner_opts(double compute) {
+  ServerlessPlatform::InvokeOptions opts;
+  opts.kind = FnKind::kLearner;
+  opts.compute_s = compute;
+  return opts;
+}
+
+TEST(Platform, InvocationCompletesWithCallback) {
+  Fixture f;
+  bool done = false;
+  ServerlessPlatform::InvokeResult result;
+  f.platform.invoke(learner_opts(1.0), [&](const auto& r) {
+    done = true;
+    result = r;
+  });
+  f.engine.run();
+  EXPECT_TRUE(done);
+  EXPECT_GT(result.end_time_s, result.start_time_s);
+  EXPECT_GT(result.compute_s, 0.0);
+  EXPECT_TRUE(result.cold);  // nothing was pre-warmed
+}
+
+TEST(Platform, CostChargedAtUnitPrice) {
+  Fixture f;
+  ServerlessPlatform::InvokeResult result;
+  f.platform.invoke(learner_opts(2.0),
+                    [&](const auto& r) { result = r; });
+  f.engine.run();
+  const double expected =
+      f.platform.cluster().learner_unit_price() * result.billed_s;
+  EXPECT_NEAR(result.cost_usd, expected, 1e-12);
+  EXPECT_NEAR(f.platform.costs().cost(FnKind::kLearner), expected, 1e-12);
+}
+
+TEST(Platform, ExcessInvocationsQueue) {
+  Fixture f;  // regular cluster: 8 learner slots
+  int completed = 0;
+  for (int i = 0; i < 20; ++i)
+    f.platform.invoke(learner_opts(1.0), [&](const auto&) { ++completed; });
+  EXPECT_EQ(f.platform.queued(FnKind::kLearner), 12u);
+  f.engine.run();
+  EXPECT_EQ(completed, 20);
+  EXPECT_EQ(f.platform.queued(FnKind::kLearner), 0u);
+}
+
+TEST(Platform, QueuedInvocationStartsAfterSlotFrees) {
+  Fixture f;
+  std::vector<double> starts;
+  for (int i = 0; i < 9; ++i)  // 8 slots + 1 queued
+    f.platform.invoke(learner_opts(1.0), [&](const auto& r) {
+      starts.push_back(r.start_time_s);
+    });
+  f.engine.run();
+  ASSERT_EQ(starts.size(), 9u);
+  const double max_start =
+      *std::max_element(starts.begin(), starts.end());
+  EXPECT_GT(max_start, 0.5);  // the straggler waited for a completion
+}
+
+TEST(Platform, PrewarmEliminatesColdStarts) {
+  Fixture f;
+  f.platform.prewarm_learners(8);
+  bool cold = true;
+  f.platform.invoke(learner_opts(0.5), [&](const auto& r) { cold = r.cold; });
+  f.engine.run();
+  EXPECT_FALSE(cold);
+  EXPECT_EQ(f.platform.learner_cold_starts(), 0u);
+  EXPECT_EQ(f.platform.learner_warm_starts(), 1u);
+}
+
+TEST(Platform, OnStartFiresAtDispatchTime) {
+  Fixture f;
+  double started_at = -1.0;
+  auto opts = learner_opts(1.0);
+  opts.on_start = [&](double t) { started_at = t; };
+  f.platform.invoke(opts, [](const auto&) {});
+  f.engine.run();
+  EXPECT_DOUBLE_EQ(started_at, 0.0);  // dispatched immediately
+}
+
+TEST(Platform, OnStartOfQueuedInvocationIsDelayed) {
+  Fixture f;
+  for (int i = 0; i < 8; ++i)
+    f.platform.invoke(learner_opts(1.0), [](const auto&) {});
+  double started_at = -1.0;
+  auto opts = learner_opts(1.0);
+  opts.on_start = [&](double t) { started_at = t; };
+  f.platform.invoke(opts, [](const auto&) {});
+  f.engine.run();
+  EXPECT_GT(started_at, 0.5);  // pulled its policy only when a slot freed
+}
+
+TEST(Platform, ActorsUseSeparatePoolAndPrice) {
+  Fixture f;
+  ServerlessPlatform::InvokeOptions opts;
+  opts.kind = FnKind::kActor;
+  opts.compute_s = 1.0;
+  ServerlessPlatform::InvokeResult result;
+  f.platform.invoke(opts, [&](const auto& r) { result = r; });
+  f.engine.run();
+  EXPECT_NEAR(result.cost_usd,
+              f.platform.cluster().actor_unit_price() * result.billed_s,
+              1e-12);
+  EXPECT_EQ(f.platform.costs().invocations(FnKind::kActor), 1u);
+  EXPECT_EQ(f.platform.costs().invocations(FnKind::kLearner), 0u);
+}
+
+TEST(Platform, GpuUtilizationReflectsLoad) {
+  Fixture busy;
+  for (int i = 0; i < 32; ++i)
+    busy.platform.invoke(learner_opts(1.0), [](const auto&) {});
+  busy.engine.run();
+  const double high = busy.platform.gpu_utilization();
+
+  Fixture idle;
+  idle.platform.invoke(learner_opts(1.0), [](const auto&) {});
+  idle.engine.run();
+  const double low = idle.platform.gpu_utilization();
+  EXPECT_GT(high, low);
+  EXPECT_LE(high, 1.0 + 1e-9);
+}
+
+TEST(Platform, PayloadsAddTransferTime) {
+  Fixture f;
+  auto small = learner_opts(1.0);
+  auto big = learner_opts(1.0);
+  big.payload_in_bytes = 64 << 20;
+  double t_small = 0.0, t_big = 0.0;
+  f.platform.invoke(small, [&](const auto& r) { t_small = r.transfer_s; });
+  f.platform.invoke(big, [&](const auto& r) { t_big = r.transfer_s; });
+  f.engine.run();
+  EXPECT_GT(t_big, t_small);
+}
+
+}  // namespace
+}  // namespace stellaris::serverless

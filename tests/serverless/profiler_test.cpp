@@ -1,0 +1,79 @@
+#include "serverless/profiler.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace stellaris::serverless {
+namespace {
+
+TEST(Profiler, NoSamplesNoEstimates) {
+  FunctionProfiler prof;
+  EXPECT_EQ(prof.samples(FnKind::kLearner), 0u);
+  EXPECT_FALSE(prof.expected_duration_s(FnKind::kLearner).has_value());
+  EXPECT_EQ(prof.recommended_prewarm(FnKind::kLearner), 0u);
+}
+
+TEST(Profiler, MeanDuration) {
+  FunctionProfiler prof;
+  prof.record(FnKind::kLearner, 0.0, 1.0);
+  prof.record(FnKind::kLearner, 1.0, 3.0);
+  ASSERT_TRUE(prof.expected_duration_s(FnKind::kLearner).has_value());
+  EXPECT_DOUBLE_EQ(*prof.expected_duration_s(FnKind::kLearner), 2.0);
+}
+
+TEST(Profiler, KindsAreSeparate) {
+  FunctionProfiler prof;
+  prof.record(FnKind::kActor, 0.0, 5.0);
+  EXPECT_EQ(prof.samples(FnKind::kActor), 1u);
+  EXPECT_EQ(prof.samples(FnKind::kLearner), 0u);
+}
+
+TEST(Profiler, Percentiles) {
+  FunctionProfiler prof;
+  for (double d : {1.0, 2.0, 3.0, 4.0, 5.0})
+    prof.record(FnKind::kParameter, d, d);
+  EXPECT_DOUBLE_EQ(*prof.duration_percentile_s(FnKind::kParameter, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(*prof.duration_percentile_s(FnKind::kParameter, 1.0), 5.0);
+}
+
+TEST(Profiler, ArrivalRate) {
+  FunctionProfiler prof;
+  // 5 invocations over 4 seconds → 1 Hz.
+  for (int i = 0; i < 5; ++i)
+    prof.record(FnKind::kLearner, static_cast<double>(i), 0.5);
+  EXPECT_NEAR(prof.arrival_rate_hz(FnKind::kLearner), 1.0, 1e-9);
+}
+
+TEST(Profiler, SingleSampleHasNoRate) {
+  FunctionProfiler prof;
+  prof.record(FnKind::kLearner, 0.0, 1.0);
+  EXPECT_DOUBLE_EQ(prof.arrival_rate_hz(FnKind::kLearner), 0.0);
+}
+
+TEST(Profiler, PrewarmFollowsLittlesLaw) {
+  FunctionProfiler prof(/*headroom=*/1.0);
+  // Rate 2 Hz, duration 1.5 s → mean concurrency 3.
+  for (int i = 0; i < 9; ++i)
+    prof.record(FnKind::kLearner, i * 0.5, 1.5);
+  EXPECT_EQ(prof.recommended_prewarm(FnKind::kLearner), 3u);
+}
+
+TEST(Profiler, HeadroomPadsTheEstimate) {
+  FunctionProfiler tight(1.0), padded(1.5);
+  for (int i = 0; i < 9; ++i) {
+    tight.record(FnKind::kLearner, i * 0.5, 1.0);
+    padded.record(FnKind::kLearner, i * 0.5, 1.0);
+  }
+  EXPECT_GT(padded.recommended_prewarm(FnKind::kLearner),
+            tight.recommended_prewarm(FnKind::kLearner));
+}
+
+TEST(Profiler, RejectsBadInputs) {
+  EXPECT_THROW(FunctionProfiler(0.5), Error);
+  FunctionProfiler prof;
+  EXPECT_THROW(prof.record(FnKind::kActor, 0.0, -1.0), Error);
+}
+
+}  // namespace
+}  // namespace stellaris::serverless

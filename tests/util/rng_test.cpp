@@ -1,0 +1,176 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+namespace stellaris {
+namespace {
+
+TEST(SplitMix64, IsDeterministic) {
+  SplitMix64 a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64, DifferentSeedsDiffer) {
+  SplitMix64 a(1), b(2);
+  EXPECT_NE(a.next(), b.next());
+}
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.0, 5.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(Rng, UniformMeanNearHalf) {
+  Rng rng(5);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(9);
+  double sum = 0.0, sq = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sq / n, 1.0, 0.03);
+}
+
+TEST(Rng, NormalWithParams) {
+  Rng rng(13);
+  double sum = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) sum += rng.normal(10.0, 2.0);
+  EXPECT_NEAR(sum / n, 10.0, 0.05);
+}
+
+TEST(Rng, UniformIntStaysBelowBound) {
+  Rng rng(17);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(rng.uniform_int(7), 7u);
+}
+
+TEST(Rng, UniformIntCoversAllValues) {
+  Rng rng(19);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.uniform_int(5));
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, UniformIntRoughlyUniform) {
+  Rng rng(23);
+  std::vector<int> counts(10, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[rng.uniform_int(10)];
+  for (int c : counts) EXPECT_NEAR(c, n / 10, n / 100);
+}
+
+TEST(Rng, SplitStreamsAreDecorrelated) {
+  Rng base(31);
+  Rng a = base.split(0);
+  Rng b = base.split(1);
+  // Correlation of two supposedly independent uniform streams ~ 0.
+  double sab = 0.0, sa = 0.0, sb = 0.0, saa = 0.0, sbb = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double x = a.uniform(), y = b.uniform();
+    sa += x;
+    sb += y;
+    sab += x * y;
+    saa += x * x;
+    sbb += y * y;
+  }
+  const double cov = sab / n - (sa / n) * (sb / n);
+  const double var_a = saa / n - (sa / n) * (sa / n);
+  const double var_b = sbb / n - (sb / n) * (sb / n);
+  EXPECT_LT(std::abs(cov / std::sqrt(var_a * var_b)), 0.03);
+}
+
+TEST(Rng, SplitSameStreamIsReproducible) {
+  Rng base(37);
+  Rng a = base.split(5);
+  Rng b = base.split(5);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, CategoricalRespectsProbabilities) {
+  Rng rng(41);
+  std::vector<double> probs = {0.1, 0.6, 0.3};
+  std::vector<int> counts(3, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[rng.categorical(probs)];
+  EXPECT_NEAR(counts[0] / double(n), 0.1, 0.01);
+  EXPECT_NEAR(counts[1] / double(n), 0.6, 0.01);
+  EXPECT_NEAR(counts[2] / double(n), 0.3, 0.01);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(43);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.25) ? 1 : 0;
+  EXPECT_NEAR(hits / double(n), 0.25, 0.01);
+}
+
+TEST(Rng, PermutationIsAPermutation) {
+  Rng rng(47);
+  auto p = rng.permutation(100);
+  std::sort(p.begin(), p.end());
+  for (std::size_t i = 0; i < 100; ++i) EXPECT_EQ(p[i], i);
+}
+
+TEST(Rng, PermutationOfZeroAndOne) {
+  Rng rng(53);
+  EXPECT_TRUE(rng.permutation(0).empty());
+  auto p = rng.permutation(1);
+  ASSERT_EQ(p.size(), 1u);
+  EXPECT_EQ(p[0], 0u);
+}
+
+// Property sweep: every seed gives in-range uniforms and valid categorical
+// picks.
+class RngSeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RngSeedSweep, BasicInvariantsHoldForSeed) {
+  Rng rng(GetParam());
+  std::vector<double> probs = {0.25, 0.25, 0.5};
+  for (int i = 0; i < 2000; ++i) {
+    EXPECT_LT(rng.uniform(), 1.0);
+    EXPECT_LT(rng.uniform_int(13), 13u);
+    EXPECT_LT(rng.categorical(probs), 3u);
+    EXPECT_TRUE(std::isfinite(rng.normal()));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RngSeedSweep,
+                         ::testing::Values(0ULL, 1ULL, 42ULL, 0xffffffffULL,
+                                           0xdeadbeefcafef00dULL));
+
+}  // namespace
+}  // namespace stellaris

@@ -1,0 +1,97 @@
+#include "util/serialize.hpp"
+
+#include <gtest/gtest.h>
+
+namespace stellaris {
+namespace {
+
+TEST(Serialize, PrimitiveRoundTrip) {
+  ByteWriter w;
+  w.put_u8(7);
+  w.put_u32(123456u);
+  w.put_u64(0xdeadbeefcafef00dULL);
+  w.put_i64(-42);
+  w.put_f32(3.25f);
+  w.put_f64(-2.5);
+  w.put_string("hello stellaris");
+
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.get_u8(), 7);
+  EXPECT_EQ(r.get_u32(), 123456u);
+  EXPECT_EQ(r.get_u64(), 0xdeadbeefcafef00dULL);
+  EXPECT_EQ(r.get_i64(), -42);
+  EXPECT_FLOAT_EQ(r.get_f32(), 3.25f);
+  EXPECT_DOUBLE_EQ(r.get_f64(), -2.5);
+  EXPECT_EQ(r.get_string(), "hello stellaris");
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(Serialize, VectorRoundTrip) {
+  ByteWriter w;
+  std::vector<float> fv = {1.0f, -2.0f, 3.5f};
+  std::vector<double> dv = {0.1, 0.2};
+  std::vector<std::uint64_t> uv = {9, 8, 7, 6};
+  w.put_f32_vector(fv);
+  w.put_f64_vector(dv);
+  w.put_u64_vector(uv);
+
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.get_f32_vector(), fv);
+  EXPECT_EQ(r.get_f64_vector(), dv);
+  EXPECT_EQ(r.get_u64_vector(), uv);
+}
+
+TEST(Serialize, EmptyVectorsAndStrings) {
+  ByteWriter w;
+  w.put_string("");
+  w.put_f32_vector({});
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.get_string(), "");
+  EXPECT_TRUE(r.get_f32_vector().empty());
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(Serialize, TagMismatchThrows) {
+  ByteWriter w;
+  w.put_u32(5);
+  ByteReader r(w.bytes());
+  EXPECT_THROW(r.get_f64(), Error);
+}
+
+TEST(Serialize, OverrunThrows) {
+  ByteWriter w;
+  w.put_u32(5);
+  ByteReader r(w.bytes());
+  (void)r.get_u32();
+  EXPECT_THROW(r.get_u32(), Error);
+}
+
+TEST(Serialize, TruncatedPayloadThrows) {
+  ByteWriter w;
+  w.put_f32_vector({1.0f, 2.0f, 3.0f});
+  auto bytes = w.take();
+  bytes.resize(bytes.size() - 4);  // chop the last float
+  ByteReader r(bytes);
+  EXPECT_THROW(r.get_f32_vector(), Error);
+}
+
+TEST(Serialize, SizeTracksPayload) {
+  ByteWriter w;
+  EXPECT_EQ(w.size(), 0u);
+  w.put_f32_vector(std::vector<float>(100, 0.0f));
+  // tag + u64 length + 100 floats
+  EXPECT_EQ(w.size(), 1 + 8 + 400u);
+}
+
+TEST(Serialize, RemainingDecreasesAsRead) {
+  ByteWriter w;
+  w.put_u8(1);
+  w.put_u8(2);
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.remaining(), 2u);
+  (void)r.get_u8();
+  EXPECT_EQ(r.remaining(), 1u);
+}
+
+}  // namespace
+}  // namespace stellaris
