@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_ppo.dir/fig06_ppo.cpp.o"
+  "CMakeFiles/fig06_ppo.dir/fig06_ppo.cpp.o.d"
+  "fig06_ppo"
+  "fig06_ppo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_ppo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

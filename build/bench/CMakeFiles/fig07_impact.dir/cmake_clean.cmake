@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_impact.dir/fig07_impact.cpp.o"
+  "CMakeFiles/fig07_impact.dir/fig07_impact.cpp.o.d"
+  "fig07_impact"
+  "fig07_impact.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_impact.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

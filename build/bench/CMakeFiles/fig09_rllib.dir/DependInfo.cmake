@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig09_rllib.cpp" "bench/CMakeFiles/fig09_rllib.dir/fig09_rllib.cpp.o" "gcc" "bench/CMakeFiles/fig09_rllib.dir/fig09_rllib.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/baselines/CMakeFiles/stellaris_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/stellaris_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/rl/CMakeFiles/stellaris_rl.dir/DependInfo.cmake"
+  "/root/repo/build/src/envs/CMakeFiles/stellaris_envs.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/stellaris_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/stellaris_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/serverless/CMakeFiles/stellaris_serverless.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/stellaris_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/stellaris_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/stellaris_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

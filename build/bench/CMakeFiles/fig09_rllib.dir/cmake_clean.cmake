@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_rllib.dir/fig09_rllib.cpp.o"
+  "CMakeFiles/fig09_rllib.dir/fig09_rllib.cpp.o.d"
+  "fig09_rllib"
+  "fig09_rllib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_rllib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_minionsrl.dir/fig10_minionsrl.cpp.o"
+  "CMakeFiles/fig10_minionsrl.dir/fig10_minionsrl.cpp.o.d"
+  "fig10_minionsrl"
+  "fig10_minionsrl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_minionsrl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_hpc.dir/fig12_hpc.cpp.o"
+  "CMakeFiles/fig12_hpc.dir/fig12_hpc.cpp.o.d"
+  "fig12_hpc"
+  "fig12_hpc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_hpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table01_features.dir/table01_features.cpp.o"
+  "CMakeFiles/table01_features.dir/table01_features.cpp.o.d"
+  "table01_features"
+  "table01_features.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table01_features.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_environment.dir/custom_environment.cpp.o"
+  "CMakeFiles/custom_environment.dir/custom_environment.cpp.o.d"
+  "custom_environment"
+  "custom_environment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_environment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/serverless_playground.dir/serverless_playground.cpp.o"
+  "CMakeFiles/serverless_playground.dir/serverless_playground.cpp.o.d"
+  "serverless_playground"
+  "serverless_playground.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/serverless_playground.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stellaris_baselines.dir/sync_trainer.cpp.o"
+  "CMakeFiles/stellaris_baselines.dir/sync_trainer.cpp.o.d"
+  "libstellaris_baselines.a"
+  "libstellaris_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stellaris_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stellaris_cache.dir/distributed_cache.cpp.o"
+  "CMakeFiles/stellaris_cache.dir/distributed_cache.cpp.o.d"
+  "libstellaris_cache.a"
+  "libstellaris_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stellaris_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

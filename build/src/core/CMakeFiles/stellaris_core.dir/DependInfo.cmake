@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/config.cpp" "src/core/CMakeFiles/stellaris_core.dir/config.cpp.o" "gcc" "src/core/CMakeFiles/stellaris_core.dir/config.cpp.o.d"
+  "/root/repo/src/core/gradient.cpp" "src/core/CMakeFiles/stellaris_core.dir/gradient.cpp.o" "gcc" "src/core/CMakeFiles/stellaris_core.dir/gradient.cpp.o.d"
+  "/root/repo/src/core/kl_probe.cpp" "src/core/CMakeFiles/stellaris_core.dir/kl_probe.cpp.o" "gcc" "src/core/CMakeFiles/stellaris_core.dir/kl_probe.cpp.o.d"
+  "/root/repo/src/core/learner_update.cpp" "src/core/CMakeFiles/stellaris_core.dir/learner_update.cpp.o" "gcc" "src/core/CMakeFiles/stellaris_core.dir/learner_update.cpp.o.d"
+  "/root/repo/src/core/metrics.cpp" "src/core/CMakeFiles/stellaris_core.dir/metrics.cpp.o" "gcc" "src/core/CMakeFiles/stellaris_core.dir/metrics.cpp.o.d"
+  "/root/repo/src/core/parameter_function.cpp" "src/core/CMakeFiles/stellaris_core.dir/parameter_function.cpp.o" "gcc" "src/core/CMakeFiles/stellaris_core.dir/parameter_function.cpp.o.d"
+  "/root/repo/src/core/policy_io.cpp" "src/core/CMakeFiles/stellaris_core.dir/policy_io.cpp.o" "gcc" "src/core/CMakeFiles/stellaris_core.dir/policy_io.cpp.o.d"
+  "/root/repo/src/core/staleness.cpp" "src/core/CMakeFiles/stellaris_core.dir/staleness.cpp.o" "gcc" "src/core/CMakeFiles/stellaris_core.dir/staleness.cpp.o.d"
+  "/root/repo/src/core/stellaris_trainer.cpp" "src/core/CMakeFiles/stellaris_core.dir/stellaris_trainer.cpp.o" "gcc" "src/core/CMakeFiles/stellaris_core.dir/stellaris_trainer.cpp.o.d"
+  "/root/repo/src/core/truncation.cpp" "src/core/CMakeFiles/stellaris_core.dir/truncation.cpp.o" "gcc" "src/core/CMakeFiles/stellaris_core.dir/truncation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rl/CMakeFiles/stellaris_rl.dir/DependInfo.cmake"
+  "/root/repo/build/src/envs/CMakeFiles/stellaris_envs.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/stellaris_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/stellaris_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/stellaris_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/serverless/CMakeFiles/stellaris_serverless.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/stellaris_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/stellaris_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

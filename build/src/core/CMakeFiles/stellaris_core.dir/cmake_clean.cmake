@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stellaris_core.dir/config.cpp.o"
+  "CMakeFiles/stellaris_core.dir/config.cpp.o.d"
+  "CMakeFiles/stellaris_core.dir/gradient.cpp.o"
+  "CMakeFiles/stellaris_core.dir/gradient.cpp.o.d"
+  "CMakeFiles/stellaris_core.dir/kl_probe.cpp.o"
+  "CMakeFiles/stellaris_core.dir/kl_probe.cpp.o.d"
+  "CMakeFiles/stellaris_core.dir/learner_update.cpp.o"
+  "CMakeFiles/stellaris_core.dir/learner_update.cpp.o.d"
+  "CMakeFiles/stellaris_core.dir/metrics.cpp.o"
+  "CMakeFiles/stellaris_core.dir/metrics.cpp.o.d"
+  "CMakeFiles/stellaris_core.dir/parameter_function.cpp.o"
+  "CMakeFiles/stellaris_core.dir/parameter_function.cpp.o.d"
+  "CMakeFiles/stellaris_core.dir/policy_io.cpp.o"
+  "CMakeFiles/stellaris_core.dir/policy_io.cpp.o.d"
+  "CMakeFiles/stellaris_core.dir/staleness.cpp.o"
+  "CMakeFiles/stellaris_core.dir/staleness.cpp.o.d"
+  "CMakeFiles/stellaris_core.dir/stellaris_trainer.cpp.o"
+  "CMakeFiles/stellaris_core.dir/stellaris_trainer.cpp.o.d"
+  "CMakeFiles/stellaris_core.dir/truncation.cpp.o"
+  "CMakeFiles/stellaris_core.dir/truncation.cpp.o.d"
+  "libstellaris_core.a"
+  "libstellaris_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stellaris_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

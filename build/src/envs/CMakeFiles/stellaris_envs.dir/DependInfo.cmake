@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/envs/arcade.cpp" "src/envs/CMakeFiles/stellaris_envs.dir/arcade.cpp.o" "gcc" "src/envs/CMakeFiles/stellaris_envs.dir/arcade.cpp.o.d"
+  "/root/repo/src/envs/locomotion.cpp" "src/envs/CMakeFiles/stellaris_envs.dir/locomotion.cpp.o" "gcc" "src/envs/CMakeFiles/stellaris_envs.dir/locomotion.cpp.o.d"
+  "/root/repo/src/envs/registry.cpp" "src/envs/CMakeFiles/stellaris_envs.dir/registry.cpp.o" "gcc" "src/envs/CMakeFiles/stellaris_envs.dir/registry.cpp.o.d"
+  "/root/repo/src/envs/vec_env.cpp" "src/envs/CMakeFiles/stellaris_envs.dir/vec_env.cpp.o" "gcc" "src/envs/CMakeFiles/stellaris_envs.dir/vec_env.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/stellaris_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/stellaris_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/stellaris_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

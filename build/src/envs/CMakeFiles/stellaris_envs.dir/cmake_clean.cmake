@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stellaris_envs.dir/arcade.cpp.o"
+  "CMakeFiles/stellaris_envs.dir/arcade.cpp.o.d"
+  "CMakeFiles/stellaris_envs.dir/locomotion.cpp.o"
+  "CMakeFiles/stellaris_envs.dir/locomotion.cpp.o.d"
+  "CMakeFiles/stellaris_envs.dir/registry.cpp.o"
+  "CMakeFiles/stellaris_envs.dir/registry.cpp.o.d"
+  "CMakeFiles/stellaris_envs.dir/vec_env.cpp.o"
+  "CMakeFiles/stellaris_envs.dir/vec_env.cpp.o.d"
+  "libstellaris_envs.a"
+  "libstellaris_envs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stellaris_envs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

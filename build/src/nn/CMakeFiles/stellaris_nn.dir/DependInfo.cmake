@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/actor_critic.cpp" "src/nn/CMakeFiles/stellaris_nn.dir/actor_critic.cpp.o" "gcc" "src/nn/CMakeFiles/stellaris_nn.dir/actor_critic.cpp.o.d"
+  "/root/repo/src/nn/distributions.cpp" "src/nn/CMakeFiles/stellaris_nn.dir/distributions.cpp.o" "gcc" "src/nn/CMakeFiles/stellaris_nn.dir/distributions.cpp.o.d"
+  "/root/repo/src/nn/layers.cpp" "src/nn/CMakeFiles/stellaris_nn.dir/layers.cpp.o" "gcc" "src/nn/CMakeFiles/stellaris_nn.dir/layers.cpp.o.d"
+  "/root/repo/src/nn/optimizer.cpp" "src/nn/CMakeFiles/stellaris_nn.dir/optimizer.cpp.o" "gcc" "src/nn/CMakeFiles/stellaris_nn.dir/optimizer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/stellaris_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/stellaris_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

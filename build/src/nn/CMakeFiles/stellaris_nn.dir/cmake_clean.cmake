@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stellaris_nn.dir/actor_critic.cpp.o"
+  "CMakeFiles/stellaris_nn.dir/actor_critic.cpp.o.d"
+  "CMakeFiles/stellaris_nn.dir/distributions.cpp.o"
+  "CMakeFiles/stellaris_nn.dir/distributions.cpp.o.d"
+  "CMakeFiles/stellaris_nn.dir/layers.cpp.o"
+  "CMakeFiles/stellaris_nn.dir/layers.cpp.o.d"
+  "CMakeFiles/stellaris_nn.dir/optimizer.cpp.o"
+  "CMakeFiles/stellaris_nn.dir/optimizer.cpp.o.d"
+  "libstellaris_nn.a"
+  "libstellaris_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stellaris_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rl/actor.cpp" "src/rl/CMakeFiles/stellaris_rl.dir/actor.cpp.o" "gcc" "src/rl/CMakeFiles/stellaris_rl.dir/actor.cpp.o.d"
+  "/root/repo/src/rl/gae.cpp" "src/rl/CMakeFiles/stellaris_rl.dir/gae.cpp.o" "gcc" "src/rl/CMakeFiles/stellaris_rl.dir/gae.cpp.o.d"
+  "/root/repo/src/rl/impact.cpp" "src/rl/CMakeFiles/stellaris_rl.dir/impact.cpp.o" "gcc" "src/rl/CMakeFiles/stellaris_rl.dir/impact.cpp.o.d"
+  "/root/repo/src/rl/ppo.cpp" "src/rl/CMakeFiles/stellaris_rl.dir/ppo.cpp.o" "gcc" "src/rl/CMakeFiles/stellaris_rl.dir/ppo.cpp.o.d"
+  "/root/repo/src/rl/replay_buffer.cpp" "src/rl/CMakeFiles/stellaris_rl.dir/replay_buffer.cpp.o" "gcc" "src/rl/CMakeFiles/stellaris_rl.dir/replay_buffer.cpp.o.d"
+  "/root/repo/src/rl/sample_batch.cpp" "src/rl/CMakeFiles/stellaris_rl.dir/sample_batch.cpp.o" "gcc" "src/rl/CMakeFiles/stellaris_rl.dir/sample_batch.cpp.o.d"
+  "/root/repo/src/rl/vtrace.cpp" "src/rl/CMakeFiles/stellaris_rl.dir/vtrace.cpp.o" "gcc" "src/rl/CMakeFiles/stellaris_rl.dir/vtrace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/stellaris_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/envs/CMakeFiles/stellaris_envs.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/stellaris_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/stellaris_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

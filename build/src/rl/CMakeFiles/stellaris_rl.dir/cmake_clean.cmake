@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stellaris_rl.dir/actor.cpp.o"
+  "CMakeFiles/stellaris_rl.dir/actor.cpp.o.d"
+  "CMakeFiles/stellaris_rl.dir/gae.cpp.o"
+  "CMakeFiles/stellaris_rl.dir/gae.cpp.o.d"
+  "CMakeFiles/stellaris_rl.dir/impact.cpp.o"
+  "CMakeFiles/stellaris_rl.dir/impact.cpp.o.d"
+  "CMakeFiles/stellaris_rl.dir/ppo.cpp.o"
+  "CMakeFiles/stellaris_rl.dir/ppo.cpp.o.d"
+  "CMakeFiles/stellaris_rl.dir/replay_buffer.cpp.o"
+  "CMakeFiles/stellaris_rl.dir/replay_buffer.cpp.o.d"
+  "CMakeFiles/stellaris_rl.dir/sample_batch.cpp.o"
+  "CMakeFiles/stellaris_rl.dir/sample_batch.cpp.o.d"
+  "CMakeFiles/stellaris_rl.dir/vtrace.cpp.o"
+  "CMakeFiles/stellaris_rl.dir/vtrace.cpp.o.d"
+  "libstellaris_rl.a"
+  "libstellaris_rl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stellaris_rl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

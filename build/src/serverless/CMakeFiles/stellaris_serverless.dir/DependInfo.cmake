@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/serverless/cluster.cpp" "src/serverless/CMakeFiles/stellaris_serverless.dir/cluster.cpp.o" "gcc" "src/serverless/CMakeFiles/stellaris_serverless.dir/cluster.cpp.o.d"
+  "/root/repo/src/serverless/container_pool.cpp" "src/serverless/CMakeFiles/stellaris_serverless.dir/container_pool.cpp.o" "gcc" "src/serverless/CMakeFiles/stellaris_serverless.dir/container_pool.cpp.o.d"
+  "/root/repo/src/serverless/cost_meter.cpp" "src/serverless/CMakeFiles/stellaris_serverless.dir/cost_meter.cpp.o" "gcc" "src/serverless/CMakeFiles/stellaris_serverless.dir/cost_meter.cpp.o.d"
+  "/root/repo/src/serverless/data_loader.cpp" "src/serverless/CMakeFiles/stellaris_serverless.dir/data_loader.cpp.o" "gcc" "src/serverless/CMakeFiles/stellaris_serverless.dir/data_loader.cpp.o.d"
+  "/root/repo/src/serverless/latency_model.cpp" "src/serverless/CMakeFiles/stellaris_serverless.dir/latency_model.cpp.o" "gcc" "src/serverless/CMakeFiles/stellaris_serverless.dir/latency_model.cpp.o.d"
+  "/root/repo/src/serverless/platform.cpp" "src/serverless/CMakeFiles/stellaris_serverless.dir/platform.cpp.o" "gcc" "src/serverless/CMakeFiles/stellaris_serverless.dir/platform.cpp.o.d"
+  "/root/repo/src/serverless/profiler.cpp" "src/serverless/CMakeFiles/stellaris_serverless.dir/profiler.cpp.o" "gcc" "src/serverless/CMakeFiles/stellaris_serverless.dir/profiler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/stellaris_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/stellaris_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stellaris_serverless.dir/cluster.cpp.o"
+  "CMakeFiles/stellaris_serverless.dir/cluster.cpp.o.d"
+  "CMakeFiles/stellaris_serverless.dir/container_pool.cpp.o"
+  "CMakeFiles/stellaris_serverless.dir/container_pool.cpp.o.d"
+  "CMakeFiles/stellaris_serverless.dir/cost_meter.cpp.o"
+  "CMakeFiles/stellaris_serverless.dir/cost_meter.cpp.o.d"
+  "CMakeFiles/stellaris_serverless.dir/data_loader.cpp.o"
+  "CMakeFiles/stellaris_serverless.dir/data_loader.cpp.o.d"
+  "CMakeFiles/stellaris_serverless.dir/latency_model.cpp.o"
+  "CMakeFiles/stellaris_serverless.dir/latency_model.cpp.o.d"
+  "CMakeFiles/stellaris_serverless.dir/platform.cpp.o"
+  "CMakeFiles/stellaris_serverless.dir/platform.cpp.o.d"
+  "CMakeFiles/stellaris_serverless.dir/profiler.cpp.o"
+  "CMakeFiles/stellaris_serverless.dir/profiler.cpp.o.d"
+  "libstellaris_serverless.a"
+  "libstellaris_serverless.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stellaris_serverless.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stellaris_sim.dir/engine.cpp.o"
+  "CMakeFiles/stellaris_sim.dir/engine.cpp.o.d"
+  "libstellaris_sim.a"
+  "libstellaris_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stellaris_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stellaris_tensor.dir/ops.cpp.o"
+  "CMakeFiles/stellaris_tensor.dir/ops.cpp.o.d"
+  "CMakeFiles/stellaris_tensor.dir/tensor.cpp.o"
+  "CMakeFiles/stellaris_tensor.dir/tensor.cpp.o.d"
+  "libstellaris_tensor.a"
+  "libstellaris_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stellaris_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stellaris_util.dir/csv.cpp.o"
+  "CMakeFiles/stellaris_util.dir/csv.cpp.o.d"
+  "CMakeFiles/stellaris_util.dir/logging.cpp.o"
+  "CMakeFiles/stellaris_util.dir/logging.cpp.o.d"
+  "CMakeFiles/stellaris_util.dir/rng.cpp.o"
+  "CMakeFiles/stellaris_util.dir/rng.cpp.o.d"
+  "CMakeFiles/stellaris_util.dir/serialize.cpp.o"
+  "CMakeFiles/stellaris_util.dir/serialize.cpp.o.d"
+  "CMakeFiles/stellaris_util.dir/stats.cpp.o"
+  "CMakeFiles/stellaris_util.dir/stats.cpp.o.d"
+  "CMakeFiles/stellaris_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/stellaris_util.dir/thread_pool.cpp.o.d"
+  "libstellaris_util.a"
+  "libstellaris_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stellaris_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

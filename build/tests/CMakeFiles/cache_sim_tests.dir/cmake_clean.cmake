@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cache_sim_tests.dir/cache/cache_test.cpp.o"
+  "CMakeFiles/cache_sim_tests.dir/cache/cache_test.cpp.o.d"
+  "CMakeFiles/cache_sim_tests.dir/sim/engine_test.cpp.o"
+  "CMakeFiles/cache_sim_tests.dir/sim/engine_test.cpp.o.d"
+  "cache_sim_tests"
+  "cache_sim_tests.pdb"
+  "cache_sim_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cache_sim_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

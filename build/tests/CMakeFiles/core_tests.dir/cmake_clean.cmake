@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_tests.dir/core/kl_probe_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/kl_probe_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/parameter_function_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/parameter_function_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/staleness_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/staleness_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/trainer_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/trainer_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/truncation_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/truncation_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/wire_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/wire_test.cpp.o.d"
+  "core_tests"
+  "core_tests.pdb"
+  "core_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/envs_tests.dir/envs/arcade_test.cpp.o"
+  "CMakeFiles/envs_tests.dir/envs/arcade_test.cpp.o.d"
+  "CMakeFiles/envs_tests.dir/envs/locomotion_test.cpp.o"
+  "CMakeFiles/envs_tests.dir/envs/locomotion_test.cpp.o.d"
+  "CMakeFiles/envs_tests.dir/envs/registry_test.cpp.o"
+  "CMakeFiles/envs_tests.dir/envs/registry_test.cpp.o.d"
+  "CMakeFiles/envs_tests.dir/envs/vec_env_test.cpp.o"
+  "CMakeFiles/envs_tests.dir/envs/vec_env_test.cpp.o.d"
+  "envs_tests"
+  "envs_tests.pdb"
+  "envs_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/envs_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

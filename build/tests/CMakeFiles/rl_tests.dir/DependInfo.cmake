@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/rl/actor_test.cpp" "tests/CMakeFiles/rl_tests.dir/rl/actor_test.cpp.o" "gcc" "tests/CMakeFiles/rl_tests.dir/rl/actor_test.cpp.o.d"
+  "/root/repo/tests/rl/gae_test.cpp" "tests/CMakeFiles/rl_tests.dir/rl/gae_test.cpp.o" "gcc" "tests/CMakeFiles/rl_tests.dir/rl/gae_test.cpp.o.d"
+  "/root/repo/tests/rl/impact_test.cpp" "tests/CMakeFiles/rl_tests.dir/rl/impact_test.cpp.o" "gcc" "tests/CMakeFiles/rl_tests.dir/rl/impact_test.cpp.o.d"
+  "/root/repo/tests/rl/ppo_test.cpp" "tests/CMakeFiles/rl_tests.dir/rl/ppo_test.cpp.o" "gcc" "tests/CMakeFiles/rl_tests.dir/rl/ppo_test.cpp.o.d"
+  "/root/repo/tests/rl/replay_buffer_test.cpp" "tests/CMakeFiles/rl_tests.dir/rl/replay_buffer_test.cpp.o" "gcc" "tests/CMakeFiles/rl_tests.dir/rl/replay_buffer_test.cpp.o.d"
+  "/root/repo/tests/rl/sample_batch_test.cpp" "tests/CMakeFiles/rl_tests.dir/rl/sample_batch_test.cpp.o" "gcc" "tests/CMakeFiles/rl_tests.dir/rl/sample_batch_test.cpp.o.d"
+  "/root/repo/tests/rl/vtrace_test.cpp" "tests/CMakeFiles/rl_tests.dir/rl/vtrace_test.cpp.o" "gcc" "tests/CMakeFiles/rl_tests.dir/rl/vtrace_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/baselines/CMakeFiles/stellaris_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/stellaris_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/rl/CMakeFiles/stellaris_rl.dir/DependInfo.cmake"
+  "/root/repo/build/src/envs/CMakeFiles/stellaris_envs.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/stellaris_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/stellaris_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/serverless/CMakeFiles/stellaris_serverless.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/stellaris_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/stellaris_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/stellaris_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

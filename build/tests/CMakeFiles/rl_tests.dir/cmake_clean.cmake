@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rl_tests.dir/rl/actor_test.cpp.o"
+  "CMakeFiles/rl_tests.dir/rl/actor_test.cpp.o.d"
+  "CMakeFiles/rl_tests.dir/rl/gae_test.cpp.o"
+  "CMakeFiles/rl_tests.dir/rl/gae_test.cpp.o.d"
+  "CMakeFiles/rl_tests.dir/rl/impact_test.cpp.o"
+  "CMakeFiles/rl_tests.dir/rl/impact_test.cpp.o.d"
+  "CMakeFiles/rl_tests.dir/rl/ppo_test.cpp.o"
+  "CMakeFiles/rl_tests.dir/rl/ppo_test.cpp.o.d"
+  "CMakeFiles/rl_tests.dir/rl/replay_buffer_test.cpp.o"
+  "CMakeFiles/rl_tests.dir/rl/replay_buffer_test.cpp.o.d"
+  "CMakeFiles/rl_tests.dir/rl/sample_batch_test.cpp.o"
+  "CMakeFiles/rl_tests.dir/rl/sample_batch_test.cpp.o.d"
+  "CMakeFiles/rl_tests.dir/rl/vtrace_test.cpp.o"
+  "CMakeFiles/rl_tests.dir/rl/vtrace_test.cpp.o.d"
+  "rl_tests"
+  "rl_tests.pdb"
+  "rl_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rl_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/serverless_tests.dir/serverless/cluster_test.cpp.o"
+  "CMakeFiles/serverless_tests.dir/serverless/cluster_test.cpp.o.d"
+  "CMakeFiles/serverless_tests.dir/serverless/container_pool_test.cpp.o"
+  "CMakeFiles/serverless_tests.dir/serverless/container_pool_test.cpp.o.d"
+  "CMakeFiles/serverless_tests.dir/serverless/cost_meter_test.cpp.o"
+  "CMakeFiles/serverless_tests.dir/serverless/cost_meter_test.cpp.o.d"
+  "CMakeFiles/serverless_tests.dir/serverless/data_loader_test.cpp.o"
+  "CMakeFiles/serverless_tests.dir/serverless/data_loader_test.cpp.o.d"
+  "CMakeFiles/serverless_tests.dir/serverless/latency_test.cpp.o"
+  "CMakeFiles/serverless_tests.dir/serverless/latency_test.cpp.o.d"
+  "CMakeFiles/serverless_tests.dir/serverless/platform_test.cpp.o"
+  "CMakeFiles/serverless_tests.dir/serverless/platform_test.cpp.o.d"
+  "CMakeFiles/serverless_tests.dir/serverless/profiler_test.cpp.o"
+  "CMakeFiles/serverless_tests.dir/serverless/profiler_test.cpp.o.d"
+  "serverless_tests"
+  "serverless_tests.pdb"
+  "serverless_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/serverless_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

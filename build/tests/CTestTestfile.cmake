@@ -1,0 +1,15 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_tests[1]_include.cmake")
+include("/root/repo/build/tests/tensor_tests[1]_include.cmake")
+include("/root/repo/build/tests/nn_tests[1]_include.cmake")
+include("/root/repo/build/tests/rl_tests[1]_include.cmake")
+include("/root/repo/build/tests/envs_tests[1]_include.cmake")
+include("/root/repo/build/tests/cache_sim_tests[1]_include.cmake")
+include("/root/repo/build/tests/serverless_tests[1]_include.cmake")
+include("/root/repo/build/tests/core_tests[1]_include.cmake")
+include("/root/repo/build/tests/baselines_tests[1]_include.cmake")
