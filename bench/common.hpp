@@ -9,15 +9,37 @@
 #pragma once
 
 #include <algorithm>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "baselines/sync_trainer.hpp"
 #include "core/stellaris_trainer.hpp"
+#include "obs/obs.hpp"
 #include "util/csv.hpp"
 #include "util/stats.hpp"
 
 namespace stellaris::bench {
+
+/// Shared observability flag surface: every figure bench accepts
+///   --trace-out=<file>    Chrome trace-event JSON (open in Perfetto)
+///   --metrics-out=<file>  metrics snapshot (JSON, or CSV if *.csv)
+/// and captures the whole bench run in one ObsSession. Unknown arguments
+/// are ignored so the flags compose with whatever else a bench parses.
+/// With neither flag given, tracing stays disabled and the run's results
+/// are bit-identical to an uninstrumented build.
+inline std::unique_ptr<obs::ObsSession> obs_session_from_args(int argc,
+                                                              char** argv) {
+  obs::ObsOptions opts;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--trace-out=", 0) == 0)
+      opts.trace_path = arg.substr(12);
+    else if (arg.rfind("--metrics-out=", 0) == 0)
+      opts.metrics_path = arg.substr(14);
+  }
+  return std::make_unique<obs::ObsSession>(std::move(opts));
+}
 
 /// Reduced-scale base config shared by the figure benches.
 inline core::TrainConfig base_config(const std::string& env,

@@ -10,7 +10,8 @@
 
 using namespace stellaris;
 
-int main() {
+int main(int argc, char** argv) {
+  const auto obs_session = bench::obs_session_from_args(argc, argv);
   const std::string env = "Hopper";
 
   // ---- (a) dynamic learner orchestration -----------------------------------

@@ -8,7 +8,8 @@
 
 using namespace stellaris;
 
-int main() {
+int main(int argc, char** argv) {
+  const auto obs_session = bench::obs_session_from_args(argc, argv);
   // Tables II & III (configuration provenance).
   {
     Table t2({"task", "layers", "activation", "paper_size", "repro_size"});

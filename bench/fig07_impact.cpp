@@ -6,7 +6,8 @@
 
 using namespace stellaris;
 
-int main() {
+int main(int argc, char** argv) {
+  const auto obs_session = bench::obs_session_from_args(argc, argv);
   Table summary({"env", "impact_final", "stellaris_final", "reward_gain",
                  "impact_time_s", "stellaris_time_s"});
   for (const auto& env : envs::benchmark_env_names()) {

@@ -7,7 +7,8 @@
 
 using namespace stellaris;
 
-int main() {
+int main(int argc, char** argv) {
+  const auto obs_session = bench::obs_session_from_args(argc, argv);
   struct System {
     std::string name;
     bool stellaris;

@@ -7,7 +7,8 @@
 
 using namespace stellaris;
 
-int main() {
+int main(int argc, char** argv) {
+  const auto obs_session = bench::obs_session_from_args(argc, argv);
   Table summary({"env", "rllib_final", "stellaris_final", "reward_gain",
                  "rllib_time_s", "stellaris_time_s"});
   for (const auto& env : envs::benchmark_env_names()) {

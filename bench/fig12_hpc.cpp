@@ -7,7 +7,8 @@
 
 using namespace stellaris;
 
-int main() {
+int main(int argc, char** argv) {
+  const auto obs_session = bench::obs_session_from_args(argc, argv);
   Table summary({"env", "parrl_final", "stellaris_final", "reward_gain",
                  "parrl_cost_usd", "stellaris_cost_usd", "cost_saving_pct"});
   for (const std::string env : {"Hopper", "Qbert"}) {

@@ -8,7 +8,8 @@
 
 using namespace stellaris;
 
-int main() {
+int main(int argc, char** argv) {
+  const auto obs_session = bench::obs_session_from_args(argc, argv);
   const std::string env = "Hopper";
   const std::size_t rounds = bench::default_rounds(env);
   const std::size_t seeds = bench::default_seeds(env);

@@ -9,7 +9,8 @@
 
 using namespace stellaris;
 
-int main() {
+int main(int argc, char** argv) {
+  const auto obs_session = bench::obs_session_from_args(argc, argv);
   Table t({"env", "actor_sample_s", "data_load_s", "learner_start_s",
            "learner_compute_s", "grad_submit_s", "aggregate_s",
            "broadcast_s", "overhead_pct"});

@@ -1,9 +1,12 @@
 // Table I: feature matrix of DRL training frameworks, reproduced verbatim
 // from the paper, annotated with which module of this repo implements each
 // system class.
+#include "common.hpp"
 #include "util/csv.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  const auto obs_session =
+      stellaris::bench::obs_session_from_args(argc, argv);
   stellaris::Table t({"Framework", "Async. Learners", "Scalable Actors",
                       "On-&Off-policy", "Serverless", "This repo"});
   t.row().add("Ray RLlib").add("no").add("no").add("yes").add("no")

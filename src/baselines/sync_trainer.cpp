@@ -6,6 +6,7 @@
 #include "core/kl_probe.hpp"
 #include "core/learner_update.hpp"
 #include "nn/optimizer.hpp"
+#include "obs/obs.hpp"
 #include "rl/actor.hpp"
 #include "util/error.hpp"
 
@@ -76,6 +77,14 @@ core::TrainResult run_sync_training(const SyncConfig& sync_cfg) {
                                                  cfg.seed * 7919 + i));
   auto eval_env = envs::make_env(cfg.env_name);
   Rng rng(cfg.seed ^ 0x517cULL);
+
+  // Observability: sync baselines trace their barrier phases on three
+  // tracks per run so the contrast with the async pipeline is visible in
+  // the same Perfetto view.
+  obs::begin_run();
+  const std::string trace_tag = obs::run_tag();
+  obs::Counter& m_rounds = obs::metrics().counter("sync.rounds");
+  obs::Gauge& m_round_reward = obs::metrics().gauge("sync.round_reward");
 
   core::TrainResult result;
   double clock_s = 0.0;
@@ -158,6 +167,18 @@ core::TrainResult run_sync_training(const SyncConfig& sync_cfg) {
     }
 
     const double round_s = actor_phase_s + learner_phase_s + allreduce_s;
+    if (auto* tr = obs::trace()) {
+      const double t_actors = clock_s;
+      const double t_learners = t_actors + actor_phase_s;
+      const double t_allreduce = t_learners + learner_phase_s;
+      tr->complete(tr->track(trace_tag + "/sync/actors"), "actor_wave",
+                   "sync", t_actors, t_learners, {{"round", round}});
+      tr->complete(tr->track(trace_tag + "/sync/learners"),
+                   "learner_compute", "sync", t_learners, t_allreduce,
+                   {{"round", round}, {"learners", deltas.size()}});
+      tr->complete(tr->track(trace_tag + "/sync/allreduce"), "allreduce",
+                   "sync", t_allreduce, clock_s + round_s, {{"round", round}});
+    }
     clock_s += round_s;
 
     // Serverless actor billing for MinionsRL: busy seconds only.
@@ -207,6 +228,8 @@ core::TrainResult run_sync_training(const SyncConfig& sync_cfg) {
                                        cfg.seed * 104729 + round);
       rec.evaluated = true;
     }
+    m_rounds.add();
+    if (rec.evaluated) m_round_reward.set(rec.reward);
     result.rounds.push_back(rec);
   }
 

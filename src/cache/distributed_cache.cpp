@@ -1,8 +1,25 @@
 #include "cache/distributed_cache.hpp"
 
+#include "obs/obs.hpp"
 #include "util/error.hpp"
+#include "util/logging.hpp"
 
 namespace stellaris::cache {
+
+DistributedCache::DistributedCache() {
+  auto& m = obs::metrics();
+  m_puts_ = &m.counter("cache.puts");
+  m_gets_ = &m.counter("cache.gets");
+  m_hits_ = &m.counter("cache.hits");
+  m_misses_ = &m.counter("cache.misses");
+  m_erases_ = &m.counter("cache.erases");
+  m_bytes_written_ = &m.counter("cache.bytes_written");
+  m_bytes_read_ = &m.counter("cache.bytes_read");
+  m_blocked_timeouts_ = &m.counter("cache.blocked_read_timeouts");
+  m_blocked_wait_ms_ =
+      &m.histogram("cache.blocked_read_wait_ms", 0.0, 500.0, 100);
+  m_resident_bytes_ = &m.gauge("cache.resident_bytes");
+}
 
 std::uint64_t DistributedCache::put(const std::string& key, Bytes value) {
   std::uint64_t new_version = 0;
@@ -13,6 +30,9 @@ std::uint64_t DistributedCache::put(const std::string& key, Bytes value) {
     resident_bytes_ += value.size();
     stats_.bytes_written += value.size();
     ++stats_.puts;
+    m_puts_->add();
+    m_bytes_written_->add(value.size());
+    m_resident_bytes_->set(static_cast<double>(resident_bytes_));
     entry.data = std::move(value);
     new_version = ++entry.version;
   }
@@ -23,38 +43,59 @@ std::uint64_t DistributedCache::put(const std::string& key, Bytes value) {
 std::optional<CacheValue> DistributedCache::get(const std::string& key) const {
   std::lock_guard<std::mutex> lock(mu_);
   ++stats_.gets;
+  m_gets_->add();
   auto it = store_.find(key);
   if (it == store_.end()) {
     ++stats_.misses;
+    m_misses_->add();
     return std::nullopt;
   }
   ++stats_.hits;
+  m_hits_->add();
   stats_.bytes_read += it->second.data.size();
+  m_bytes_read_->add(it->second.data.size());
   return CacheValue{it->second.data, it->second.version};
 }
 
 CacheValue DistributedCache::get_or_throw(const std::string& key) const {
   auto v = get(key);
-  if (!v) throw CacheError("cache miss for required key: " + key);
+  if (!v) {
+    LOG_ERROR << "cache miss for required key: " << key;
+    throw CacheError("cache miss for required key: " + key);
+  }
   return std::move(*v);
 }
 
 std::optional<CacheValue> DistributedCache::get_blocking(
     const std::string& key, std::uint64_t min_version,
     std::chrono::milliseconds timeout) {
+  const auto wait_begin = std::chrono::steady_clock::now();
   std::unique_lock<std::mutex> lock(mu_);
   const bool ok = cv_.wait_for(lock, timeout, [&] {
     auto it = store_.find(key);
     return it != store_.end() && it->second.version > min_version;
   });
+  const double waited_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - wait_begin)
+          .count();
+  m_blocked_wait_ms_->observe(waited_ms);
   ++stats_.gets;
+  m_gets_->add();
   if (!ok) {
     ++stats_.misses;
+    m_misses_->add();
+    m_blocked_timeouts_->add();
+    lock.unlock();
+    LOG_DEBUG << "blocking read timed out after " << waited_ms
+              << "ms: key=" << key << " min_version=" << min_version;
     return std::nullopt;
   }
   auto it = store_.find(key);
   ++stats_.hits;
+  m_hits_->add();
   stats_.bytes_read += it->second.data.size();
+  m_bytes_read_->add(it->second.data.size());
   return CacheValue{it->second.data, it->second.version};
 }
 
@@ -75,6 +116,8 @@ bool DistributedCache::erase(const std::string& key) {
   if (it == store_.end()) return false;
   resident_bytes_ -= it->second.data.size();
   ++stats_.erases;
+  m_erases_->add();
+  m_resident_bytes_->set(static_cast<double>(resident_bytes_));
   store_.erase(it);
   return true;
 }
@@ -91,16 +134,22 @@ std::vector<std::string> DistributedCache::keys_with_prefix(
 }
 
 std::size_t DistributedCache::erase_prefix(const std::string& prefix) {
-  std::lock_guard<std::mutex> lock(mu_);
   std::size_t removed = 0;
-  auto it = store_.lower_bound(prefix);
-  while (it != store_.end() &&
-         it->first.compare(0, prefix.size(), prefix) == 0) {
-    resident_bytes_ -= it->second.data.size();
-    ++stats_.erases;
-    it = store_.erase(it);
-    ++removed;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = store_.lower_bound(prefix);
+    while (it != store_.end() &&
+           it->first.compare(0, prefix.size(), prefix) == 0) {
+      resident_bytes_ -= it->second.data.size();
+      ++stats_.erases;
+      m_erases_->add();
+      it = store_.erase(it);
+      ++removed;
+    }
+    m_resident_bytes_->set(static_cast<double>(resident_bytes_));
   }
+  if (removed > 0)
+    LOG_DEBUG << "erased " << removed << " keys with prefix " << prefix;
   return removed;
 }
 
@@ -125,9 +174,15 @@ void DistributedCache::reset_stats() {
 }
 
 void DistributedCache::clear() {
-  std::lock_guard<std::mutex> lock(mu_);
-  store_.clear();
-  resident_bytes_ = 0;
+  std::size_t dropped = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    dropped = store_.size();
+    store_.clear();
+    resident_bytes_ = 0;
+    m_resident_bytes_->set(0.0);
+  }
+  if (dropped > 0) LOG_DEBUG << "cache cleared (" << dropped << " keys)";
 }
 
 }  // namespace stellaris::cache

@@ -21,6 +21,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.hpp"
+
 namespace stellaris::cache {
 
 using Bytes = std::vector<std::uint8_t>;
@@ -44,7 +46,7 @@ struct CacheStats {
 
 class DistributedCache {
  public:
-  DistributedCache() = default;
+  DistributedCache();
   DistributedCache(const DistributedCache&) = delete;
   DistributedCache& operator=(const DistributedCache&) = delete;
 
@@ -97,6 +99,19 @@ class DistributedCache {
   std::map<std::string, Entry> store_;
   std::size_t resident_bytes_ = 0;
   mutable CacheStats stats_;
+
+  // Process-wide observability mirrors of the per-instance stats (resolved
+  // once at construction; updates are relaxed atomics).
+  obs::Counter* m_puts_;
+  obs::Counter* m_gets_;
+  obs::Counter* m_hits_;
+  obs::Counter* m_misses_;
+  obs::Counter* m_erases_;
+  obs::Counter* m_bytes_written_;
+  obs::Counter* m_bytes_read_;
+  obs::Counter* m_blocked_timeouts_;
+  obs::FixedHistogram* m_blocked_wait_ms_;
+  obs::Gauge* m_resident_bytes_;
 };
 
 }  // namespace stellaris::cache

@@ -63,6 +63,19 @@ StellarisTrainer::StellarisTrainer(TrainConfig cfg)
                 1.0, cfg.staleness_floor),
       rng_(cfg_.seed) {
   cfg_.validate();
+  // New trace namespace for this run; the platform's tracks inherit it.
+  obs::begin_run();
+  trace_tag_ = obs::run_tag();
+  {
+    auto& m = obs::metrics();
+    m_staleness_ = &m.histogram("trainer.staleness", 0.0, 64.0, 128);
+    m_update_kl_ = &m.histogram("trainer.update_kl", 0.0, 0.2, 100);
+    m_grad_queue_depth_ = &m.gauge("trainer.gradient_queue_depth");
+    m_pending_trajs_ = &m.gauge("trainer.pending_trajectories");
+    m_rounds_ = &m.counter("trainer.rounds");
+    m_round_kl_ = &m.gauge("trainer.round_kl");
+    m_round_reward_ = &m.gauge("trainer.round_reward");
+  }
   platform_ = std::make_unique<serverless::ServerlessPlatform>(
       engine_, cfg_.cluster, cfg_.latency, cfg_.seed ^ 0x9e37ULL);
   data_loader_ = std::make_unique<serverless::GpuDataLoader>(
@@ -114,7 +127,32 @@ StellarisTrainer::PolicySnapshot StellarisTrainer::latest_policy() const {
   return {std::move(params), version};
 }
 
+obs::TrackId StellarisTrainer::trainer_track(obs::TraceRecorder* tr) const {
+  return tr->track(trace_tag_ + "/trainer");
+}
+
+void StellarisTrainer::note_grad_queue_depth() {
+  const double depth = static_cast<double>(queue_.size());
+  m_grad_queue_depth_->set(depth);
+  if (auto* tr = obs::trace())
+    tr->counter(trace_tag_ + "/gradient_queue_depth", engine_.now(), depth);
+}
+
+void StellarisTrainer::note_pending_trajs() {
+  const double depth = static_cast<double>(pending_trajs_.size());
+  m_pending_trajs_->set(depth);
+  if (auto* tr = obs::trace())
+    tr->counter(trace_tag_ + "/pending_trajectories", engine_.now(), depth);
+}
+
 TrainResult StellarisTrainer::train() {
+  auto* tr = obs::trace();
+  obs::ScopedSpan train_span(
+      tr, tr ? trainer_track(tr) : 0, "train", "trainer",
+      [this] { return engine_.now(); },
+      {{"env", cfg_.env_name},
+       {"actors", cfg_.num_actors},
+       {"rounds", cfg_.rounds}});
   cache_.put(keys::kPolicyLatest, encode_policy(param_fn_->params(), 0));
   if (cfg_.prewarm) {
     platform_->prewarm_learners(learner_limit() + 1);
@@ -170,6 +208,7 @@ void StellarisTrainer::launch_actor(std::size_t actor_idx) {
   opts.payload_out_bytes =
       cfg_.horizon * (env_spec_.obs.flat_dim + 8) * sizeof(float);
   opts.tier = serverless::DataTier::kCache;
+  opts.span_name = "actor_sampling";
   // Step ①: pull the latest policy when the actor starts.
   opts.on_start = [this, snapshot](double) { *snapshot = latest_policy(); };
   platform_->invoke(opts, [this, actor_idx, snapshot](const auto& r) {
@@ -193,8 +232,14 @@ void StellarisTrainer::on_actor_complete(
   // transfer overlaps learner queueing and startup.
   traj_loader_ids_[traj_id] =
       data_loader_->on_trajectory(engine_.now(), bytes.size());
+  if (auto* tr = obs::trace())
+    tr->instant(trainer_track(tr), "traj_published", "trainer", engine_.now(),
+                {{"traj_id", traj_id},
+                 {"actor", actor_idx},
+                 {"policy_version", snapshot->version}});
   cache_.put(keys::trajectory(traj_id), std::move(bytes));
   pending_trajs_.push_back(traj_id);
+  note_pending_trajs();
   maybe_launch_learner();
 
   // Continuous sampling with backpressure: serverless actors are
@@ -230,6 +275,7 @@ void StellarisTrainer::maybe_launch_learner() {
       traj_ids.push_back(pending_trajs_.front());
       pending_trajs_.pop_front();
     }
+    note_pending_trajs();
     for (std::uint64_t id : traj_ids) {
       batch_timesteps += cfg_.horizon;
       // The data loader has been pre-loading this batch since the actor
@@ -256,6 +302,7 @@ void StellarisTrainer::maybe_launch_learner() {
     opts.payload_in_bytes = param_fn_->param_dim() * sizeof(float);
     opts.payload_out_bytes = param_fn_->param_dim() * sizeof(float);
     opts.tier = serverless::DataTier::kCache;
+    opts.span_name = "learner_compute";
     // Step ②: the learner pulls the latest policy at container start.
     opts.on_start = [this, snapshot](double) {
       *snapshot = latest_policy();
@@ -345,7 +392,14 @@ void StellarisTrainer::on_learner_complete(
 }
 
 void StellarisTrainer::on_gradient(GradientMsg msg) {
+  if (auto* tr = obs::trace())
+    tr->instant(trainer_track(tr), "grad_enqueued", "trainer", engine_.now(),
+                {{"learner_id", msg.learner_id},
+                 {"pulled_version", msg.pulled_version},
+                 {"staleness_now",
+                  param_fn_->version() - msg.pulled_version}});
   queue_.push(std::move(msg), engine_.now());
+  note_grad_queue_depth();
   try_aggregate();
 }
 
@@ -394,6 +448,7 @@ void StellarisTrainer::try_aggregate() {
 void StellarisTrainer::start_aggregation(
     std::vector<GradientQueue::Item> group) {
   param_fn_busy_ = true;
+  note_grad_queue_depth();  // queue was just drained into `group`
   serverless::ServerlessPlatform::InvokeOptions opts;
   opts.kind = serverless::FnKind::kParameter;
   opts.compute_s =
@@ -402,6 +457,7 @@ void StellarisTrainer::start_aggregation(
       group.size() * param_fn_->param_dim() * sizeof(float);
   opts.payload_out_bytes = param_fn_->param_dim() * sizeof(float);
   opts.tier = serverless::DataTier::kCache;
+  opts.span_name = "gradient_aggregation";
   auto shared_group = std::make_shared<std::vector<GradientQueue::Item>>(
       std::move(group));
   platform_->invoke(opts, [this, shared_group](const auto& r) {
@@ -409,8 +465,12 @@ void StellarisTrainer::start_aggregation(
     result_.breakdown.broadcast_s += r.transfer_s;
 
     // Step ③: real aggregation + policy update.
+    const std::uint64_t version_before = param_fn_->version();
     const std::vector<float> before = param_fn_->params();
     const auto stats = param_fn_->aggregate(*shared_group);
+    for (const auto& item : *shared_group)
+      m_staleness_->observe(static_cast<double>(
+          version_before - std::min(item.msg.pulled_version, version_before)));
     for (const auto& item : *shared_group)
       cache_.erase(keys::gradient(item.msg.learner_id));
     cache_.put(keys::kPolicyLatest,
@@ -477,6 +537,21 @@ void StellarisTrainer::finish_round(
                                      cfg_.seed * 104729 + rounds_completed_);
     rec.evaluated = true;
   }
+
+  m_rounds_->add();
+  m_round_kl_->set(round_kl);
+  m_update_kl_->observe(round_kl);
+  if (rec.evaluated) m_round_reward_->set(rec.reward);
+  if (auto* tr = obs::trace()) {
+    obs::TraceArgs args{{"round", rec.round},
+                        {"group_size", rec.group_size},
+                        {"mean_staleness", rec.mean_staleness},
+                        {"kl", round_kl}};
+    if (rec.evaluated) args.emplace_back("reward", rec.reward);
+    tr->complete(tr->track(trace_tag_ + "/trainer/rounds"), "round", "round",
+                 last_round_end_s_, rec.time_s, std::move(args));
+  }
+  last_round_end_s_ = rec.time_s;
   result_.rounds.push_back(rec);
 
   if (last) {

@@ -29,6 +29,7 @@
 #include "cache/distributed_cache.hpp"
 #include "core/config.hpp"
 #include "core/metrics.hpp"
+#include "obs/obs.hpp"
 #include "core/parameter_function.hpp"
 #include "core/policy_io.hpp"
 #include "rl/actor.hpp"
@@ -70,6 +71,9 @@ class StellarisTrainer {
                     double round_kl);
   PolicySnapshot latest_policy() const;
   std::size_t learner_limit() const;
+  obs::TrackId trainer_track(obs::TraceRecorder* tr) const;
+  void note_grad_queue_depth();
+  void note_pending_trajs();
 
   TrainConfig cfg_;
   envs::EnvSpec env_spec_;
@@ -121,6 +125,17 @@ class StellarisTrainer {
   double acc_vloss_ = 0.0;
   double acc_entropy_ = 0.0;
   std::size_t acc_count_ = 0;
+
+  // Observability (src/obs): run-scoped trace tag + metric handles.
+  std::string trace_tag_;
+  obs::FixedHistogram* m_staleness_;
+  obs::FixedHistogram* m_update_kl_;
+  obs::Gauge* m_grad_queue_depth_;
+  obs::Gauge* m_pending_trajs_;
+  obs::Counter* m_rounds_;
+  obs::Gauge* m_round_kl_;
+  obs::Gauge* m_round_reward_;
+  double last_round_end_s_ = 0.0;
 
   TrainResult result_;
 };

@@ -1,0 +1,128 @@
+// Metrics registry — named counters, gauges, and fixed-bucket histograms
+// with lock-cheap updates.
+//
+// Registration (name → instrument) takes the registry mutex once; the
+// returned references are stable for the life of the process, so call
+// sites look instruments up at construction time and every subsequent
+// update is a handful of relaxed atomics — cheap enough to leave on in the
+// hot paths without perturbing the virtual-time results.
+//
+// Snapshots export as JSON (machine-readable, round-trips through the
+// tests' parser) or CSV (for quick spreadsheet/plot use).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace stellaris::obs {
+
+/// Monotonic event counter.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  std::uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// Last-write-wins instantaneous value.
+class Gauge {
+ public:
+  void set(double x) { v_.store(x, std::memory_order_relaxed); }
+  void add(double dx);
+  double value() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { v_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+/// Fixed-width binned histogram over [lo, hi]; out-of-range observations
+/// clamp into the edge bins (mirroring util/stats.hpp's Histogram), while
+/// sum/min/max track the exact values. All updates are relaxed atomics.
+class FixedHistogram {
+ public:
+  FixedHistogram(double lo, double hi, std::size_t bins);
+
+  void observe(double x);
+
+  std::uint64_t count() const { return n_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  double mean() const;
+  /// Exact min/max of observed values (0 when empty).
+  double min() const;
+  double max() const;
+
+  std::size_t bins() const { return counts_.size(); }
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
+  double bin_lo(std::size_t i) const { return lo_ + width_ * static_cast<double>(i); }
+  double bin_hi(std::size_t i) const { return bin_lo(i) + width_; }
+  std::uint64_t bin_count(std::size_t i) const {
+    return counts_[i].load(std::memory_order_relaxed);
+  }
+
+  /// q-quantile (q in [0,1]) estimated from the buckets with linear
+  /// interpolation inside the containing bucket — accurate to one bucket
+  /// width. Returns 0 when empty.
+  double quantile(double q) const;
+
+  void reset();
+
+ private:
+  double lo_, hi_, width_;
+  std::vector<std::atomic<std::uint64_t>> counts_;
+  std::atomic<std::uint64_t> n_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_{std::numeric_limits<double>::infinity()};
+  std::atomic<double> max_{-std::numeric_limits<double>::infinity()};
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Look up or create. References stay valid for the registry's lifetime;
+  /// reset() zeroes values but never invalidates them. Re-registering a
+  /// histogram with different bounds keeps the original bounds.
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  FixedHistogram& histogram(const std::string& name, double lo, double hi,
+                            std::size_t bins);
+
+  /// Zero every instrument in place (handles stay valid).
+  void reset();
+
+  /// {"counters":{...},"gauges":{...},"histograms":{name:{lo,hi,count,sum,
+  /// min,max,buckets:[...]}}}
+  void write_json(std::ostream& os) const;
+
+  /// Flat rows: kind,name,field,value (one row per scalar; histograms emit
+  /// count/sum/mean/min/max/p50/p95/p99).
+  void write_csv(std::ostream& os) const;
+
+  /// Dump to `path` — CSV when the extension is .csv, JSON otherwise.
+  bool write_file(const std::string& path) const;
+
+  /// The process-wide registry used by the instrumented subsystems.
+  static MetricsRegistry& global();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<FixedHistogram>> histograms_;
+};
+
+}  // namespace stellaris::obs

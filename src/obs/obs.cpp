@@ -1,0 +1,74 @@
+#include "obs/obs.hpp"
+
+#include "util/logging.hpp"
+
+namespace stellaris::obs {
+
+namespace detail {
+std::atomic<TraceRecorder*> g_trace{nullptr};
+std::atomic<std::uint64_t> g_run_counter{0};
+}  // namespace detail
+
+void install_trace(TraceRecorder* recorder) {
+  detail::g_trace.store(recorder, std::memory_order_release);
+}
+
+std::uint64_t begin_run() {
+  return detail::g_run_counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+std::string run_tag() {
+  return "run" +
+         std::to_string(detail::g_run_counter.load(std::memory_order_relaxed));
+}
+
+std::string run_track(const std::string& suffix) {
+  return run_tag() + "/" + suffix;
+}
+
+ObsSession::ObsSession(ObsOptions opts) : opts_(std::move(opts)) {
+  if (opts_.reset_metrics) metrics().reset();
+  if (!opts_.trace_path.empty()) {
+    trace_ = std::make_unique<TraceRecorder>();
+    install_trace(trace_.get());
+  }
+}
+
+ObsSession::~ObsSession() {
+  if (trace_) {
+    install_trace(nullptr);
+    if (trace_->write_file(opts_.trace_path))
+      LOG_INFO << "trace written to " << opts_.trace_path << " ("
+               << trace_->size() << " events)";
+    else
+      LOG_ERROR << "failed to write trace to " << opts_.trace_path;
+  }
+  if (!opts_.metrics_path.empty()) {
+    if (metrics().write_file(opts_.metrics_path))
+      LOG_INFO << "metrics snapshot written to " << opts_.metrics_path;
+    else
+      LOG_ERROR << "failed to write metrics to " << opts_.metrics_path;
+  }
+}
+
+ScopedSpan::ScopedSpan(TraceRecorder* rec, TrackId tid, std::string name,
+                       const char* category, std::function<double()> now,
+                       TraceArgs args)
+    : rec_(rec),
+      tid_(tid),
+      name_(std::move(name)),
+      cat_(category),
+      now_(std::move(now)),
+      args_(std::move(args)) {
+  if (rec_) t0_ = now_();
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (rec_) rec_->complete(tid_, name_, cat_, t0_, now_(), std::move(args_));
+}
+
+void ScopedSpan::arg(TraceArg a) {
+  if (rec_) args_.push_back(std::move(a));
+}
+
+}  // namespace stellaris::obs

@@ -1,0 +1,101 @@
+// Observability entry point: a process-global trace-recorder slot and the
+// shared metrics registry, plus the RAII session that benches/tools use to
+// turn capture on.
+//
+// Cost model (the reward/cost/time figures must be unchanged by this
+// subsystem):
+//  - tracing off (default): `obs::trace()` is one relaxed atomic load and
+//    a branch at each call site — no allocation, no formatting;
+//  - metrics: instruments are resolved once at component construction and
+//    updated with relaxed atomics; none of it feeds back into the
+//    simulation (no RNG draws, no virtual-time events), so results are
+//    bit-identical with observability on or off.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace stellaris::obs {
+
+namespace detail {
+extern std::atomic<TraceRecorder*> g_trace;
+extern std::atomic<std::uint64_t> g_run_counter;
+}  // namespace detail
+
+/// The active trace recorder, or nullptr when tracing is disabled.
+inline TraceRecorder* trace() {
+  return detail::g_trace.load(std::memory_order_acquire);
+}
+
+/// The process-wide metrics registry (always available).
+inline MetricsRegistry& metrics() { return MetricsRegistry::global(); }
+
+/// Install (or, with nullptr, remove) the global trace recorder. The caller
+/// keeps ownership; ObsSession is the usual owner.
+void install_trace(TraceRecorder* recorder);
+
+/// Trace runs are namespaced so several training runs captured into one
+/// recorder (multi-seed benches) get distinct track groups. A trainer calls
+/// begin_run() once per run; components then prefix their tracks with
+/// run_tag().
+std::uint64_t begin_run();
+std::string run_tag();
+
+/// "run<id>/<suffix>" with the current run id.
+std::string run_track(const std::string& suffix);
+
+struct ObsOptions {
+  std::string trace_path;    ///< empty → tracing stays disabled
+  std::string metrics_path;  ///< empty → no metrics dump at session end
+  bool reset_metrics = true; ///< zero the global registry at session start
+};
+
+/// RAII capture session: installs a trace recorder when a trace path is
+/// given, and writes the trace / metrics snapshot files on destruction.
+class ObsSession {
+ public:
+  explicit ObsSession(ObsOptions opts);
+  ~ObsSession();
+  ObsSession(const ObsSession&) = delete;
+  ObsSession& operator=(const ObsSession&) = delete;
+
+  /// The session's recorder (nullptr when tracing is off).
+  TraceRecorder* recorder() { return trace_.get(); }
+
+ private:
+  ObsOptions opts_;
+  std::unique_ptr<TraceRecorder> trace_;
+};
+
+/// RAII span over an arbitrary clock: captures `now()` at construction and
+/// emits a complete event over [t_start, now()] at destruction. Safe to
+/// construct with a null recorder (no-op).
+class ScopedSpan {
+ public:
+  ScopedSpan(TraceRecorder* rec, TrackId tid, std::string name,
+             const char* category, std::function<double()> now,
+             TraceArgs args = {});
+  ~ScopedSpan();
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  /// Attach another argument before the span closes.
+  void arg(TraceArg a);
+
+ private:
+  TraceRecorder* rec_;
+  TrackId tid_;
+  std::string name_;
+  const char* cat_;
+  std::function<double()> now_;
+  double t0_ = 0.0;
+  TraceArgs args_;
+};
+
+}  // namespace stellaris::obs

@@ -1,0 +1,154 @@
+#include "obs/trace.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+
+namespace stellaris::obs {
+
+namespace {
+
+/// JSON string escaping (control characters, quotes, backslashes).
+std::string json_quote(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out.push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+constexpr double kMicros = 1e6;
+
+}  // namespace
+
+TraceArg::TraceArg(std::string k, const char* v)
+    : key(std::move(k)), json(json_quote(v ? v : "")) {}
+
+TraceArg::TraceArg(std::string k, const std::string& v)
+    : key(std::move(k)), json(json_quote(v)) {}
+
+TraceArg::TraceArg(std::string k, bool v)
+    : key(std::move(k)), json(v ? "true" : "false") {}
+
+std::string TraceArg::render_double(double v) {
+  if (!std::isfinite(v)) return "null";  // JSON has no NaN/Inf
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.9g", v);
+  return buf;
+}
+
+TraceRecorder::TraceRecorder() { events_.reserve(1024); }
+
+TrackId TraceRecorder::track(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tracks_.find(name);
+  if (it != tracks_.end()) return it->second;
+  const TrackId tid = static_cast<TrackId>(tracks_.size() + 1);
+  tracks_.emplace(name, tid);
+  Event meta;
+  meta.ph = 'M';
+  meta.tid = tid;
+  meta.name = "thread_name";
+  meta.args.emplace_back("name", name);
+  events_.push_back(std::move(meta));
+  return tid;
+}
+
+void TraceRecorder::push(Event ev) {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(std::move(ev));
+}
+
+void TraceRecorder::complete(TrackId tid, const std::string& name,
+                             const char* category, double t0_s, double t1_s,
+                             TraceArgs args) {
+  Event ev;
+  ev.ph = 'X';
+  ev.tid = tid;
+  ev.ts_us = t0_s * kMicros;
+  ev.dur_us = (t1_s - t0_s) * kMicros;
+  ev.name = name;
+  ev.cat = category;
+  ev.args = std::move(args);
+  push(std::move(ev));
+}
+
+void TraceRecorder::instant(TrackId tid, const std::string& name,
+                            const char* category, double t_s, TraceArgs args) {
+  Event ev;
+  ev.ph = 'i';
+  ev.tid = tid;
+  ev.ts_us = t_s * kMicros;
+  ev.name = name;
+  ev.cat = category;
+  ev.args = std::move(args);
+  push(std::move(ev));
+}
+
+void TraceRecorder::counter(const std::string& name, double t_s,
+                            double value) {
+  Event ev;
+  ev.ph = 'C';
+  ev.ts_us = t_s * kMicros;
+  ev.name = name;
+  ev.args.emplace_back("value", value);
+  push(std::move(ev));
+}
+
+std::size_t TraceRecorder::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+void TraceRecorder::write_json(std::ostream& os) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  os << "{\"traceEvents\":[\n";
+  os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,"
+        "\"args\":{\"name\":\"stellaris\"}}";
+  for (const auto& ev : events_) {
+    os << ",\n{\"name\":" << json_quote(ev.name) << ",\"ph\":\"" << ev.ph
+       << "\",\"pid\":1,\"tid\":" << ev.tid;
+    if (ev.cat) os << ",\"cat\":" << json_quote(ev.cat);
+    if (ev.ph != 'M') os << ",\"ts\":" << TraceArg::render_double(ev.ts_us);
+    if (ev.ph == 'X')
+      os << ",\"dur\":" << TraceArg::render_double(ev.dur_us);
+    if (ev.ph == 'i') os << ",\"s\":\"t\"";
+    if (!ev.args.empty()) {
+      os << ",\"args\":{";
+      for (std::size_t i = 0; i < ev.args.size(); ++i) {
+        if (i) os << ',';
+        os << json_quote(ev.args[i].key) << ':' << ev.args[i].json;
+      }
+      os << '}';
+    }
+    os << '}';
+  }
+  os << "\n]}\n";
+}
+
+bool TraceRecorder::write_file(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  write_json(out);
+  return static_cast<bool>(out);
+}
+
+}  // namespace stellaris::obs

@@ -1,13 +1,20 @@
 #include "serverless/container_pool.hpp"
 
+#include "obs/obs.hpp"
 #include "util/error.hpp"
 
 namespace stellaris::serverless {
 
 ContainerPool::ContainerPool(std::size_t capacity, const LatencyModel& lat,
-                             std::uint64_t seed)
-    : slots_(capacity), lat_(lat), rng_(seed) {
+                             std::uint64_t seed, std::string name)
+    : slots_(capacity), lat_(lat), rng_(seed), name_(std::move(name)) {
   STELLARIS_CHECK_MSG(capacity > 0, "container pool needs capacity > 0");
+  const std::string prefix = "containers." + name_ + ".";
+  auto& m = obs::metrics();
+  m_cold_ = &m.counter(prefix + "cold_starts");
+  m_warm_ = &m.counter(prefix + "warm_starts");
+  m_prewarmed_ = &m.counter(prefix + "prewarmed");
+  m_busy_ = &m.gauge(prefix + "busy");
 }
 
 std::optional<ContainerPool::Acquisition> ContainerPool::acquire(double now) {
@@ -22,6 +29,8 @@ std::optional<ContainerPool::Acquisition> ContainerPool::acquire(double now) {
       s.state = State::kBusy;
       ++busy_count_;
       ++warm_starts_;
+      m_warm_->add();
+      m_busy_->set(static_cast<double>(busy_count_));
       return Acquisition{i, lat_.jittered(lat_.warm_start_s, rng_), false};
     }
     if (s.state == State::kCold && cold_candidate == slots_.size())
@@ -31,6 +40,8 @@ std::optional<ContainerPool::Acquisition> ContainerPool::acquire(double now) {
   slots_[cold_candidate].state = State::kBusy;
   ++busy_count_;
   ++cold_starts_;
+  m_cold_->add();
+  m_busy_->set(static_cast<double>(busy_count_));
   return Acquisition{cold_candidate, lat_.jittered(lat_.cold_start_s, rng_),
                      true};
 }
@@ -43,6 +54,7 @@ void ContainerPool::release(std::size_t container_id, double now) {
   s.state = State::kWarmIdle;
   s.warm_until = now + lat_.keep_alive_s;
   --busy_count_;
+  m_busy_->set(static_cast<double>(busy_count_));
 }
 
 std::size_t ContainerPool::prewarm(std::size_t n, double now) {
@@ -57,6 +69,7 @@ std::size_t ContainerPool::prewarm(std::size_t n, double now) {
       ++warmed;
     }
   }
+  m_prewarmed_->add(warmed);
   return warmed;
 }
 

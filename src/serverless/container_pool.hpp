@@ -10,17 +10,22 @@
 
 #include <cstdint>
 #include <optional>
+#include <string>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "serverless/latency_model.hpp"
 
 namespace stellaris::serverless {
 
 class ContainerPool {
  public:
-  /// `capacity` = maximum concurrently running containers.
+  /// `capacity` = maximum concurrently running containers. `name` labels
+  /// the pool's metrics ("containers.<name>.cold_starts", ...).
   ContainerPool(std::size_t capacity, const LatencyModel& lat,
-                std::uint64_t seed);
+                std::uint64_t seed, std::string name = "pool");
+
+  const std::string& name() const { return name_; }
 
   struct Acquisition {
     std::size_t container_id = 0;
@@ -57,9 +62,14 @@ class ContainerPool {
   std::vector<Slot> slots_;
   LatencyModel lat_;
   Rng rng_;
+  std::string name_;
   std::size_t busy_count_ = 0;
   std::uint64_t cold_starts_ = 0;
   std::uint64_t warm_starts_ = 0;
+  obs::Counter* m_cold_;      // process-wide mirrors of the per-pool counts
+  obs::Counter* m_warm_;
+  obs::Counter* m_prewarmed_;
+  obs::Gauge* m_busy_;
 };
 
 }  // namespace stellaris::serverless

@@ -1,6 +1,8 @@
 #include "serverless/platform.hpp"
 
+#include "obs/obs.hpp"
 #include "util/error.hpp"
+#include "util/logging.hpp"
 
 namespace stellaris::serverless {
 
@@ -12,9 +14,21 @@ ServerlessPlatform::ServerlessPlatform(sim::Engine& engine,
       cluster_(std::move(cluster)),
       latency_(latency),
       rng_(seed),
-      gpu_pool_(cluster_.learner_slots(), latency_, seed ^ 0x6b75ULL),
+      gpu_pool_(cluster_.learner_slots(), latency_, seed ^ 0x6b75ULL, "gpu"),
       actor_pool_(std::max<std::size_t>(cluster_.actor_slots(), 1), latency_,
-                  seed ^ 0xac70ULL) {}
+                  seed ^ 0xac70ULL, "actor"),
+      trace_tag_(obs::run_tag()) {
+  auto& m = obs::metrics();
+  m_invocations_[static_cast<int>(FnKind::kLearner)] =
+      &m.counter("platform.invocations.learner");
+  m_invocations_[static_cast<int>(FnKind::kParameter)] =
+      &m.counter("platform.invocations.parameter");
+  m_invocations_[static_cast<int>(FnKind::kActor)] =
+      &m.counter("platform.invocations.actor");
+  m_queue_wait_s_ = &m.histogram("platform.queue_wait_s", 0.0, 30.0, 120);
+  m_gpu_queue_depth_ = &m.gauge("platform.queue_depth.gpu");
+  m_actor_queue_depth_ = &m.gauge("platform.queue_depth.actor");
+}
 
 ContainerPool& ServerlessPlatform::pool_for(FnKind kind) {
   return kind == FnKind::kActor ? actor_pool_ : gpu_pool_;
@@ -31,20 +45,75 @@ double ServerlessPlatform::unit_price(FnKind kind) const {
                                 : cluster_.learner_unit_price();
 }
 
+void ServerlessPlatform::note_queue_depth(FnKind kind) const {
+  const bool actor = kind == FnKind::kActor;
+  const std::size_t depth =
+      actor ? actor_queue_.size() : gpu_queue_.size();
+  (actor ? m_actor_queue_depth_ : m_gpu_queue_depth_)
+      ->set(static_cast<double>(depth));
+  if (auto* tr = obs::trace())
+    tr->counter(trace_tag_ + "/queue_depth/" + (actor ? "actor" : "gpu"),
+                engine_.now(), static_cast<double>(depth));
+}
+
 void ServerlessPlatform::invoke(const InvokeOptions& options, Callback cb) {
   queue_for(options.kind).push_back(
       Pending{options, std::move(cb), engine_.now()});
+  note_queue_depth(options.kind);
   try_dispatch(options.kind);
 }
 
 void ServerlessPlatform::try_dispatch(FnKind kind) {
   auto& queue = queue_for(kind);
   auto& pool = pool_for(kind);
+  const std::size_t before = queue.size();
   while (!queue.empty() && pool.busy() < pool.capacity()) {
     Pending p = std::move(queue.front());
     queue.pop_front();
     dispatch(std::move(p));
   }
+  if (queue.size() != before) note_queue_depth(kind);
+}
+
+void ServerlessPlatform::trace_invocation(const Pending& pending,
+                                          const InvokeResult& result,
+                                          std::size_t container,
+                                          double transfer_in_s,
+                                          double transfer_out_s) const {
+  auto* tr = obs::trace();
+  if (!tr) return;
+  const FnKind kind = pending.options.kind;
+  const bool cache_tier = pending.options.tier == DataTier::kCache;
+  const std::string track =
+      trace_tag_ + "/" + pool_for_name(kind) + std::to_string(container);
+  const obs::TrackId tid = tr->track(track);
+  const char* name = pending.options.span_name ? pending.options.span_name
+                                               : fn_kind_name(kind);
+  tr->complete(
+      tid, name, fn_kind_name(kind), result.start_time_s, result.end_time_s,
+      {{"cold", result.cold},
+       {"queue_wait_s", result.start_time_s - result.submit_time_s},
+       {"billed_s", result.billed_s},
+       {"cost_usd", result.cost_usd},
+       {"payload_in_bytes", pending.options.payload_in_bytes},
+       {"payload_out_bytes", pending.options.payload_out_bytes}});
+  // Nested phase spans: container start, input fetch, compute, output write.
+  double t = result.start_time_s + latency_.invoke_overhead_s;
+  auto child = [&](const char* cname, double dur) {
+    if (dur > 0.0) tr->complete(tid, cname, "phase", t, t + dur);
+    t += dur;
+  };
+  child(result.cold ? "cold_start" : "warm_start", result.start_latency_s);
+  child(cache_tier ? "cache_read" : "data_in", transfer_in_s);
+  child("compute", result.compute_s);
+  child(kind == FnKind::kParameter ? "policy_broadcast"
+        : cache_tier               ? "cache_write"
+                                   : "data_out",
+        transfer_out_s);
+}
+
+const char* ServerlessPlatform::pool_for_name(FnKind kind) {
+  return kind == FnKind::kActor ? "actors/" : "gpu/";
 }
 
 void ServerlessPlatform::dispatch(Pending pending) {
@@ -74,6 +143,11 @@ void ServerlessPlatform::dispatch(Pending pending) {
   result.billed_s = duration;
   result.cost_usd = unit_price(kind) * result.billed_s;
 
+  m_invocations_[static_cast<int>(kind)]->add();
+  m_queue_wait_s_->observe(result.start_time_s - result.submit_time_s);
+  trace_invocation(pending, result, acq->container_id, transfer_in,
+                   transfer_out);
+
   const std::size_t container = acq->container_id;
   auto cb = std::move(pending.cb);
   engine_.schedule_after(duration, [this, kind, container, result,
@@ -87,11 +161,17 @@ void ServerlessPlatform::dispatch(Pending pending) {
 }
 
 std::size_t ServerlessPlatform::prewarm_learners(std::size_t n) {
-  return gpu_pool_.prewarm(n, engine_.now());
+  const std::size_t warmed = gpu_pool_.prewarm(n, engine_.now());
+  LOG_DEBUG << "prewarmed " << warmed << "/" << n
+            << " learner containers at t=" << engine_.now();
+  return warmed;
 }
 
 std::size_t ServerlessPlatform::prewarm_actors(std::size_t n) {
-  return actor_pool_.prewarm(n, engine_.now());
+  const std::size_t warmed = actor_pool_.prewarm(n, engine_.now());
+  LOG_DEBUG << "prewarmed " << warmed << "/" << n
+            << " actor containers at t=" << engine_.now();
+  return warmed;
 }
 
 double ServerlessPlatform::gpu_utilization() const {

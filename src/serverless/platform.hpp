@@ -11,7 +11,9 @@
 #include <deque>
 #include <functional>
 #include <memory>
+#include <string>
 
+#include "obs/metrics.hpp"
 #include "serverless/cluster.hpp"
 #include "serverless/container_pool.hpp"
 #include "serverless/cost_meter.hpp"
@@ -34,6 +36,9 @@ class ServerlessPlatform {
     /// Fires when the container is acquired (after any queueing) — the
     /// moment a function "pulls the latest policy" in the paper's workflow.
     std::function<void(double start_time_s)> on_start;
+    /// Label for this invocation's trace span (static string); falls back
+    /// to the function-kind name when unset.
+    const char* span_name = nullptr;
   };
 
   struct InvokeResult {
@@ -85,6 +90,11 @@ class ServerlessPlatform {
   double unit_price(FnKind kind) const;
   void try_dispatch(FnKind kind);
   void dispatch(Pending pending);
+  void trace_invocation(const Pending& pending, const InvokeResult& result,
+                        std::size_t container, double transfer_in_s,
+                        double transfer_out_s) const;
+  void note_queue_depth(FnKind kind) const;
+  static const char* pool_for_name(FnKind kind);
 
   sim::Engine& engine_;
   ClusterSpec cluster_;
@@ -96,6 +106,14 @@ class ServerlessPlatform {
   std::deque<Pending> actor_queue_;
   CostMeter costs_;
   double learner_busy_s_ = 0.0;
+
+  // Observability: run-scoped trace tag (captured at construction so all of
+  // this platform's tracks group under the owning run) and metric handles.
+  std::string trace_tag_;
+  obs::Counter* m_invocations_[3];      // indexed by FnKind
+  obs::FixedHistogram* m_queue_wait_s_;
+  obs::Gauge* m_gpu_queue_depth_;
+  obs::Gauge* m_actor_queue_depth_;
 };
 
 }  // namespace stellaris::serverless

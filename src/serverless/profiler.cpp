@@ -1,13 +1,23 @@
 #include "serverless/profiler.hpp"
 
 #include <cmath>
+#include <string>
 
+#include "obs/obs.hpp"
 #include "util/error.hpp"
 
 namespace stellaris::serverless {
 
 FunctionProfiler::FunctionProfiler(double headroom) : headroom_(headroom) {
   STELLARIS_CHECK_MSG(headroom >= 1.0, "headroom must be >= 1");
+  auto& m = obs::metrics();
+  for (FnKind kind : {FnKind::kLearner, FnKind::kParameter, FnKind::kActor}) {
+    auto& b = bucket(kind);
+    const std::string prefix = std::string("profiler.") + fn_kind_name(kind);
+    b.m_samples = &m.counter(prefix + ".samples");
+    b.m_mean_duration_s = &m.gauge(prefix + ".mean_duration_s");
+    b.m_arrival_rate_hz = &m.gauge(prefix + ".arrival_rate_hz");
+  }
 }
 
 FunctionProfiler::PerKind& FunctionProfiler::bucket(FnKind kind) {
@@ -32,6 +42,9 @@ void FunctionProfiler::record(FnKind kind, double start_time_s,
   b.durations.add(duration_s);
   b.duration_samples.push_back(duration_s);
   ++b.count;
+  b.m_samples->add();
+  b.m_mean_duration_s->set(b.durations.mean());
+  b.m_arrival_rate_hz->set(arrival_rate_hz(kind));
 }
 
 std::size_t FunctionProfiler::samples(FnKind kind) const {

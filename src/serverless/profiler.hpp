@@ -14,6 +14,7 @@
 #include <optional>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "serverless/cost_meter.hpp"
 #include "util/stats.hpp"
 
@@ -50,6 +51,10 @@ class FunctionProfiler {
     double first_start = 0.0;
     double last_start = 0.0;
     std::size_t count = 0;
+    // Live estimates exported as gauges ("profiler.<kind>.*").
+    obs::Counter* m_samples = nullptr;
+    obs::Gauge* m_mean_duration_s = nullptr;
+    obs::Gauge* m_arrival_rate_hz = nullptr;
   };
   PerKind& bucket(FnKind kind);
   const PerKind& bucket(FnKind kind) const;

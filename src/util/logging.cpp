@@ -1,8 +1,51 @@
 #include "util/logging.hpp"
 
+#include <cctype>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <ctime>
 #include <iostream>
 
 namespace stellaris {
+
+LogLevel parse_log_level(std::string_view s, LogLevel fallback) {
+  std::string lower;
+  lower.reserve(s.size());
+  for (char c : s)
+    lower.push_back(
+        static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  if (lower == "debug" || lower == "0") return LogLevel::kDebug;
+  if (lower == "info" || lower == "1") return LogLevel::kInfo;
+  if (lower == "warn" || lower == "warning" || lower == "2")
+    return LogLevel::kWarn;
+  if (lower == "error" || lower == "3") return LogLevel::kError;
+  if (lower == "off" || lower == "none" || lower == "4") return LogLevel::kOff;
+  return fallback;
+}
+
+std::string log_timestamp() {
+  using namespace std::chrono;
+  const auto now = system_clock::now();
+  const std::time_t t = system_clock::to_time_t(now);
+  const auto ms = duration_cast<milliseconds>(now.time_since_epoch()) % 1000;
+  std::tm tm{};
+#if defined(_WIN32)
+  gmtime_s(&tm, &t);
+#else
+  gmtime_r(&t, &tm);
+#endif
+  char buf[40];
+  const std::size_t len = std::strftime(buf, sizeof buf, "%FT%T", &tm);
+  std::snprintf(buf + len, sizeof buf - len, ".%03dZ",
+                static_cast<int>(ms.count()));
+  return buf;
+}
+
+Logger::Logger() {
+  if (const char* env = std::getenv("STELLARIS_LOG_LEVEL"))
+    level_ = parse_log_level(env, level_);
+}
 
 Logger& Logger::instance() {
   static Logger logger;
@@ -20,12 +63,13 @@ LogLevel Logger::level() const {
 }
 
 void Logger::write(LogLevel level, const std::string& msg) {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (static_cast<int>(level) < static_cast<int>(level_)) return;
   static constexpr const char* kNames[] = {"DEBUG", "INFO", "WARN", "ERROR"};
   const int idx = static_cast<int>(level);
   if (idx < 0 || idx > 3) return;
-  std::cerr << "[" << kNames[idx] << "] " << msg << '\n';
+  const std::string ts = log_timestamp();  // format outside the lock
+  std::lock_guard<std::mutex> lock(mu_);
+  if (static_cast<int>(level) < static_cast<int>(level_)) return;
+  std::cerr << "[" << ts << "] [" << kNames[idx] << "] " << msg << '\n';
 }
 
 }  // namespace stellaris

@@ -3,17 +3,33 @@
 // Thread-safe (one mutex around the sink), with a process-wide level so the
 // benchmark harness can silence training chatter. Messages are composed via
 // streaming into a temporary, so disabled levels cost a branch.
+//
+// Each line is prefixed with an ISO-8601 UTC timestamp and the level tag:
+//   [2026-08-06T12:34:56.789Z] [INFO] message
+// The initial level comes from the STELLARIS_LOG_LEVEL environment variable
+// (debug | info | warn | error | off, or the numeric values 0-4), read once
+// at first use; set_level() overrides it afterwards.
 #pragma once
 
 #include <mutex>
 #include <sstream>
 #include <string>
+#include <string_view>
 
 namespace stellaris {
 
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 
-/// Global log configuration. Defaults to kInfo on stderr.
+/// Parse a level name ("debug", "info", "warn"/"warning", "error",
+/// "off"/"none", case-insensitive, or a digit 0-4); `fallback` on anything
+/// else.
+LogLevel parse_log_level(std::string_view s, LogLevel fallback);
+
+/// Current wall clock as "2026-08-06T12:34:56.789Z".
+std::string log_timestamp();
+
+/// Global log configuration. Defaults to kInfo on stderr, overridable via
+/// STELLARIS_LOG_LEVEL.
 class Logger {
  public:
   static Logger& instance();
@@ -25,7 +41,7 @@ class Logger {
   void write(LogLevel level, const std::string& msg);
 
  private:
-  Logger() = default;
+  Logger();
   mutable std::mutex mu_;
   LogLevel level_ = LogLevel::kInfo;
 };
@@ -53,10 +69,14 @@ class LogLine {
 
 }  // namespace stellaris
 
-#define STELLARIS_LOG(severity)                                    \
-  if (static_cast<int>(::stellaris::Logger::instance().level()) <= \
-      static_cast<int>(::stellaris::LogLevel::severity))           \
-  ::stellaris::detail::LogLine(::stellaris::LogLevel::severity)
+// The empty-then/else shape makes the macro a *complete* if-else, so a
+// user's `else` after `if (x) LOG_INFO << ...;` binds to their own `if`
+// instead of silently attaching to the macro's level check.
+#define STELLARIS_LOG(severity)                                   \
+  if (static_cast<int>(::stellaris::Logger::instance().level()) > \
+      static_cast<int>(::stellaris::LogLevel::severity)) {        \
+  } else                                                          \
+    ::stellaris::detail::LogLine(::stellaris::LogLevel::severity)
 
 #define LOG_DEBUG STELLARIS_LOG(kDebug)
 #define LOG_INFO STELLARIS_LOG(kInfo)

@@ -1,0 +1,47 @@
+#include "core/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace stellaris::core {
+namespace {
+
+TEST(LatencyBreakdown, ZeroDurationRunHasNoOverhead) {
+  // A run where nothing took any time (e.g. a zero-round config) must not
+  // divide by zero — the fraction is defined as 0, not NaN.
+  LatencyBreakdown lb;
+  EXPECT_DOUBLE_EQ(lb.total(), 0.0);
+  EXPECT_DOUBLE_EQ(lb.overhead_fraction(), 0.0);
+  EXPECT_FALSE(std::isnan(lb.overhead_fraction()));
+}
+
+TEST(LatencyBreakdown, PureComputeHasZeroOverhead) {
+  LatencyBreakdown lb;
+  lb.actor_sample_s = 3.0;
+  lb.learner_compute_s = 7.0;
+  EXPECT_DOUBLE_EQ(lb.overhead_fraction(), 0.0);
+}
+
+TEST(LatencyBreakdown, PureOverheadIsFractionOne) {
+  LatencyBreakdown lb;
+  lb.learner_start_s = 2.0;
+  lb.broadcast_s = 1.0;
+  EXPECT_DOUBLE_EQ(lb.overhead_fraction(), 1.0);
+}
+
+TEST(LatencyBreakdown, MixedFractionMatchesDefinition) {
+  LatencyBreakdown lb;
+  lb.actor_sample_s = 4.0;     // useful
+  lb.learner_compute_s = 2.0;  // useful
+  lb.data_load_s = 1.0;
+  lb.learner_start_s = 1.0;
+  lb.grad_submit_s = 0.5;
+  lb.aggregate_s = 1.0;
+  lb.broadcast_s = 0.5;
+  EXPECT_DOUBLE_EQ(lb.total(), 10.0);
+  EXPECT_DOUBLE_EQ(lb.overhead_fraction(), 0.4);
+}
+
+}  // namespace
+}  // namespace stellaris::core

@@ -51,6 +51,36 @@ TEST(Profiler, SingleSampleHasNoRate) {
   EXPECT_DOUBLE_EQ(prof.arrival_rate_hz(FnKind::kLearner), 0.0);
 }
 
+TEST(Profiler, SingleSampleRecommendsNoPrewarm) {
+  // One observation gives a duration estimate but no rate, so Little's law
+  // has nothing to multiply — the recommendation must stay at zero rather
+  // than divide by a zero span.
+  FunctionProfiler prof;
+  prof.record(FnKind::kLearner, 5.0, 2.0);
+  EXPECT_TRUE(prof.expected_duration_s(FnKind::kLearner).has_value());
+  EXPECT_EQ(prof.recommended_prewarm(FnKind::kLearner), 0u);
+}
+
+TEST(Profiler, SimultaneousStartsHaveNoRate) {
+  // All invocations at the same instant → zero observation span. The rate
+  // must come back 0 (not inf/NaN), and so must the prewarm estimate.
+  FunctionProfiler prof;
+  for (int i = 0; i < 4; ++i) prof.record(FnKind::kActor, 1.0, 0.5);
+  EXPECT_DOUBLE_EQ(prof.arrival_rate_hz(FnKind::kActor), 0.0);
+  EXPECT_EQ(prof.recommended_prewarm(FnKind::kActor), 0u);
+}
+
+TEST(Profiler, ZeroDurationRunsAreAccepted) {
+  // Instant functions (duration 0) are legal; the prewarm recommendation
+  // rounds up from a zero mean concurrency to zero containers.
+  FunctionProfiler prof;
+  for (int i = 0; i < 3; ++i)
+    prof.record(FnKind::kParameter, static_cast<double>(i), 0.0);
+  EXPECT_DOUBLE_EQ(*prof.expected_duration_s(FnKind::kParameter), 0.0);
+  EXPECT_DOUBLE_EQ(prof.arrival_rate_hz(FnKind::kParameter), 1.0);
+  EXPECT_EQ(prof.recommended_prewarm(FnKind::kParameter), 0u);
+}
+
 TEST(Profiler, PrewarmFollowsLittlesLaw) {
   FunctionProfiler prof(/*headroom=*/1.0);
   // Rate 2 Hz, duration 1.5 s → mean concurrency 3.

@@ -1,0 +1,87 @@
+#include "util/logging.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <string>
+
+namespace stellaris {
+namespace {
+
+TEST(Logging, ParseLevelNames) {
+  const LogLevel fb = LogLevel::kOff;
+  EXPECT_EQ(parse_log_level("debug", fb), LogLevel::kDebug);
+  EXPECT_EQ(parse_log_level("info", fb), LogLevel::kInfo);
+  EXPECT_EQ(parse_log_level("warn", fb), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("warning", fb), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("error", fb), LogLevel::kError);
+  EXPECT_EQ(parse_log_level("off", fb), LogLevel::kOff);
+  EXPECT_EQ(parse_log_level("none", fb), LogLevel::kOff);
+}
+
+TEST(Logging, ParseLevelIsCaseInsensitive) {
+  const LogLevel fb = LogLevel::kOff;
+  EXPECT_EQ(parse_log_level("DEBUG", fb), LogLevel::kDebug);
+  EXPECT_EQ(parse_log_level("Warn", fb), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("ERROR", fb), LogLevel::kError);
+}
+
+TEST(Logging, ParseLevelDigits) {
+  const LogLevel fb = LogLevel::kInfo;
+  EXPECT_EQ(parse_log_level("0", fb), LogLevel::kDebug);
+  EXPECT_EQ(parse_log_level("1", fb), LogLevel::kInfo);
+  EXPECT_EQ(parse_log_level("2", fb), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("3", fb), LogLevel::kError);
+  EXPECT_EQ(parse_log_level("4", fb), LogLevel::kOff);
+}
+
+TEST(Logging, ParseLevelFallsBackOnGarbage) {
+  EXPECT_EQ(parse_log_level("", LogLevel::kWarn), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("verbose", LogLevel::kInfo), LogLevel::kInfo);
+  EXPECT_EQ(parse_log_level("42", LogLevel::kError), LogLevel::kError);
+}
+
+TEST(Logging, TimestampIsIso8601Utc) {
+  const std::string ts = log_timestamp();
+  // "2026-08-06T12:34:56.789Z" — fixed-width fields, T and Z markers.
+  ASSERT_EQ(ts.size(), 24u);
+  EXPECT_EQ(ts[4], '-');
+  EXPECT_EQ(ts[7], '-');
+  EXPECT_EQ(ts[10], 'T');
+  EXPECT_EQ(ts[13], ':');
+  EXPECT_EQ(ts[16], ':');
+  EXPECT_EQ(ts[19], '.');
+  EXPECT_EQ(ts[23], 'Z');
+  for (std::size_t i : {0u, 1u, 2u, 3u, 5u, 6u, 8u, 9u, 11u, 12u, 14u, 15u,
+                        17u, 18u, 20u, 21u, 22u})
+    EXPECT_TRUE(std::isdigit(static_cast<unsigned char>(ts[i])))
+        << "position " << i << " in " << ts;
+}
+
+TEST(Logging, MacroIsDanglingElseSafe) {
+  // `if (cond) LOG_INFO << ...; else <stmt>;` — the else must bind to the
+  // user's if, not to the macro's internal level check. With a bare-if
+  // macro this whole statement would be swallowed when cond is false.
+  Logger& log = Logger::instance();
+  const LogLevel before = log.level();
+  log.set_level(LogLevel::kOff);
+  bool else_ran = false;
+  const bool cond = false;
+  if (cond)
+    LOG_INFO << "unreachable";
+  else
+    else_ran = true;
+  EXPECT_TRUE(else_ran);
+  log.set_level(before);
+}
+
+TEST(Logging, SetLevelOverridesEnvironment) {
+  Logger& log = Logger::instance();
+  const LogLevel before = log.level();
+  log.set_level(LogLevel::kError);
+  EXPECT_EQ(log.level(), LogLevel::kError);
+  log.set_level(before);
+}
+
+}  // namespace
+}  // namespace stellaris
