@@ -1,7 +1,28 @@
 // Google-benchmark microbenchmarks for the substrates: tensor kernels,
 // serialization, the distributed cache, the aggregation kernel, environment
 // stepping, and a full learner gradient computation.
+//
+// A second personality, the kernel-perf harness, activates when any of
+//   --json=<path>         write machine-readable kernel results
+//   --compare=<path>      load a baseline JSON and compute deltas
+//   --max-regress=<x>     fail (exit 1) if any kernel is > x times slower
+//                         than the baseline (default 2.0)
+//   --kernels             run the harness with stdout output only
+// is passed (see bench/README.md for the JSON format). The harness times
+// every tensor kernel against its ops::reference seed implementation on a
+// fixed shape set, so the emitted file is a before/after perf trajectory:
+// "reference" is the seed kernel, "value" is the current blocked kernel.
 #include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <functional>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
 
 #include "cache/distributed_cache.hpp"
 #include "core/parameter_function.hpp"
@@ -10,7 +31,9 @@
 #include "rl/actor.hpp"
 #include "rl/gae.hpp"
 #include "rl/ppo.hpp"
+#include "tensor/kernel_config.hpp"
 #include "tensor/ops.hpp"
+#include "util/mini_json.hpp"
 #include "util/rng.hpp"
 
 namespace stellaris {
@@ -149,7 +172,215 @@ void BM_GaussianLogProb(benchmark::State& state) {
 }
 BENCHMARK(BM_GaussianLogProb);
 
+// ---------------------------------------------------------------------------
+// Kernel-perf harness
+// ---------------------------------------------------------------------------
+
+/// One timed kernel×shape result. `value`/`reference` are rates in `metric`
+/// units (GFLOP/s for the GEMMs, Gelem/s for everything else).
+struct KernelResult {
+  std::string kernel;
+  std::string shape;
+  std::string metric;
+  double work = 0.0;  // flops or elements per call
+  double value = 0.0;
+  double reference = 0.0;
+};
+
+/// Best-of-3 rate measurement: calibrates an iteration count to ~60 ms,
+/// then keeps the fastest repetition (robust against scheduler noise).
+double measure_rate(double work_per_call, const std::function<void()>& fn) {
+  using clock = std::chrono::steady_clock;
+  const auto seconds_for = [&](int iters) {
+    const auto t0 = clock::now();
+    for (int i = 0; i < iters; ++i) fn();
+    return std::chrono::duration<double>(clock::now() - t0).count();
+  };
+  fn();  // warm caches and scratch pools
+  int iters = 1;
+  double t = seconds_for(iters);
+  while (t < 0.02 && iters < (1 << 20)) {
+    iters *= 4;
+    t = seconds_for(iters);
+  }
+  const int timed_iters = std::max(1, static_cast<int>(0.06 * iters / t));
+  double best = t / iters;
+  for (int rep = 0; rep < 3; ++rep)
+    best = std::min(best, seconds_for(timed_iters) / timed_iters);
+  return work_per_call / best / 1e9;
+}
+
+std::vector<KernelResult> run_kernel_benches() {
+  std::vector<KernelResult> out;
+  Rng rng(42);
+
+  struct GemmShape {
+    std::size_t m, k, n;
+  };
+  const GemmShape gemm_shapes[] = {{32, 32, 32}, {64, 64, 64},
+                                   {128, 128, 128}, {67, 43, 129}};
+  for (const auto& s : gemm_shapes) {
+    std::ostringstream shape;
+    shape << s.m << "x" << s.k << "x" << s.n;
+    const double flops = 2.0 * static_cast<double>(s.m) *
+                         static_cast<double>(s.k) * static_cast<double>(s.n);
+    {
+      Tensor a = Tensor::randn({s.m, s.k}, rng);
+      Tensor b = Tensor::randn({s.k, s.n}, rng);
+      Tensor c;
+      out.push_back(
+          {"matmul", shape.str(), "gflops", flops,
+           measure_rate(flops, [&] { ops::matmul_into(c, a, b); }),
+           measure_rate(flops, [&] { ops::reference::matmul(a, b); })});
+    }
+    {
+      Tensor a = Tensor::randn({s.k, s.m}, rng);
+      Tensor b = Tensor::randn({s.k, s.n}, rng);
+      Tensor c;
+      out.push_back(
+          {"matmul_tn", shape.str(), "gflops", flops,
+           measure_rate(flops, [&] { ops::matmul_tn_into(c, a, b); }),
+           measure_rate(flops, [&] { ops::reference::matmul_tn(a, b); })});
+    }
+    {
+      Tensor a = Tensor::randn({s.m, s.k}, rng);
+      Tensor b = Tensor::randn({s.n, s.k}, rng);
+      Tensor c;
+      out.push_back(
+          {"matmul_nt", shape.str(), "gflops", flops,
+           measure_rate(flops, [&] { ops::matmul_nt_into(c, a, b); }),
+           measure_rate(flops, [&] { ops::reference::matmul_nt(a, b); })});
+    }
+  }
+
+  const std::size_t rows = 512, cols = 128;
+  const double elems = static_cast<double>(rows * cols);
+  const std::string eshape = "512x128";
+  Tensor x = Tensor::randn({rows, cols}, rng);
+  Tensor y;
+  out.push_back({"tanh_forward", eshape, "gelems", elems,
+                 measure_rate(elems, [&] { ops::tanh_forward_into(y, x); }),
+                 measure_rate(elems, [&] { ops::reference::tanh_forward(x); })});
+  out.push_back({"relu_forward", eshape, "gelems", elems,
+                 measure_rate(elems, [&] { ops::relu_forward_into(y, x); }),
+                 measure_rate(elems, [&] { ops::reference::relu_forward(x); })});
+  out.push_back(
+      {"softmax_rows", eshape, "gelems", elems,
+       measure_rate(elems, [&] { ops::softmax_rows_into(y, x); }),
+       measure_rate(elems, [&] { ops::reference::softmax_rows(x); })});
+  out.push_back(
+      {"log_softmax_rows", eshape, "gelems", elems,
+       measure_rate(elems, [&] { ops::log_softmax_rows_into(y, x); }),
+       measure_rate(elems, [&] { ops::reference::log_softmax_rows(x); })});
+  out.push_back({"sum_rows", eshape, "gelems", elems,
+                 measure_rate(elems, [&] { ops::sum_rows_into(y, x); }),
+                 measure_rate(elems, [&] { ops::reference::sum_rows(x); })});
+  return out;
+}
+
+void write_kernel_json(const std::string& path,
+                       const std::vector<KernelResult>& results) {
+  std::ofstream os(path);
+  os << "{\n  \"schema\": \"stellaris-kernel-bench-v1\",\n"
+     << "  \"kernel_threads\": " << ops::kernel_threads() << ",\n"
+     << "  \"entries\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& r = results[i];
+    char buf[512];
+    std::snprintf(buf, sizeof buf,
+                  "    {\"kernel\": \"%s\", \"shape\": \"%s\", \"metric\": "
+                  "\"%s\", \"value\": %.3f, \"reference\": %.3f, "
+                  "\"speedup_vs_reference\": %.3f}",
+                  r.kernel.c_str(), r.shape.c_str(), r.metric.c_str(),
+                  r.value, r.reference,
+                  r.reference > 0.0 ? r.value / r.reference : 0.0);
+    os << buf << (i + 1 < results.size() ? ",\n" : "\n");
+  }
+  os << "  ]\n}\n";
+}
+
+/// Compare against a baseline JSON (same schema). Returns the worst
+/// value/baseline ratio across kernels present in both files.
+double compare_to_baseline(const std::string& path,
+                           const std::vector<KernelResult>& results) {
+  std::ifstream is(path);
+  STELLARIS_CHECK_MSG(is.good(), "cannot read baseline " << path);
+  std::stringstream ss;
+  ss << is.rdbuf();
+  const minijson::Value root = minijson::parse(ss.str());
+  double worst = std::numeric_limits<double>::infinity();
+  for (const minijson::Value& e : root.at("entries").arr) {
+    const std::string& kernel = e.at("kernel").string();
+    const std::string& shape = e.at("shape").string();
+    const double base = e.at("value").number();
+    if (base <= 0.0) continue;
+    for (const auto& r : results) {
+      if (r.kernel != kernel || r.shape != shape) continue;
+      const double ratio = r.value / base;
+      std::printf("  vs baseline  %-18s %-12s %8.2fx\n", kernel.c_str(),
+                  shape.c_str(), ratio);
+      worst = std::min(worst, ratio);
+    }
+  }
+  return worst;
+}
+
+int run_kernel_harness(const std::string& json_out,
+                       const std::string& baseline, double max_regress) {
+  const auto results = run_kernel_benches();
+  std::printf("%-18s %-12s %10s %10s %9s\n", "kernel", "shape", "current",
+              "reference", "speedup");
+  for (const auto& r : results) {
+    std::printf("%-18s %-12s %8.2f%s %8.2f%s %8.2fx\n", r.kernel.c_str(),
+                r.shape.c_str(), r.value, r.metric == "gflops" ? "GF" : "Ge",
+                r.reference, r.metric == "gflops" ? "GF" : "Ge",
+                r.reference > 0.0 ? r.value / r.reference : 0.0);
+  }
+  if (!json_out.empty()) {
+    write_kernel_json(json_out, results);
+    std::printf("wrote %s\n", json_out.c_str());
+  }
+  if (!baseline.empty()) {
+    const double worst = compare_to_baseline(baseline, results);
+    if (worst * max_regress < 1.0) {
+      std::printf("FAIL: worst kernel is %.2fx of baseline (limit %.2fx)\n",
+                  worst, 1.0 / max_regress);
+      return 1;
+    }
+    std::printf("baseline check passed: worst ratio %.2fx (limit %.2fx)\n",
+                worst, 1.0 / max_regress);
+  }
+  return 0;
+}
+
 }  // namespace
 }  // namespace stellaris
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  std::string json_out, baseline;
+  double max_regress = 2.0;
+  bool kernel_mode = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--json=", 0) == 0) {
+      json_out = arg.substr(7);
+      kernel_mode = true;
+    } else if (arg.rfind("--compare=", 0) == 0) {
+      baseline = arg.substr(10);
+      kernel_mode = true;
+    } else if (arg.rfind("--max-regress=", 0) == 0) {
+      max_regress = std::stod(arg.substr(14));
+      kernel_mode = true;
+    } else if (arg == "--kernels") {
+      kernel_mode = true;
+    }
+  }
+  if (kernel_mode)
+    return stellaris::run_kernel_harness(json_out, baseline, max_regress);
+
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

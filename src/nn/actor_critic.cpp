@@ -88,7 +88,7 @@ std::unique_ptr<ActorCritic> ActorCritic::clone() const {
   return copy;
 }
 
-Tensor ActorCritic::policy_forward(const Tensor& obs) {
+const Tensor& ActorCritic::policy_forward(const Tensor& obs) {
   STELLARIS_CHECK_MSG(obs.rank() == 2 && obs.dim(1) == obs_.flat_dim,
                       "policy_forward obs " << shape_str(obs.shape()));
   return policy_net_.forward(obs);
@@ -98,14 +98,17 @@ void ActorCritic::policy_backward(const Tensor& dout) {
   policy_net_.backward(dout);
 }
 
-Tensor ActorCritic::value_forward(const Tensor& obs) {
-  Tensor v = value_net_.forward(obs);  // (batch, 1)
-  return v.reshaped({v.dim(0)});
+const Tensor& ActorCritic::value_forward(const Tensor& obs) {
+  value_out_ = value_net_.forward(obs);  // (batch, 1); copy reuses capacity
+  value_out_.reshape({value_out_.dim(0)});
+  return value_out_;
 }
 
 void ActorCritic::value_backward(const Tensor& dvalues) {
   STELLARIS_CHECK_MSG(dvalues.rank() == 1, "value_backward expects (batch)");
-  value_net_.backward(dvalues.reshaped({dvalues.dim(0), 1}));
+  dvalues_2d_ = dvalues;
+  dvalues_2d_.reshape({dvalues.dim(0), 1});
+  value_net_.backward(dvalues_2d_);
 }
 
 Tensor* ActorCritic::log_std() {

@@ -76,13 +76,15 @@ class ActorCritic {
   const ObsSpec& obs_spec() const { return obs_; }
 
   /// Policy head output: Gaussian means (batch, act_dim) or logits
-  /// (batch, n_actions).
-  Tensor policy_forward(const Tensor& obs);
+  /// (batch, n_actions). The reference is owned by the policy net and stays
+  /// valid until its next forward/backward call.
+  const Tensor& policy_forward(const Tensor& obs);
   /// Push dL/d(policy output) back through the policy net.
   void policy_backward(const Tensor& dout);
 
-  /// State values, shape (batch).
-  Tensor value_forward(const Tensor& obs);
+  /// State values, shape (batch); reference valid until the next
+  /// value_forward call.
+  const Tensor& value_forward(const Tensor& obs);
   /// Push dL/d(values), shape (batch).
   void value_backward(const Tensor& dvalues);
 
@@ -120,6 +122,8 @@ class ActorCritic {
   Sequential value_net_;
   Tensor log_std_;       // (act_dim) for continuous; empty for discrete
   Tensor dlog_std_;
+  Tensor value_out_;     // value_forward result, reshaped to (batch)
+  Tensor dvalues_2d_;    // value_backward input, reshaped to (batch, 1)
 };
 
 }  // namespace stellaris::nn

@@ -15,21 +15,27 @@ Linear::Linear(std::size_t in, std::size_t out, Rng& rng)
   w_ = Tensor::randn({in, out}, rng, stddev);
 }
 
-Tensor Linear::forward(const Tensor& x) {
+const Tensor& Linear::forward(const Tensor& x) {
   STELLARIS_CHECK_MSG(x.rank() == 2 && x.dim(1) == w_.dim(0),
                       "Linear forward: " << shape_str(x.shape()) << " into "
                                          << shape_str(w_.shape()));
   cached_input_ = x;
-  Tensor y = ops::matmul(x, w_);
-  ops::add_bias_rows(y, b_);
-  return y;
+  ops::matmul_into(out_, x, w_);
+  ops::add_bias_rows(out_, b_);
+  return out_;
 }
 
-Tensor Linear::backward(const Tensor& dy) {
+const Tensor& Linear::backward(const Tensor& dy) {
   STELLARIS_CHECK_MSG(!cached_input_.empty(), "backward before forward");
-  dw_ += ops::matmul_tn(cached_input_, dy);
-  db_ += ops::sum_rows(dy);
-  return ops::matmul_nt(dy, w_);
+  // Compute the step gradient into its own buffer, then fold it in with +=:
+  // accumulating directly inside the GEMM would reorder the additions
+  // against the pre-existing dw_ value and change the rounding.
+  ops::matmul_tn_into(dw_step_, cached_input_, dy);
+  dw_ += dw_step_;
+  ops::sum_rows_into(db_step_, dy);
+  db_ += db_step_;
+  ops::matmul_nt_into(dx_, dy, w_);
+  return dx_;
 }
 
 Conv2d::Conv2d(ops::Conv2dSpec spec, Rng& rng) : spec_(spec) {
@@ -45,28 +51,28 @@ std::size_t Conv2d::out_features() const {
   return spec_.out_channels * spec_.out_h() * spec_.out_w();
 }
 
-Tensor Conv2d::forward(const Tensor& x) {
+const Tensor& Conv2d::forward(const Tensor& x) {
   cached_batch_ = x.dim(0);
-  cached_cols_ = ops::im2col(x, spec_);
+  ops::im2col_into(cached_cols_, x, spec_);
   // (N·oh·ow, patch) x (patch, oc) -> (N·oh·ow, oc)
-  Tensor y = ops::matmul(cached_cols_, w_);
-  ops::add_bias_rows(y, b_);
+  ops::matmul_into(y_, cached_cols_, w_);
+  ops::add_bias_rows(y_, b_);
   // Reorder to channel-major rows (N, oc·oh·ow) so downstream layers see the
   // conventional CHW flattening.
   const std::size_t oh = spec_.out_h(), ow = spec_.out_w(),
                     oc = spec_.out_channels;
-  Tensor out({cached_batch_, oc * oh * ow});
-  const float* py = y.data().data();
-  float* po = out.data().data();
+  out_.ensure_shape({cached_batch_, oc * oh * ow});
+  const float* py = y_.data().data();
+  float* po = out_.data().data();
   for (std::size_t n = 0; n < cached_batch_; ++n)
     for (std::size_t p = 0; p < oh * ow; ++p)
       for (std::size_t c = 0; c < oc; ++c)
         po[n * oc * oh * ow + c * oh * ow + p] =
             py[(n * oh * ow + p) * oc + c];
-  return out;
+  return out_;
 }
 
-Tensor Conv2d::backward(const Tensor& dy) {
+const Tensor& Conv2d::backward(const Tensor& dy) {
   STELLARIS_CHECK_MSG(!cached_cols_.empty(), "backward before forward");
   const std::size_t oh = spec_.out_h(), ow = spec_.out_w(),
                     oc = spec_.out_channels;
@@ -74,39 +80,45 @@ Tensor Conv2d::backward(const Tensor& dy) {
                           dy.dim(1) == oc * oh * ow,
                       "Conv2d backward shape " << shape_str(dy.shape()));
   // Undo the channel-major reorder.
-  Tensor dys({cached_batch_ * oh * ow, oc});
+  dys_.ensure_shape({cached_batch_ * oh * ow, oc});
   const float* pd = dy.data().data();
-  float* ps = dys.data().data();
+  float* ps = dys_.data().data();
   for (std::size_t n = 0; n < cached_batch_; ++n)
     for (std::size_t p = 0; p < oh * ow; ++p)
       for (std::size_t c = 0; c < oc; ++c)
         ps[(n * oh * ow + p) * oc + c] =
             pd[n * oc * oh * ow + c * oh * ow + p];
 
-  dw_ += ops::matmul_tn(cached_cols_, dys);
-  db_ += ops::sum_rows(dys);
-  Tensor dcols = ops::matmul_nt(dys, w_);
-  return ops::col2im(dcols, spec_, cached_batch_);
+  ops::matmul_tn_into(dw_step_, cached_cols_, dys_);
+  dw_ += dw_step_;
+  ops::sum_rows_into(db_step_, dys_);
+  db_ += db_step_;
+  ops::matmul_nt_into(dcols_, dys_, w_);
+  ops::col2im_into(dx_, dcols_, spec_, cached_batch_);
+  return dx_;
 }
 
-Tensor Tanh::forward(const Tensor& x) {
-  cached_output_ = ops::tanh_forward(x);
+const Tensor& Tanh::forward(const Tensor& x) {
+  ops::tanh_forward_into(cached_output_, x);
   return cached_output_;
 }
 
-Tensor Tanh::backward(const Tensor& dy) {
+const Tensor& Tanh::backward(const Tensor& dy) {
   STELLARIS_CHECK_MSG(!cached_output_.empty(), "backward before forward");
-  return ops::tanh_backward(cached_output_, dy);
+  ops::tanh_backward_into(dx_, cached_output_, dy);
+  return dx_;
 }
 
-Tensor Relu::forward(const Tensor& x) {
+const Tensor& Relu::forward(const Tensor& x) {
   cached_input_ = x;
-  return ops::relu_forward(x);
+  ops::relu_forward_into(out_, x);
+  return out_;
 }
 
-Tensor Relu::backward(const Tensor& dy) {
+const Tensor& Relu::backward(const Tensor& dy) {
   STELLARIS_CHECK_MSG(!cached_input_.empty(), "backward before forward");
-  return ops::relu_backward(cached_input_, dy);
+  ops::relu_backward_into(dx_, cached_input_, dy);
+  return dx_;
 }
 
 Sequential& Sequential::add(std::unique_ptr<Layer> layer) {
@@ -114,17 +126,25 @@ Sequential& Sequential::add(std::unique_ptr<Layer> layer) {
   return *this;
 }
 
-Tensor Sequential::forward(const Tensor& x) {
-  Tensor cur = x;
-  for (auto& l : layers_) cur = l->forward(cur);
-  return cur;
+const Tensor& Sequential::forward(const Tensor& x) {
+  if (layers_.empty()) {
+    passthrough_ = x;
+    return passthrough_;
+  }
+  const Tensor* cur = &x;
+  for (auto& l : layers_) cur = &l->forward(*cur);
+  return *cur;
 }
 
-Tensor Sequential::backward(const Tensor& dy) {
-  Tensor cur = dy;
+const Tensor& Sequential::backward(const Tensor& dy) {
+  if (layers_.empty()) {
+    passthrough_ = dy;
+    return passthrough_;
+  }
+  const Tensor* cur = &dy;
   for (auto it = layers_.rbegin(); it != layers_.rend(); ++it)
-    cur = (*it)->backward(cur);
-  return cur;
+    cur = &(*it)->backward(*cur);
+  return *cur;
 }
 
 std::vector<Tensor*> Sequential::parameters() {

@@ -5,6 +5,13 @@
 // gradients. This keeps the training loop deterministic and allocation
 // patterns obvious — important because learner functions serialize whole
 // gradient sets into the distributed cache every round.
+//
+// forward/backward return references to buffers owned by the layer, written
+// through the ops::*_into kernels: once every buffer has grown to the
+// steady-state batch shape, a training step performs zero heap allocations
+// (verified by the tensor_buffer_allocs() counter in the layer tests). The
+// returned reference is valid until the next forward/backward call on the
+// same layer; callers that need the data to outlive that copy it.
 #pragma once
 
 #include <memory>
@@ -25,12 +32,14 @@ class Layer {
  public:
   virtual ~Layer() = default;
 
-  /// Compute outputs; caches whatever backward() needs.
-  virtual Tensor forward(const Tensor& x) = 0;
+  /// Compute outputs; caches whatever backward() needs. The reference stays
+  /// valid until the next call on this layer.
+  virtual const Tensor& forward(const Tensor& x) = 0;
 
   /// Given dL/d(output), accumulate parameter grads and return dL/d(input).
-  /// Must be called after the matching forward().
-  virtual Tensor backward(const Tensor& dy) = 0;
+  /// Must be called after the matching forward(). The reference stays valid
+  /// until the next call on this layer.
+  virtual const Tensor& backward(const Tensor& dy) = 0;
 
   /// Learnable parameter tensors (empty for activations).
   virtual std::vector<Tensor*> parameters() { return {}; }
@@ -45,8 +54,8 @@ class Linear final : public Layer {
  public:
   Linear(std::size_t in, std::size_t out, Rng& rng);
 
-  Tensor forward(const Tensor& x) override;
-  Tensor backward(const Tensor& dy) override;
+  const Tensor& forward(const Tensor& x) override;
+  const Tensor& backward(const Tensor& dy) override;
   std::vector<Tensor*> parameters() override { return {&w_, &b_}; }
   std::vector<Tensor*> gradients() override { return {&dw_, &db_}; }
   std::string name() const override { return "Linear"; }
@@ -58,6 +67,8 @@ class Linear final : public Layer {
   Tensor w_, b_;
   Tensor dw_, db_;
   Tensor cached_input_;
+  Tensor out_, dx_;             // persistent forward/backward outputs
+  Tensor dw_step_, db_step_;    // per-step grads, folded into dw_/db_ with +=
 };
 
 /// 2-D convolution via im2col lowering; input rows are flattened (C,H,W).
@@ -65,8 +76,8 @@ class Conv2d final : public Layer {
  public:
   Conv2d(ops::Conv2dSpec spec, Rng& rng);
 
-  Tensor forward(const Tensor& x) override;
-  Tensor backward(const Tensor& dy) override;
+  const Tensor& forward(const Tensor& x) override;
+  const Tensor& backward(const Tensor& dy) override;
   std::vector<Tensor*> parameters() override { return {&w_, &b_}; }
   std::vector<Tensor*> gradients() override { return {&dw_, &db_}; }
   std::string name() const override { return "Conv2d"; }
@@ -82,26 +93,31 @@ class Conv2d final : public Layer {
   Tensor dw_, db_;
   Tensor cached_cols_;
   std::size_t cached_batch_ = 0;
+  Tensor y_, out_;              // pre-/post-reorder forward buffers
+  Tensor dys_, dcols_, dx_;     // backward buffers
+  Tensor dw_step_, db_step_;
 };
 
 class Tanh final : public Layer {
  public:
-  Tensor forward(const Tensor& x) override;
-  Tensor backward(const Tensor& dy) override;
+  const Tensor& forward(const Tensor& x) override;
+  const Tensor& backward(const Tensor& dy) override;
   std::string name() const override { return "Tanh"; }
 
  private:
-  Tensor cached_output_;
+  Tensor cached_output_;  // doubles as the forward result
+  Tensor dx_;
 };
 
 class Relu final : public Layer {
  public:
-  Tensor forward(const Tensor& x) override;
-  Tensor backward(const Tensor& dy) override;
+  const Tensor& forward(const Tensor& x) override;
+  const Tensor& backward(const Tensor& dy) override;
   std::string name() const override { return "Relu"; }
 
  private:
   Tensor cached_input_;
+  Tensor out_, dx_;
 };
 
 /// Ordered pipeline of layers.
@@ -111,8 +127,8 @@ class Sequential final : public Layer {
 
   Sequential& add(std::unique_ptr<Layer> layer);
 
-  Tensor forward(const Tensor& x) override;
-  Tensor backward(const Tensor& dy) override;
+  const Tensor& forward(const Tensor& x) override;
+  const Tensor& backward(const Tensor& dy) override;
   std::vector<Tensor*> parameters() override;
   std::vector<Tensor*> gradients() override;
   std::string name() const override { return "Sequential"; }
@@ -122,6 +138,7 @@ class Sequential final : public Layer {
 
  private:
   std::vector<std::unique_ptr<Layer>> layers_;
+  Tensor passthrough_;  // only used when the pipeline is empty
 };
 
 /// Zero every gradient accumulator of `layer`.

@@ -5,6 +5,7 @@
 
 #include "nn/distributions.hpp"
 #include "rl/vtrace.hpp"
+#include "tensor/scratch.hpp"
 
 namespace stellaris::rl {
 
@@ -17,9 +18,12 @@ LossStats impact_compute_gradients(nn::ActorCritic& model,
   const double inv_n = 1.0 / static_cast<double>(n);
 
   // ---- forward on current and target networks -------------------------------
-  Tensor pol_out = model.policy_forward(batch.obs);
-  Tensor values = model.value_forward(batch.obs);
-  Tensor target_out = target.policy_forward(batch.obs);
+  // References into the nets' persistent output buffers; `model` and
+  // `target` are distinct nets, so all three stay valid through the
+  // backward calls below.
+  const Tensor& pol_out = model.policy_forward(batch.obs);
+  const Tensor& values = model.value_forward(batch.obs);
+  const Tensor& target_out = target.policy_forward(batch.obs);
 
   Tensor logp, logp_target;
   if (batch.action_kind == nn::ActionKind::kContinuous) {
@@ -72,7 +76,8 @@ LossStats impact_compute_gradients(nn::ActorCritic& model,
 
   // ---- surrogate wrt the TARGET network -------------------------------------
   LossStats stats;
-  Tensor coeff({n});
+  auto coeff_lease = ops::ScratchPool::local().take({n});
+  Tensor& coeff = *coeff_lease;
   double surrogate = 0.0, kl_sum = 0.0, sum_ratio = 0.0, max_ratio = 0.0;
   double min_ratio = std::numeric_limits<double>::infinity();
   std::size_t clipped = 0;
@@ -152,7 +157,8 @@ LossStats impact_compute_gradients(nn::ActorCritic& model,
   }
 
   // Value regression toward V-trace targets.
-  Tensor dvalues({n});
+  auto dvalues_lease = ops::ScratchPool::local().take({n});
+  Tensor& dvalues = *dvalues_lease;
   double vloss = 0.0;
   for (std::size_t t = 0; t < n; ++t) {
     const double err = values[t] - vt.vs[t];

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "nn/distributions.hpp"
+#include "tensor/scratch.hpp"
 
 namespace stellaris::rl {
 
@@ -17,8 +18,10 @@ LossStats ppo_compute_gradients(nn::ActorCritic& model,
   const double inv_n = 1.0 / static_cast<double>(n);
 
   // ---- forward ------------------------------------------------------------
-  Tensor pol_out = model.policy_forward(batch.obs);
-  Tensor values = model.value_forward(batch.obs);
+  // References into the nets' persistent output buffers; valid through the
+  // backward calls below (backward never touches a forward output buffer).
+  const Tensor& pol_out = model.policy_forward(batch.obs);
+  const Tensor& values = model.value_forward(batch.obs);
 
   Tensor logp;
   if (batch.action_kind == nn::ActionKind::kContinuous) {
@@ -33,7 +36,8 @@ LossStats ppo_compute_gradients(nn::ActorCritic& model,
   // dL/dlogp_t = −(1/n)·r_t·A_t·1[surrogate unclipped & r_t < cap]
   //              + (kl_coeff/n)·(r_t − 1)          (k3 KL estimator grad)
   LossStats stats;
-  Tensor coeff({n});
+  auto coeff_lease = ops::ScratchPool::local().take({n});
+  Tensor& coeff = *coeff_lease;
   double sum_ratio = 0.0, max_ratio = 0.0;
   double min_ratio = std::numeric_limits<double>::infinity();
   double surrogate = 0.0, kl_sum = 0.0;
@@ -111,7 +115,8 @@ LossStats ppo_compute_gradients(nn::ActorCritic& model,
 
   // ---- value backward --------------------------------------------------------
   // VF loss = vf_coeff · (1/n) Σ ½(V_t − target_t)².
-  Tensor dvalues({n});
+  auto dvalues_lease = ops::ScratchPool::local().take({n});
+  Tensor& dvalues = *dvalues_lease;
   double vloss = 0.0;
   for (std::size_t t = 0; t < n; ++t) {
     const double err = values[t] - batch.value_targets[t];

@@ -1,0 +1,346 @@
+// Cache-blocked, register-tiled GEMM kernels.
+//
+// Scheme (see DESIGN.md "Compute kernels"):
+//   * The output C is tiled over i (rows, panels of kMC) and j (columns,
+//     panels of kNC); each panel is walked by an MR×NR register micro-kernel
+//     that keeps a block of C in accumulator registers for the entire k
+//     sweep — one store per output element instead of one load+store per
+//     (element, k) step, and every B-row load is shared by MR output rows.
+//   * k is deliberately NOT tiled. Each output element accumulates its k
+//     products in ascending order starting from 0.0f, exactly the order of
+//     the naive reference kernel, so blocked results are bit-identical to
+//     ops::reference — the learner stays deterministic across this rewrite.
+//   * Threading splits i into panels of kMC rows (ThreadPool::parallel_for).
+//     Panels write disjoint C rows and each element is still accumulated by
+//     exactly one task in the same order, so any thread count produces the
+//     same bits. Gated by kernel_parallel_min_flops() and off by default
+//     (kernel_threads() == 1).
+//   * matmul_tn packs the A panel into a transposed scratch buffer first
+//     (pure data movement), then reuses the nn micro-kernel; matmul_nt does
+//     the same with B, since a dot-product micro-kernel cannot vectorize
+//     its k chain without reassociating float adds.
+#include <algorithm>
+
+#include "obs/metrics.hpp"
+#include "tensor/kernel_config.hpp"
+#include "tensor/ops.hpp"
+#include "tensor/scratch.hpp"
+#include "util/thread_pool.hpp"
+
+namespace stellaris::ops {
+namespace {
+
+// Register tile and cache panels. 4×48 accumulators measured fastest for
+// the -march=native AVX-512 build (three 16-lane accumulator columns per
+// row keep both FMA ports busy) while staying ahead of the reference ikj
+// kernel in the portable build; kMC is also the threading grain. Column
+// edges are handled by compile-time sub-tiles (32, then 16, then a scalar
+// tail) because a runtime-bound tile defeats the vectorizer.
+constexpr std::size_t kMR = 4;
+constexpr std::size_t kNR = 48;
+constexpr std::size_t kMC = 64;
+constexpr std::size_t kNC = 240;  // multiple of kNR: edge tiles only at the true edge
+
+obs::Counter& gemm_calls() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::global().counter("kernel.gemm_calls");
+  return c;
+}
+
+obs::Counter& gemm_flop_counter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::global().counter("kernel.gemm_flops");
+  return c;
+}
+
+obs::Counter& gemm_parallel_calls() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::global().counter("kernel.gemm_parallel_calls");
+  return c;
+}
+
+// -- micro-kernels -----------------------------------------------------------
+// a points at A[i][0] (row stride lda), b at B[0][j] (row stride ldb), c at
+// C[i][j] (row stride ldc). Accumulation runs the full k range in registers
+// and stores once.
+
+template <std::size_t MR, std::size_t NR>
+inline void micro_nn(std::size_t k, const float* a, std::size_t lda,
+                     const float* b, std::size_t ldb, float* c,
+                     std::size_t ldc) {
+  float acc[MR][NR] = {};
+  for (std::size_t kk = 0; kk < k; ++kk) {
+    const float* brow = b + kk * ldb;
+    for (std::size_t r = 0; r < MR; ++r) {
+      const float ar = a[r * lda + kk];
+      for (std::size_t cc = 0; cc < NR; ++cc) acc[r][cc] += ar * brow[cc];
+    }
+  }
+  for (std::size_t r = 0; r < MR; ++r)
+    for (std::size_t cc = 0; cc < NR; ++cc) c[r * ldc + cc] = acc[r][cc];
+}
+
+// Bottom-edge rows: dispatch the runtime row count to a compile-time MR so
+// the column loop always vectorizes over a known NR.
+template <std::size_t NR>
+inline void micro_nn_rows(std::size_t mr, std::size_t k, const float* a,
+                          std::size_t lda, const float* b, std::size_t ldb,
+                          float* c, std::size_t ldc) {
+  switch (mr) {
+    case 4: micro_nn<4, NR>(k, a, lda, b, ldb, c, ldc); break;
+    case 3: micro_nn<3, NR>(k, a, lda, b, ldb, c, ldc); break;
+    case 2: micro_nn<2, NR>(k, a, lda, b, ldb, c, ldc); break;
+    case 1: micro_nn<1, NR>(k, a, lda, b, ldb, c, ldc); break;
+    default: break;
+  }
+}
+
+// Right-edge columns past the last 16-wide sub-tile: one register
+// accumulator per element, k ascending — same order as everything else.
+inline void micro_nn_scalar(std::size_t mr, std::size_t nr, std::size_t k,
+                            const float* a, std::size_t lda, const float* b,
+                            std::size_t ldb, float* c, std::size_t ldc) {
+  for (std::size_t r = 0; r < mr; ++r) {
+    for (std::size_t cc = 0; cc < nr; ++cc) {
+      float acc = 0.0f;
+      for (std::size_t kk = 0; kk < k; ++kk)
+        acc += a[r * lda + kk] * b[kk * ldb + cc];
+      c[r * ldc + cc] = acc;
+    }
+  }
+}
+
+// One i-panel [i0, i1) of C = A·B with A given row-major (stride lda).
+// Shared by nn (A as passed) and tn (packed A panel, i0 rebased to 0).
+void gemm_nn_panel(std::size_t i0, std::size_t i1, std::size_t n,
+                   std::size_t k, const float* pa, std::size_t lda,
+                   const float* pb, float* pc) {
+  for (std::size_t j0 = 0; j0 < n; j0 += kNC) {
+    const std::size_t j1 = std::min(n, j0 + kNC);
+    for (std::size_t i = i0; i < i1; i += kMR) {
+      const std::size_t mr = std::min(kMR, i1 - i);
+      const float* arow = pa + i * lda;
+      float* crow = pc + i * n;
+      std::size_t j = j0;
+      for (; j + kNR <= j1; j += kNR)
+        micro_nn_rows<kNR>(mr, k, arow, lda, pb + j, n, crow + j, n);
+      if (j + 32 <= j1) {
+        micro_nn_rows<32>(mr, k, arow, lda, pb + j, n, crow + j, n);
+        j += 32;
+      }
+      if (j + 16 <= j1) {
+        // One row at a time: a multi-row 16-wide accumulator tile spills
+        // the portable register file (measured ~4x slower than 1×16).
+        // Row grouping is irrelevant to exactness — each output element
+        // still runs its own ascending k sweep.
+        for (std::size_t r = 0; r < mr; ++r)
+          micro_nn<1, 16>(k, arow + r * lda, lda, pb + j, n,
+                          crow + r * n + j, n);
+        j += 16;
+      }
+      if (j < j1)
+        micro_nn_scalar(mr, j1 - j, k, arow, lda, pb + j, n, crow + j, n);
+    }
+  }
+}
+
+// Run `panel(i0, i1)` over [0, m), in kMC panels across the kernel pool
+// when the product is big enough and threading is enabled, serially
+// otherwise. Either way each C row is written by exactly one invocation.
+template <typename PanelFn>
+void dispatch_row_panels(std::size_t m, std::uint64_t flops,
+                         const PanelFn& panel) {
+  const std::size_t threads = kernel_threads();
+  const std::size_t panels = (m + kMC - 1) / kMC;
+  if (threads > 1 && panels > 1 && flops >= kernel_parallel_min_flops()) {
+    gemm_parallel_calls().add(1);
+    detail::kernel_pool(threads).parallel_for(panels, [&](std::size_t p) {
+      panel(p * kMC, std::min(m, (p + 1) * kMC));
+    });
+  } else if (m > 0) {
+    panel(0, m);
+  }
+}
+
+void check_not_aliased(const Tensor& c, const Tensor& a, const Tensor& b,
+                       const char* what) {
+  STELLARIS_CHECK_MSG(&c != &a && &c != &b,
+                      what << ": output must not alias an input");
+}
+
+}  // namespace
+
+// -- matmul (nn) -------------------------------------------------------------
+
+void matmul_into(Tensor& c, const Tensor& a, const Tensor& b) {
+  STELLARIS_CHECK_MSG(a.rank() == 2 && b.rank() == 2,
+                      "matmul needs 2-D operands");
+  check_not_aliased(c, a, b, "matmul_into");
+  const std::size_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  STELLARIS_CHECK_MSG(b.dim(0) == k, "matmul inner-dim mismatch: "
+                                         << shape_str(a.shape()) << " x "
+                                         << shape_str(b.shape()));
+  c.ensure_shape({m, n});
+  const std::uint64_t flops = 2ull * m * n * k;
+  gemm_calls().add(1);
+  gemm_flop_counter().add(flops);
+  const float* pa = a.data().data();
+  const float* pb = b.data().data();
+  float* pc = c.data().data();
+  dispatch_row_panels(m, flops, [&](std::size_t i0, std::size_t i1) {
+    gemm_nn_panel(i0, i1, n, k, pa, k, pb, pc);
+  });
+}
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  Tensor c;
+  matmul_into(c, a, b);
+  return c;
+}
+
+// -- matmul_tn ---------------------------------------------------------------
+
+void matmul_tn_into(Tensor& c, const Tensor& a, const Tensor& b) {
+  STELLARIS_CHECK_MSG(a.rank() == 2 && b.rank() == 2,
+                      "matmul_tn needs 2-D operands");
+  check_not_aliased(c, a, b, "matmul_tn_into");
+  const std::size_t k = a.dim(0), m = a.dim(1), n = b.dim(1);
+  STELLARIS_CHECK_MSG(b.dim(0) == k, "matmul_tn inner-dim mismatch");
+  c.ensure_shape({m, n});
+  const std::uint64_t flops = 2ull * m * n * k;
+  gemm_calls().add(1);
+  gemm_flop_counter().add(flops);
+  const float* pa = a.data().data();
+  const float* pb = b.data().data();
+  float* pc = c.data().data();
+  dispatch_row_panels(m, flops, [&](std::size_t i0, std::size_t i1) {
+    // Pack Aᵀ[i0..i1) into a contiguous (i1-i0, k) panel — pure data
+    // movement, so the k-accumulation order below is untouched — then run
+    // the nn panel on it. Per-thread scratch: workers pack independently.
+    auto pack = ScratchPool::local().take({i1 - i0, k});
+    float* pp = pack->data().data();
+    for (std::size_t kk = 0; kk < k; ++kk) {
+      const float* arow = pa + kk * m;
+      for (std::size_t i = i0; i < i1; ++i)
+        pp[(i - i0) * k + kk] = arow[i];
+    }
+    gemm_nn_panel(0, i1 - i0, n, k, pp, k, pb, pc + i0 * n);
+  });
+}
+
+Tensor matmul_tn(const Tensor& a, const Tensor& b) {
+  Tensor c;
+  matmul_tn_into(c, a, b);
+  return c;
+}
+
+// -- matmul_nt ---------------------------------------------------------------
+
+void matmul_nt_into(Tensor& c, const Tensor& a, const Tensor& b) {
+  STELLARIS_CHECK_MSG(a.rank() == 2 && b.rank() == 2,
+                      "matmul_nt needs 2-D operands");
+  check_not_aliased(c, a, b, "matmul_nt_into");
+  const std::size_t m = a.dim(0), k = a.dim(1), n = b.dim(0);
+  STELLARIS_CHECK_MSG(b.dim(1) == k, "matmul_nt inner-dim mismatch");
+  c.ensure_shape({m, n});
+  const std::uint64_t flops = 2ull * m * n * k;
+  gemm_calls().add(1);
+  gemm_flop_counter().add(flops);
+  const float* pa = a.data().data();
+  const float* pb = b.data().data();
+  float* pc = c.data().data();
+  // Pack Bᵀ (n×k → k×n) once, then run the nn panels on it. A dot-product
+  // micro-kernel can't be vectorized without reassociating the k chain
+  // (which would break bit-exactness); the transpose is pure data movement,
+  // so the nn kernel's per-element k order — ascending from 0 — is exactly
+  // the reference nt order. Packed before the dispatch: panels share it.
+  auto packed = ScratchPool::local().take({k, n});
+  float* pp = packed->data().data();
+  for (std::size_t j = 0; j < n; ++j) {
+    const float* brow = pb + j * k;
+    for (std::size_t kk = 0; kk < k; ++kk) pp[kk * n + j] = brow[kk];
+  }
+  dispatch_row_panels(m, flops, [&](std::size_t i0, std::size_t i1) {
+    gemm_nn_panel(i0, i1, n, k, pa, k, pp, pc);
+  });
+}
+
+Tensor matmul_nt(const Tensor& a, const Tensor& b) {
+  Tensor c;
+  matmul_nt_into(c, a, b);
+  return c;
+}
+
+// -- reference kernels --------------------------------------------------------
+// The seed's loops, minus the `if (aik == 0.0f) continue;` zero-skip: that
+// branch silently dropped 0·NaN / 0·Inf terms (which must produce NaN) and
+// cost a branch per element on dense data. Kept naive on purpose — this is
+// the oracle the blocked kernels are bit-compared against.
+
+namespace reference {
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  STELLARIS_CHECK_MSG(a.rank() == 2 && b.rank() == 2,
+                      "matmul needs 2-D operands");
+  const std::size_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  STELLARIS_CHECK_MSG(b.dim(0) == k, "matmul inner-dim mismatch");
+  Tensor c({m, n});
+  const float* pa = a.data().data();
+  const float* pb = b.data().data();
+  float* pc = c.data().data();
+  // ikj loop order: unit-stride inner loop over both B and C rows.
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t kk = 0; kk < k; ++kk) {
+      const float aik = pa[i * k + kk];
+      const float* brow = pb + kk * n;
+      float* crow = pc + i * n;
+      for (std::size_t j = 0; j < n; ++j) crow[j] += aik * brow[j];
+    }
+  }
+  return c;
+}
+
+Tensor matmul_tn(const Tensor& a, const Tensor& b) {
+  STELLARIS_CHECK_MSG(a.rank() == 2 && b.rank() == 2,
+                      "matmul_tn needs 2-D operands");
+  const std::size_t k = a.dim(0), m = a.dim(1), n = b.dim(1);
+  STELLARIS_CHECK_MSG(b.dim(0) == k, "matmul_tn inner-dim mismatch");
+  Tensor c({m, n});
+  const float* pa = a.data().data();
+  const float* pb = b.data().data();
+  float* pc = c.data().data();
+  for (std::size_t kk = 0; kk < k; ++kk) {
+    const float* arow = pa + kk * m;
+    const float* brow = pb + kk * n;
+    for (std::size_t i = 0; i < m; ++i) {
+      const float aki = arow[i];
+      float* crow = pc + i * n;
+      for (std::size_t j = 0; j < n; ++j) crow[j] += aki * brow[j];
+    }
+  }
+  return c;
+}
+
+Tensor matmul_nt(const Tensor& a, const Tensor& b) {
+  STELLARIS_CHECK_MSG(a.rank() == 2 && b.rank() == 2,
+                      "matmul_nt needs 2-D operands");
+  const std::size_t m = a.dim(0), k = a.dim(1), n = b.dim(0);
+  STELLARIS_CHECK_MSG(b.dim(1) == k, "matmul_nt inner-dim mismatch");
+  Tensor c({m, n});
+  const float* pa = a.data().data();
+  const float* pb = b.data().data();
+  float* pc = c.data().data();
+  for (std::size_t i = 0; i < m; ++i) {
+    const float* arow = pa + i * k;
+    for (std::size_t j = 0; j < n; ++j) {
+      const float* brow = pb + j * k;
+      float s = 0.0f;
+      for (std::size_t kk = 0; kk < k; ++kk) s += arow[kk] * brow[kk];
+      pc[i * n + j] = s;
+    }
+  }
+  return c;
+}
+
+}  // namespace reference
+}  // namespace stellaris::ops

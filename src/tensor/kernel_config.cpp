@@ -1,0 +1,68 @@
+#include "tensor/kernel_config.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "util/thread_pool.hpp"
+
+namespace stellaris::ops {
+namespace {
+
+std::size_t threads_from_env() {
+  const char* env = std::getenv("STELLARIS_KERNEL_THREADS");
+  if (env == nullptr || *env == '\0') return 1;
+  const std::string s(env);
+  if (s == "auto") {
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+  }
+  const long n = std::strtol(s.c_str(), nullptr, 10);
+  return n < 1 ? 1 : static_cast<std::size_t>(n);
+}
+
+std::atomic<std::size_t>& thread_count() {
+  static std::atomic<std::size_t> n{threads_from_env()};
+  return n;
+}
+
+std::atomic<std::uint64_t>& min_flops() {
+  // 2·80³ ≈ 1 MFLOP: roughly where a panel outweighs the fork/join cost.
+  static std::atomic<std::uint64_t> f{1'000'000};
+  return f;
+}
+
+}  // namespace
+
+std::size_t kernel_threads() {
+  return thread_count().load(std::memory_order_relaxed);
+}
+
+void set_kernel_threads(std::size_t n) {
+  thread_count().store(n == 0 ? 1 : n, std::memory_order_relaxed);
+}
+
+std::uint64_t kernel_parallel_min_flops() {
+  return min_flops().load(std::memory_order_relaxed);
+}
+
+void set_kernel_parallel_min_flops(std::uint64_t flops) {
+  min_flops().store(flops, std::memory_order_relaxed);
+}
+
+namespace detail {
+
+ThreadPool& kernel_pool(std::size_t threads) {
+  static std::mutex mu;
+  static std::unique_ptr<ThreadPool> pool;
+  std::lock_guard<std::mutex> lock(mu);
+  if (!pool || pool->size() != threads)
+    pool = std::make_unique<ThreadPool>(threads);
+  return *pool;
+}
+
+}  // namespace detail
+}  // namespace stellaris::ops

@@ -1,0 +1,42 @@
+// Threading knobs for the blocked tensor kernels.
+//
+// The GEMMs partition work over contiguous row panels of the output; each
+// output element is always accumulated by exactly one task in the same
+// k-ascending order, so results are bit-identical at every thread count.
+// Threading therefore only changes wall-clock, never values — the
+// deterministic virtual-time sim path is unaffected by turning it on.
+//
+// Defaults: serial. The STELLARIS_KERNEL_THREADS environment variable
+// (read once, at first query) can preset a count — a number, or "auto"
+// for hardware_concurrency. set_kernel_threads() overrides at runtime and
+// is intended for startup/bench configuration, not for racing against
+// in-flight kernels.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace stellaris {
+
+class ThreadPool;
+
+namespace ops {
+
+/// Worker count the kernels may use; 0 and 1 both mean serial.
+std::size_t kernel_threads();
+void set_kernel_threads(std::size_t n);
+
+/// Minimum GEMM cost (2·m·n·k FLOPs) before a kernel goes parallel — tiny
+/// products are cheaper than the fork/join handshake.
+std::uint64_t kernel_parallel_min_flops();
+void set_kernel_parallel_min_flops(std::uint64_t flops);
+
+namespace detail {
+/// The pool shared by all kernels, (re)created to match `threads` on
+/// demand. Callers must hold the returned reference only for one kernel
+/// dispatch.
+ThreadPool& kernel_pool(std::size_t threads);
+}  // namespace detail
+
+}  // namespace ops
+}  // namespace stellaris

@@ -1,176 +1,21 @@
-#include "tensor/ops.hpp"
-
+// Convolution lowering: im2col / col2im. The GEMM and elementwise kernels
+// live in gemm.cpp / elementwise.cpp (see ops.hpp for the map).
 #include <algorithm>
-#include <cmath>
+
+#include "tensor/ops.hpp"
 
 namespace stellaris::ops {
 
-Tensor matmul(const Tensor& a, const Tensor& b) {
-  STELLARIS_CHECK_MSG(a.rank() == 2 && b.rank() == 2,
-                      "matmul needs 2-D operands");
-  const std::size_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
-  STELLARIS_CHECK_MSG(b.dim(0) == k, "matmul inner-dim mismatch: "
-                                         << shape_str(a.shape()) << " x "
-                                         << shape_str(b.shape()));
-  Tensor c({m, n});
-  const float* pa = a.data().data();
-  const float* pb = b.data().data();
-  float* pc = c.data().data();
-  // ikj loop order: unit-stride inner loop over both B and C rows.
-  for (std::size_t i = 0; i < m; ++i) {
-    for (std::size_t kk = 0; kk < k; ++kk) {
-      const float aik = pa[i * k + kk];
-      if (aik == 0.0f) continue;
-      const float* brow = pb + kk * n;
-      float* crow = pc + i * n;
-      for (std::size_t j = 0; j < n; ++j) crow[j] += aik * brow[j];
-    }
-  }
-  return c;
-}
-
-Tensor matmul_tn(const Tensor& a, const Tensor& b) {
-  STELLARIS_CHECK_MSG(a.rank() == 2 && b.rank() == 2,
-                      "matmul_tn needs 2-D operands");
-  const std::size_t k = a.dim(0), m = a.dim(1), n = b.dim(1);
-  STELLARIS_CHECK_MSG(b.dim(0) == k, "matmul_tn inner-dim mismatch");
-  Tensor c({m, n});
-  const float* pa = a.data().data();
-  const float* pb = b.data().data();
-  float* pc = c.data().data();
-  for (std::size_t kk = 0; kk < k; ++kk) {
-    const float* arow = pa + kk * m;
-    const float* brow = pb + kk * n;
-    for (std::size_t i = 0; i < m; ++i) {
-      const float aki = arow[i];
-      if (aki == 0.0f) continue;
-      float* crow = pc + i * n;
-      for (std::size_t j = 0; j < n; ++j) crow[j] += aki * brow[j];
-    }
-  }
-  return c;
-}
-
-Tensor matmul_nt(const Tensor& a, const Tensor& b) {
-  STELLARIS_CHECK_MSG(a.rank() == 2 && b.rank() == 2,
-                      "matmul_nt needs 2-D operands");
-  const std::size_t m = a.dim(0), k = a.dim(1), n = b.dim(0);
-  STELLARIS_CHECK_MSG(b.dim(1) == k, "matmul_nt inner-dim mismatch");
-  Tensor c({m, n});
-  const float* pa = a.data().data();
-  const float* pb = b.data().data();
-  float* pc = c.data().data();
-  for (std::size_t i = 0; i < m; ++i) {
-    const float* arow = pa + i * k;
-    for (std::size_t j = 0; j < n; ++j) {
-      const float* brow = pb + j * k;
-      float s = 0.0f;
-      for (std::size_t kk = 0; kk < k; ++kk) s += arow[kk] * brow[kk];
-      pc[i * n + j] = s;
-    }
-  }
-  return c;
-}
-
-void add_bias_rows(Tensor& x, const Tensor& bias) {
-  STELLARIS_CHECK_MSG(x.rank() == 2 && bias.rank() == 1 &&
-                          bias.dim(0) == x.dim(1),
-                      "bias shape mismatch");
-  const std::size_t m = x.dim(0), n = x.dim(1);
-  float* px = x.data().data();
-  const float* pb = bias.data().data();
-  for (std::size_t i = 0; i < m; ++i)
-    for (std::size_t j = 0; j < n; ++j) px[i * n + j] += pb[j];
-}
-
-Tensor sum_rows(const Tensor& x) {
-  STELLARIS_CHECK_MSG(x.rank() == 2, "sum_rows needs a 2-D tensor");
-  const std::size_t m = x.dim(0), n = x.dim(1);
-  Tensor out({n});
-  const float* px = x.data().data();
-  float* po = out.data().data();
-  for (std::size_t i = 0; i < m; ++i)
-    for (std::size_t j = 0; j < n; ++j) po[j] += px[i * n + j];
-  return out;
-}
-
-Tensor tanh_forward(const Tensor& x) {
-  Tensor y = x;
-  for (auto& v : y.vec()) v = std::tanh(v);
-  return y;
-}
-
-Tensor tanh_backward(const Tensor& y, const Tensor& dy) {
-  STELLARIS_CHECK_MSG(y.same_shape(dy), "tanh_backward shape mismatch");
-  Tensor dx = dy;
-  auto& d = dx.vec();
-  const auto& yy = y.vec();
-  for (std::size_t i = 0; i < d.size(); ++i) d[i] *= 1.0f - yy[i] * yy[i];
-  return dx;
-}
-
-Tensor relu_forward(const Tensor& x) {
-  Tensor y = x;
-  for (auto& v : y.vec()) v = std::max(v, 0.0f);
-  return y;
-}
-
-Tensor relu_backward(const Tensor& x, const Tensor& dy) {
-  STELLARIS_CHECK_MSG(x.same_shape(dy), "relu_backward shape mismatch");
-  Tensor dx = dy;
-  auto& d = dx.vec();
-  const auto& xx = x.vec();
-  for (std::size_t i = 0; i < d.size(); ++i)
-    if (xx[i] <= 0.0f) d[i] = 0.0f;
-  return dx;
-}
-
-Tensor softmax_rows(const Tensor& logits) {
-  STELLARIS_CHECK_MSG(logits.rank() == 2, "softmax_rows needs 2-D");
-  Tensor out = logits;
-  const std::size_t m = out.dim(0), n = out.dim(1);
-  float* p = out.data().data();
-  for (std::size_t i = 0; i < m; ++i) {
-    float* r = p + i * n;
-    float mx = r[0];
-    for (std::size_t j = 1; j < n; ++j) mx = std::max(mx, r[j]);
-    float sum = 0.0f;
-    for (std::size_t j = 0; j < n; ++j) {
-      r[j] = std::exp(r[j] - mx);
-      sum += r[j];
-    }
-    const float inv = 1.0f / sum;
-    for (std::size_t j = 0; j < n; ++j) r[j] *= inv;
-  }
-  return out;
-}
-
-Tensor log_softmax_rows(const Tensor& logits) {
-  STELLARIS_CHECK_MSG(logits.rank() == 2, "log_softmax_rows needs 2-D");
-  Tensor out = logits;
-  const std::size_t m = out.dim(0), n = out.dim(1);
-  float* p = out.data().data();
-  for (std::size_t i = 0; i < m; ++i) {
-    float* r = p + i * n;
-    float mx = r[0];
-    for (std::size_t j = 1; j < n; ++j) mx = std::max(mx, r[j]);
-    float sum = 0.0f;
-    for (std::size_t j = 0; j < n; ++j) sum += std::exp(r[j] - mx);
-    const float lse = mx + std::log(sum);
-    for (std::size_t j = 0; j < n; ++j) r[j] -= lse;
-  }
-  return out;
-}
-
-Tensor im2col(const Tensor& input, const Conv2dSpec& spec) {
+void im2col_into(Tensor& cols, const Tensor& input, const Conv2dSpec& spec) {
   const std::size_t chw = spec.in_channels * spec.in_h * spec.in_w;
   STELLARIS_CHECK_MSG(input.rank() == 2 && input.dim(1) == chw,
                       "im2col input must be (N, C*H*W); got "
                           << shape_str(input.shape()) << " vs C*H*W=" << chw);
+  STELLARIS_CHECK_MSG(&cols != &input, "im2col_into: output aliases input");
   const std::size_t batch = input.dim(0);
   const std::size_t oh = spec.out_h(), ow = spec.out_w();
   const std::size_t patch = spec.in_channels * spec.kernel * spec.kernel;
-  Tensor cols({batch * oh * ow, patch});
+  cols.ensure_shape({batch * oh * ow, patch});
   const float* pin = input.data().data();
   float* pc = cols.data().data();
 
@@ -201,19 +46,27 @@ Tensor im2col(const Tensor& input, const Conv2dSpec& spec) {
       }
     }
   }
+}
+
+Tensor im2col(const Tensor& input, const Conv2dSpec& spec) {
+  Tensor cols;
+  im2col_into(cols, input, spec);
   return cols;
 }
 
-Tensor col2im(const Tensor& cols, const Conv2dSpec& spec, std::size_t batch) {
+void col2im_into(Tensor& out, const Tensor& cols, const Conv2dSpec& spec,
+                 std::size_t batch) {
   const std::size_t oh = spec.out_h(), ow = spec.out_w();
   const std::size_t patch = spec.in_channels * spec.kernel * spec.kernel;
   STELLARIS_CHECK_MSG(cols.rank() == 2 && cols.dim(0) == batch * oh * ow &&
                           cols.dim(1) == patch,
                       "col2im shape mismatch: " << shape_str(cols.shape()));
+  STELLARIS_CHECK_MSG(&out != &cols, "col2im_into: output aliases input");
   const std::size_t chw = spec.in_channels * spec.in_h * spec.in_w;
-  Tensor out({batch, chw});
+  out.ensure_shape({batch, chw});
   const float* pc = cols.data().data();
   float* pout = out.data().data();
+  std::fill(pout, pout + batch * chw, 0.0f);  // scatter accumulates below
 
   for (std::size_t n = 0; n < batch; ++n) {
     float* img = pout + n * chw;
@@ -241,6 +94,11 @@ Tensor col2im(const Tensor& cols, const Conv2dSpec& spec, std::size_t batch) {
       }
     }
   }
+}
+
+Tensor col2im(const Tensor& cols, const Conv2dSpec& spec, std::size_t batch) {
+  Tensor out;
+  col2im_into(out, cols, spec, batch);
   return out;
 }
 

@@ -1,10 +1,29 @@
-// Tensor kernels: matrix products, activations, softmax family, and the
-// im2col lowering used by the convolution layer.
+// Tensor kernel library: blocked matrix products, activations, the softmax
+// family, and the im2col lowering used by the convolution layer.
 //
-// All kernels are plain loops written for the autovectorizer (contiguous
-// inner dimensions, no aliasing through spans); correctness is pinned by
-// unit tests against hand-computed values and finite-difference checks in
-// the nn test suite.
+// Layout (one concern per TU):
+//   gemm.cpp        — cache-blocked, register-tiled, optionally threaded
+//                     GEMM variants
+//   elementwise.cpp — activations, softmax family, bias/row reductions
+//   ops.cpp         — convolution lowering (im2col / col2im)
+//   kernel_config.* — threading knobs shared by the kernels
+//   scratch.*       — reusable scratch-tensor pool
+//
+// Every kernel comes in two forms: a value-returning convenience wrapper
+// and an `*_into` out-parameter variant that reshapes its destination in
+// place and fully overwrites it — after warm-up the `_into` form never
+// allocates, which is what keeps the learner step allocation-free.
+//
+// Determinism contract: the blocked GEMMs tile only the i/j (output)
+// dimensions; each output element accumulates its k terms in ascending
+// order starting from 0, exactly like the naive reference kernels below.
+// Results are therefore bit-identical to ops::reference, with threading on
+// or off, at any thread count.
+//
+// The seed kernels are retained verbatim under ops::reference (minus a
+// zero-skip branch that broke IEEE NaN/Inf propagation): they are the
+// bit-exactness oracle for the test suite and the "before" baseline for
+// the kernel-perf harness (bench/micro_substrates --json=...).
 #pragma once
 
 #include <cstddef>
@@ -13,36 +32,51 @@
 
 namespace stellaris::ops {
 
+// -- matrix products ---------------------------------------------------------
+// The `_into` variants reject an output that aliases an input.
+
 /// C = A (m×k) * B (k×n).
 Tensor matmul(const Tensor& a, const Tensor& b);
+void matmul_into(Tensor& c, const Tensor& a, const Tensor& b);
 
 /// C = Aᵀ (k×m becomes m×k) * B — used in backward passes without
 /// materializing transposes.
 Tensor matmul_tn(const Tensor& a, const Tensor& b);
+void matmul_tn_into(Tensor& c, const Tensor& a, const Tensor& b);
 
 /// C = A * Bᵀ.
 Tensor matmul_nt(const Tensor& a, const Tensor& b);
+void matmul_nt_into(Tensor& c, const Tensor& a, const Tensor& b);
 
-/// y = x (m×n) with row-broadcast bias (n) added.
+// -- bias / reductions -------------------------------------------------------
+/// y = x (m×n) with row-broadcast bias (n) added, in place.
 void add_bias_rows(Tensor& x, const Tensor& bias);
 
 /// Column-sum of a 2-D tensor -> 1-D (n); the bias gradient.
 Tensor sum_rows(const Tensor& x);
+void sum_rows_into(Tensor& out, const Tensor& x);
 
 // -- activations (out-of-place forward, gradient helpers) -------------------
+// For the `_into` forms the output may alias the primary input.
 Tensor tanh_forward(const Tensor& x);
+void tanh_forward_into(Tensor& y, const Tensor& x);
 /// dx = dy * (1 - y²) where y = tanh(x) from the forward pass.
 Tensor tanh_backward(const Tensor& y, const Tensor& dy);
+void tanh_backward_into(Tensor& dx, const Tensor& y, const Tensor& dy);
 
 Tensor relu_forward(const Tensor& x);
+void relu_forward_into(Tensor& y, const Tensor& x);
 /// dx = dy ⊙ 1[x > 0].
 Tensor relu_backward(const Tensor& x, const Tensor& dy);
+void relu_backward_into(Tensor& dx, const Tensor& x, const Tensor& dy);
 
 // -- softmax family (row-wise over 2-D tensors) ------------------------------
 /// Row-wise softmax with max-subtraction for stability.
 Tensor softmax_rows(const Tensor& logits);
+void softmax_rows_into(Tensor& p, const Tensor& logits);
 /// Row-wise log-softmax.
 Tensor log_softmax_rows(const Tensor& logits);
+void log_softmax_rows_into(Tensor& lp, const Tensor& logits);
 
 // -- convolution lowering -----------------------------------------------------
 /// Parameters of a 2-D convolution (square kernel/stride, zero padding).
@@ -62,9 +96,29 @@ struct Conv2dSpec {
 /// Lower an input batch (N, C·H·W flattened rows) into the im2col matrix
 /// with shape (N·out_h·out_w, C·k·k): each row is one receptive field.
 Tensor im2col(const Tensor& input, const Conv2dSpec& spec);
+void im2col_into(Tensor& cols, const Tensor& input, const Conv2dSpec& spec);
 
 /// Inverse scatter of im2col — accumulates column gradients back into the
 /// input-gradient layout (N, C·H·W).
 Tensor col2im(const Tensor& cols, const Conv2dSpec& spec, std::size_t batch);
+void col2im_into(Tensor& out, const Tensor& cols, const Conv2dSpec& spec,
+                 std::size_t batch);
+
+// -- reference kernels --------------------------------------------------------
+// The seed's naive loops, kept as the semantic oracle for the bit-exactness
+// suite and as the "before" side of the kernel-perf harness. Not used by
+// any production path.
+namespace reference {
+
+Tensor matmul(const Tensor& a, const Tensor& b);
+Tensor matmul_tn(const Tensor& a, const Tensor& b);
+Tensor matmul_nt(const Tensor& a, const Tensor& b);
+Tensor sum_rows(const Tensor& x);
+Tensor tanh_forward(const Tensor& x);
+Tensor relu_forward(const Tensor& x);
+Tensor softmax_rows(const Tensor& logits);
+Tensor log_softmax_rows(const Tensor& logits);
+
+}  // namespace reference
 
 }  // namespace stellaris::ops

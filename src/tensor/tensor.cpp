@@ -4,9 +4,26 @@
 #include <cmath>
 #include <sstream>
 
+#include "obs/metrics.hpp"
 #include "util/rng.hpp"
 
 namespace stellaris {
+
+namespace {
+
+obs::Counter& buffer_alloc_counter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::global().counter("tensor.buffer_allocs");
+  return c;
+}
+
+}  // namespace
+
+void Tensor::note_alloc() { buffer_alloc_counter().add(1); }
+
+std::uint64_t tensor_buffer_allocs() {
+  return buffer_alloc_counter().value();
+}
 
 std::size_t shape_numel(const Shape& shape) {
   if (shape.empty()) return 0;  // rank 0 == the empty tensor in this library
@@ -25,13 +42,29 @@ std::string shape_str(const Shape& shape) {
 }
 
 Tensor::Tensor(Shape shape)
-    : shape_(std::move(shape)), data_(shape_numel(shape_), 0.0f) {}
+    : shape_(std::move(shape)), data_(shape_numel(shape_), 0.0f) {
+  if (!data_.empty()) note_alloc();
+}
 
 Tensor::Tensor(Shape shape, std::vector<float> data)
     : shape_(std::move(shape)), data_(std::move(data)) {
   STELLARIS_CHECK_MSG(data_.size() == shape_numel(shape_),
                       "data size " << data_.size() << " != numel of "
                                    << shape_str(shape_));
+  if (!data_.empty()) note_alloc();
+}
+
+Tensor::Tensor(const Tensor& other)
+    : shape_(other.shape_), data_(other.data_) {
+  if (!data_.empty()) note_alloc();
+}
+
+Tensor& Tensor::operator=(const Tensor& other) {
+  if (this == &other) return *this;
+  if (other.data_.size() > data_.capacity()) note_alloc();
+  shape_ = other.shape_;
+  data_ = other.data_;
+  return *this;
 }
 
 Tensor Tensor::of(std::initializer_list<float> values) {
@@ -93,6 +126,22 @@ Tensor Tensor::reshaped(Shape shape) const {
                       "reshape " << shape_str(shape_) << " -> "
                                  << shape_str(shape) << " changes numel");
   return Tensor(std::move(shape), data_);
+}
+
+Tensor& Tensor::reshape(Shape shape) {
+  STELLARIS_CHECK_MSG(shape_numel(shape) == numel(),
+                      "reshape " << shape_str(shape_) << " -> "
+                                 << shape_str(shape) << " changes numel");
+  shape_ = std::move(shape);
+  return *this;
+}
+
+Tensor& Tensor::ensure_shape(const Shape& shape) {
+  const std::size_t n = shape_numel(shape);
+  if (n > data_.capacity()) note_alloc();
+  shape_ = shape;
+  data_.resize(n);
+  return *this;
 }
 
 std::span<const float> Tensor::row(std::size_t i) const {

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <initializer_list>
 #include <span>
 #include <string>
@@ -39,6 +40,15 @@ class Tensor {
 
   /// Tensor with the given shape and explicit data (size must match).
   Tensor(Shape shape, std::vector<float> data);
+
+  // Copies are counted in the "tensor.buffer_allocs" metric when they have
+  // to (re)allocate the backing buffer; copy-assignment into a tensor whose
+  // capacity already fits is allocation-free, which is what the buffer-reuse
+  // paths in nn/ rely on.
+  Tensor(const Tensor& other);
+  Tensor& operator=(const Tensor& other);
+  Tensor(Tensor&&) noexcept = default;
+  Tensor& operator=(Tensor&&) noexcept = default;
 
   // -- factories ----------------------------------------------------------
   /// 1-D tensor from explicit values — handy in tests. A named factory (not
@@ -77,6 +87,16 @@ class Tensor {
   /// Reinterpret to a new shape with identical numel.
   Tensor reshaped(Shape shape) const;
 
+  /// In-place reinterpretation to a new shape with identical numel — the
+  /// allocation-free sibling of reshaped().
+  Tensor& reshape(Shape shape);
+
+  /// Adopt `shape`, reusing the existing buffer when its capacity fits
+  /// (contents are then unspecified, not zeroed). The workhorse of the
+  /// *_into kernels: after warm-up, repeated calls with stable shapes never
+  /// allocate.
+  Tensor& ensure_shape(const Shape& shape);
+
   /// Row `i` of a 2-D tensor as a span (no copy).
   std::span<const float> row(std::size_t i) const;
   std::span<float> row(std::size_t i);
@@ -100,9 +120,16 @@ class Tensor {
   bool all_finite() const;
 
  private:
+  static void note_alloc();
+
   Shape shape_;
   std::vector<float> data_;
 };
+
+/// Process-wide count of tensor buffer allocations (also exported as the
+/// "tensor.buffer_allocs" counter in obs::MetricsRegistry). Buffer-reuse
+/// tests assert this stays flat across warmed-up hot-path steps.
+std::uint64_t tensor_buffer_allocs();
 
 // Out-of-place arithmetic (shape-checked).
 Tensor operator+(Tensor a, const Tensor& b);

@@ -1,5 +1,5 @@
-// Minimal recursive-descent JSON parser used by the observability tests to
-// validate the trace / metrics exporters without adding a dependency. It
+// Minimal recursive-descent JSON parser used by the observability tests and
+// the kernel-perf harness to read JSON without adding a dependency. It
 // accepts exactly standard JSON (objects, arrays, strings with escapes,
 // numbers, booleans, null) and throws std::runtime_error on anything
 // malformed — so a passing parse IS the well-formedness assertion.
@@ -12,7 +12,7 @@
 #include <string>
 #include <vector>
 
-namespace stellaris::testjson {
+namespace stellaris::minijson {
 
 struct Value {
   enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
@@ -221,4 +221,4 @@ class Parser {
 
 inline Value parse(const std::string& text) { return Parser(text).parse(); }
 
-}  // namespace stellaris::testjson
+}  // namespace stellaris::minijson

@@ -1,7 +1,8 @@
 #include "util/thread_pool.hpp"
 
 #include <algorithm>
-#include <atomic>
+#include <exception>
+#include <latch>
 
 namespace stellaris {
 
@@ -19,6 +20,16 @@ ThreadPool::~ThreadPool() {
   }
   cv_.notify_all();
   for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::enqueue(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) throw std::runtime_error("submit on stopped ThreadPool");
+    queue_.push(std::move(task));
+  }
+  tasks_enqueued_.fetch_add(1, std::memory_order_relaxed);
+  cv_.notify_one();
 }
 
 void ThreadPool::worker_loop() {
@@ -41,11 +52,32 @@ void ThreadPool::worker_loop() {
 void ThreadPool::parallel_for(std::size_t n,
                               const std::function<void(std::size_t)>& fn) {
   if (n == 0) return;
-  std::vector<std::future<void>> futures;
-  futures.reserve(n);
-  for (std::size_t i = 0; i < n; ++i)
-    futures.push_back(submit([&fn, i] { fn(i); }));
-  for (auto& f : futures) f.get();  // propagate exceptions
+  // Static partitioning: one contiguous chunk per worker. The first
+  // `rem` chunks carry one extra index so the split is as even as possible.
+  const std::size_t chunks = std::min(n, size());
+  const std::size_t per = n / chunks, rem = n % chunks;
+
+  std::latch done(static_cast<std::ptrdiff_t>(chunks));
+  std::mutex err_mu;
+  std::exception_ptr first_error;
+
+  std::size_t begin = 0;
+  for (std::size_t c = 0; c < chunks; ++c) {
+    const std::size_t len = per + (c < rem ? 1 : 0);
+    const std::size_t end = begin + len;
+    enqueue([&fn, &done, &err_mu, &first_error, begin, end] {
+      try {
+        for (std::size_t i = begin; i < end; ++i) fn(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(err_mu);
+        if (!first_error) first_error = std::current_exception();
+      }
+      done.count_down();
+    });
+    begin = end;
+  }
+  done.wait();
+  if (first_error) std::rethrow_exception(first_error);
 }
 
 }  // namespace stellaris

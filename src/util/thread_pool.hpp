@@ -1,13 +1,16 @@
 // Fixed-size work-queue thread pool.
 //
 // Used by the parallel actor driver (real concurrency, e.g. in examples and
-// concurrency tests) — the benchmark harness itself runs on the
-// deterministic virtual-time engine in src/sim/ instead, so figures are
-// reproducible on any core count.
+// concurrency tests) and by the tensor kernel library for row-panel
+// parallelism — the benchmark harness itself runs on the deterministic
+// virtual-time engine in src/sim/ instead, so figures are reproducible on
+// any core count.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <future>
 #include <mutex>
@@ -30,6 +33,14 @@ class ThreadPool {
 
   std::size_t size() const { return workers_.size(); }
 
+  /// Total tasks ever enqueued (submit() + parallel_for() chunks). Exposed
+  /// so tests can assert parallel_for's task granularity: a parallel_for
+  /// over any index count enqueues at most size() tasks, never one per
+  /// index.
+  std::uint64_t tasks_enqueued() const {
+    return tasks_enqueued_.load(std::memory_order_relaxed);
+  }
+
   /// Enqueue a task; returns a future for its result.
   template <typename F>
   auto submit(F&& fn) -> std::future<std::invoke_result_t<F>> {
@@ -37,26 +48,32 @@ class ThreadPool {
     auto task =
         std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
     std::future<R> fut = task->get_future();
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      if (stopping_) throw std::runtime_error("submit on stopped ThreadPool");
-      queue_.emplace([task] { (*task)(); });
-    }
-    cv_.notify_one();
+    enqueue([task] { (*task)(); });
     return fut;
   }
 
   /// Run `fn(i)` for i in [0, n) across the pool and wait for completion.
+  ///
+  /// The index range is statically partitioned into at most size()
+  /// contiguous chunks (one task per worker), so the per-task overhead is
+  /// O(workers), not O(n). Completion is tracked by a single shared
+  /// countdown instead of one future per index. The first exception thrown
+  /// by `fn` is rethrown on the calling thread after all chunks finish.
+  ///
+  /// Must not be called from inside a pool task (the caller blocks until
+  /// every chunk has run, so nested calls could deadlock the pool).
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
 
  private:
   void worker_loop();
+  void enqueue(std::function<void()> task);
 
   std::vector<std::thread> workers_;
   std::queue<std::function<void()>> queue_;
   std::mutex mu_;
   std::condition_variable cv_;
   bool stopping_ = false;
+  std::atomic<std::uint64_t> tasks_enqueued_{0};
 };
 
 }  // namespace stellaris

@@ -163,6 +163,55 @@ TEST(Sequential, ZeroGradientsZeroesEverything) {
   for (Tensor* g : seq.gradients()) EXPECT_EQ(g->norm(), 0.0f);
 }
 
+// Acceptance criterion for the kernel-buffer-reuse work: once a layer stack
+// has seen a batch shape, further forward/backward steps at that shape must
+// not allocate — every intermediate lives in a persistent member buffer or a
+// recycled ScratchPool lease.
+TEST(Sequential, SteadyStateForwardBackwardDoesNotAllocate) {
+  Rng rng(13);
+  Sequential seq;
+  seq.add(std::make_unique<Linear>(16, 32, rng));
+  seq.add(std::make_unique<Tanh>());
+  seq.add(std::make_unique<Linear>(32, 8, rng));
+  Tensor x = Tensor::randn({4, 16}, rng);
+  Tensor dy = Tensor::ones({4, 8});
+  // Warm-up pass sizes every persistent buffer and scratch lease.
+  (void)seq.forward(x);
+  (void)seq.backward(dy);
+  zero_gradients(seq);
+  const std::uint64_t allocs = tensor_buffer_allocs();
+  for (int step = 0; step < 5; ++step) {
+    (void)seq.forward(x);
+    (void)seq.backward(dy);
+    zero_gradients(seq);
+  }
+  EXPECT_EQ(tensor_buffer_allocs(), allocs);
+}
+
+TEST(Conv2d, SteadyStateForwardBackwardDoesNotAllocate) {
+  Rng rng(14);
+  ops::Conv2dSpec spec;
+  spec.in_channels = 2;
+  spec.out_channels = 4;
+  spec.in_h = 8;
+  spec.in_w = 8;
+  spec.kernel = 3;
+  spec.stride = 2;
+  Conv2d conv(spec, rng);
+  Tensor x = Tensor::randn({3, 2 * 8 * 8}, rng);
+  (void)conv.forward(x);
+  Tensor dy = Tensor::ones({3, conv.out_features()});
+  (void)conv.backward(dy);
+  zero_gradients(conv);
+  const std::uint64_t allocs = tensor_buffer_allocs();
+  for (int step = 0; step < 5; ++step) {
+    (void)conv.forward(x);
+    (void)conv.backward(dy);
+    zero_gradients(conv);
+  }
+  EXPECT_EQ(tensor_buffer_allocs(), allocs);
+}
+
 TEST(Sequential, GradientsAccumulateAcrossBackwardCalls) {
   Rng rng(12);
   Linear lin(2, 2, rng);

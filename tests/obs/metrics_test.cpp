@@ -10,7 +10,7 @@
 #include <thread>
 #include <vector>
 
-#include "mini_json.hpp"
+#include "util/mini_json.hpp"
 #include "util/stats.hpp"
 
 namespace stellaris::obs {
@@ -148,20 +148,20 @@ TEST(Metrics, JsonSnapshotRoundTrips) {
 
   std::ostringstream os;
   reg.write_json(os);
-  const testjson::Value root = testjson::parse(os.str());
+  const minijson::Value root = minijson::parse(os.str());
 
   EXPECT_DOUBLE_EQ(root.at("counters").at("cache.hits").number(), 12.0);
   EXPECT_DOUBLE_EQ(root.at("counters").at("cache.misses").number(), 3.0);
   EXPECT_DOUBLE_EQ(root.at("gauges").at("queue.depth").number(), 4.5);
 
-  const testjson::Value& hist = root.at("histograms").at("staleness");
+  const minijson::Value& hist = root.at("histograms").at("staleness");
   EXPECT_DOUBLE_EQ(hist.at("lo").number(), 0.0);
   EXPECT_DOUBLE_EQ(hist.at("hi").number(), 8.0);
   EXPECT_DOUBLE_EQ(hist.at("count").number(), 5.0);
   EXPECT_DOUBLE_EQ(hist.at("sum").number(), 12.5);
   EXPECT_DOUBLE_EQ(hist.at("min").number(), 0.0);
   EXPECT_DOUBLE_EQ(hist.at("max").number(), 7.5);
-  const testjson::Value& buckets = hist.at("buckets");
+  const minijson::Value& buckets = hist.at("buckets");
   ASSERT_TRUE(buckets.is_array());
   ASSERT_EQ(buckets.arr.size(), 8u);
   double total = 0.0;
@@ -201,7 +201,7 @@ TEST(Metrics, WriteFilePicksFormatByExtension) {
   const std::string csv = slurp(csv_path);
   std::remove(json_path.c_str());
   std::remove(csv_path.c_str());
-  EXPECT_NO_THROW(testjson::parse(json));
+  EXPECT_NO_THROW(minijson::parse(json));
   EXPECT_NE(csv.find("kind,name,field,value"), std::string::npos);
 }
 

@@ -10,7 +10,7 @@
 #include <thread>
 #include <vector>
 
-#include "mini_json.hpp"
+#include "util/mini_json.hpp"
 #include "obs/obs.hpp"
 
 namespace stellaris::obs {
@@ -22,17 +22,17 @@ std::string dump(const TraceRecorder& rec) {
   return os.str();
 }
 
-testjson::Value events_of(const TraceRecorder& rec) {
-  testjson::Value root = testjson::parse(dump(rec));
+minijson::Value events_of(const TraceRecorder& rec) {
+  minijson::Value root = minijson::parse(dump(rec));
   EXPECT_TRUE(root.is_object());
-  const testjson::Value& evs = root.at("traceEvents");
+  const minijson::Value& evs = root.at("traceEvents");
   EXPECT_TRUE(evs.is_array());
   return evs;
 }
 
 TEST(Trace, EmptyRecorderIsValidJson) {
   TraceRecorder rec;
-  const testjson::Value evs = events_of(rec);
+  const minijson::Value evs = events_of(rec);
   // Only the process_name metadata event.
   ASSERT_EQ(evs.arr.size(), 1u);
   EXPECT_EQ(evs.arr[0].at("ph").string(), "M");
@@ -45,7 +45,7 @@ TEST(Trace, TrackIsIdempotentAndNamed) {
   EXPECT_EQ(rec.track("actors/0"), a);
   EXPECT_NE(a, b);
 
-  const testjson::Value evs = events_of(rec);
+  const minijson::Value evs = events_of(rec);
   std::size_t thread_names = 0;
   for (const auto& ev : evs.arr) {
     if (ev.at("ph").string() != "M" ||
@@ -63,8 +63,8 @@ TEST(Trace, CompleteSpanCarriesMicrosecondTimes) {
   const TrackId t = rec.track("trainer");
   rec.complete(t, "round", "trainer", 1.25, 2.5,
                {{"round", 3}, {"kl", 0.0125}, {"env", "Hopper"}});
-  const testjson::Value evs = events_of(rec);
-  const testjson::Value* span = nullptr;
+  const minijson::Value evs = events_of(rec);
+  const minijson::Value* span = nullptr;
   for (const auto& ev : evs.arr)
     if (ev.at("ph").string() == "X") span = &ev;
   ASSERT_NE(span, nullptr);
@@ -82,7 +82,7 @@ TEST(Trace, InstantAndCounterEvents) {
   const TrackId t = rec.track("trainer");
   rec.instant(t, "grad_enqueued", "trainer", 0.5, {{"learner_id", 7}});
   rec.counter("queue_depth", 0.5, 4.0);
-  const testjson::Value evs = events_of(rec);
+  const minijson::Value evs = events_of(rec);
   bool saw_instant = false, saw_counter = false;
   for (const auto& ev : evs.arr) {
     if (ev.at("ph").string() == "i") {
@@ -104,7 +104,7 @@ TEST(Trace, EscapesHostileStrings) {
   const std::string hostile = "quote\" slash\\ newline\n tab\t ctl\x01";
   const TrackId t = rec.track(hostile);
   rec.complete(t, hostile, "cat", 0.0, 1.0, {{"msg", hostile}});
-  const testjson::Value evs = events_of(rec);  // parse must not throw
+  const minijson::Value evs = events_of(rec);  // parse must not throw
   bool found = false;
   for (const auto& ev : evs.arr)
     if (ev.at("ph").string() == "X") {
@@ -120,11 +120,11 @@ TEST(Trace, NonFiniteArgsStayValidJson) {
   rec.complete(rec.track("t"), "span", "cat", 0.0, 1.0,
                {{"inf", std::numeric_limits<double>::infinity()},
                 {"nan", std::numeric_limits<double>::quiet_NaN()}});
-  const testjson::Value evs = events_of(rec);
+  const minijson::Value evs = events_of(rec);
   for (const auto& ev : evs.arr)
     if (ev.at("ph").string() == "X") {
-      EXPECT_EQ(ev.at("args").at("inf").kind, testjson::Value::Kind::kNull);
-      EXPECT_EQ(ev.at("args").at("nan").kind, testjson::Value::Kind::kNull);
+      EXPECT_EQ(ev.at("args").at("inf").kind, minijson::Value::Kind::kNull);
+      EXPECT_EQ(ev.at("args").at("nan").kind, minijson::Value::Kind::kNull);
     }
 }
 
@@ -150,7 +150,7 @@ TEST(Trace, ConcurrentEmittersProduceValidJson) {
   }
   for (auto& t : threads) t.join();
 
-  const testjson::Value evs = events_of(rec);  // parse IS the validity check
+  const minijson::Value evs = events_of(rec);  // parse IS the validity check
   std::size_t spans = 0;
   for (const auto& ev : evs.arr) {
     // Every event is complete: required keys present and typed.
@@ -174,7 +174,7 @@ TEST(Trace, ScopedSpanEmitsOnDestruction) {
     now = 3.5;
     span.arg({"result", 42});
   }
-  const testjson::Value evs = events_of(rec);
+  const minijson::Value evs = events_of(rec);
   bool found = false;
   for (const auto& ev : evs.arr)
     if (ev.at("ph").string() == "X") {
@@ -202,7 +202,7 @@ TEST(Trace, WriteFileRoundTrips) {
   ss << in.rdbuf();
   in.close();
   std::remove(path.c_str());
-  const testjson::Value root = testjson::parse(ss.str());
+  const minijson::Value root = minijson::parse(ss.str());
   EXPECT_TRUE(root.at("traceEvents").is_array());
 }
 

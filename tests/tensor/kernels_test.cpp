@@ -1,0 +1,288 @@
+// Bit-exactness and semantics tests for the blocked kernel library.
+//
+// The blocked GEMMs promise results bit-identical to the retained seed
+// kernels (ops::reference) at any thread count: they tile only i/j and
+// accumulate each output element's k terms in ascending order from 0.
+// These tests pin that contract across tile-interior, tile-edge, prime,
+// and degenerate shapes, plus the IEEE semantics (NaN propagation) that
+// the seed's zero-skip branch used to violate.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+#include "tensor/kernel_config.hpp"
+#include "tensor/ops.hpp"
+#include "tensor/scratch.hpp"
+#include "tensor/tensor.hpp"
+#include "util/rng.hpp"
+
+namespace stellaris {
+namespace {
+
+// Bitwise tensor equality: shape and every float's bit pattern.
+void expect_bit_identical(const Tensor& a, const Tensor& b,
+                          const char* what) {
+  ASSERT_EQ(a.shape(), b.shape()) << what;
+  if (a.numel() == 0) return;
+  EXPECT_EQ(std::memcmp(a.data().data(), b.data().data(),
+                        a.numel() * sizeof(float)),
+            0)
+      << what;
+}
+
+struct GemmDims {
+  std::size_t m, k, n;
+};
+
+class BlockedVsReference : public ::testing::TestWithParam<GemmDims> {};
+
+TEST_P(BlockedVsReference, AllVariantsBitIdentical) {
+  const auto [m, k, n] = GetParam();
+  Rng rng(m * 1000003 + k * 1009 + n);
+  const Tensor a_nn = Tensor::randn({m, k}, rng);
+  const Tensor b_nn = Tensor::randn({k, n}, rng);
+  expect_bit_identical(ops::matmul(a_nn, b_nn),
+                       ops::reference::matmul(a_nn, b_nn), "matmul");
+
+  const Tensor a_tn = Tensor::randn({k, m}, rng);
+  expect_bit_identical(ops::matmul_tn(a_tn, b_nn),
+                       ops::reference::matmul_tn(a_tn, b_nn), "matmul_tn");
+
+  const Tensor b_nt = Tensor::randn({n, k}, rng);
+  expect_bit_identical(ops::matmul_nt(a_nn, b_nt),
+                       ops::reference::matmul_nt(a_nn, b_nt), "matmul_nt");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, BlockedVsReference,
+    ::testing::Values(GemmDims{1, 1, 1},            // single element
+                      GemmDims{7, 11, 13},          // primes < one tile
+                      GemmDims{67, 43, 129},        // primes across tiles
+                      GemmDims{4, 8, 48},           // exactly one full tile row
+                      GemmDims{64, 64, 64},         // 48+16 column split
+                      GemmDims{128, 32, 128},       // 48+48+32 column split
+                      GemmDims{5, 3, 17},           // scalar-tail columns
+                      GemmDims{130, 7, 250},        // multiple row panels
+                      GemmDims{0, 4, 5},            // zero rows
+                      GemmDims{4, 0, 5},            // zero inner dim
+                      GemmDims{4, 5, 0}));          // zero columns
+
+TEST(BlockedGemm, ZeroInnerDimYieldsZeros) {
+  // k = 0 means every output element is an empty sum: exactly 0.0f.
+  const Tensor c = ops::matmul(Tensor({3, 0}), Tensor({0, 2}));
+  ASSERT_EQ(c.shape(), (Shape{3, 2}));
+  for (std::size_t i = 0; i < c.numel(); ++i) EXPECT_EQ(c[i], 0.0f);
+}
+
+TEST(BlockedGemm, ThreadedBitIdenticalToSerial) {
+  Rng rng(7);
+  const Tensor a = Tensor::randn({190, 67}, rng);
+  const Tensor b = Tensor::randn({67, 143}, rng);
+  const Tensor a_t = Tensor::randn({67, 190}, rng);
+  const Tensor b_t = Tensor::randn({143, 67}, rng);
+
+  ops::set_kernel_threads(1);
+  const Tensor serial_nn = ops::matmul(a, b);
+  const Tensor serial_tn = ops::matmul_tn(a_t, b);
+  const Tensor serial_nt = ops::matmul_nt(a, b_t);
+
+  ops::set_kernel_threads(4);
+  const std::uint64_t saved_min = ops::kernel_parallel_min_flops();
+  ops::set_kernel_parallel_min_flops(0);  // force the parallel path
+  const Tensor par_nn = ops::matmul(a, b);
+  const Tensor par_tn = ops::matmul_tn(a_t, b);
+  const Tensor par_nt = ops::matmul_nt(a, b_t);
+  ops::set_kernel_parallel_min_flops(saved_min);
+  ops::set_kernel_threads(1);
+
+  expect_bit_identical(par_nn, serial_nn, "nn threaded");
+  expect_bit_identical(par_tn, serial_tn, "tn threaded");
+  expect_bit_identical(par_nt, serial_nt, "nt threaded");
+}
+
+TEST(BlockedGemm, IntoVariantsMatchValueVariants) {
+  Rng rng(9);
+  const Tensor a = Tensor::randn({33, 21}, rng);
+  const Tensor b = Tensor::randn({21, 50}, rng);
+  Tensor c({5});  // wrong shape and size: _into must reshape it
+  ops::matmul_into(c, a, b);
+  expect_bit_identical(c, ops::matmul(a, b), "matmul_into");
+
+  // Reusing the (now bigger) buffer must not change results.
+  const Tensor a2 = Tensor::randn({4, 21}, rng);
+  ops::matmul_into(c, a2, b);
+  expect_bit_identical(c, ops::matmul(a2, b), "matmul_into reuse");
+}
+
+TEST(BlockedGemm, IntoRejectsAliasedOutput) {
+  Tensor a = Tensor::ones({4, 4});
+  Tensor b = Tensor::ones({4, 4});
+  EXPECT_THROW(ops::matmul_into(a, a, b), Error);
+  EXPECT_THROW(ops::matmul_into(b, a, b), Error);
+  EXPECT_THROW(ops::matmul_tn_into(a, a, b), Error);
+  EXPECT_THROW(ops::matmul_nt_into(b, a, b), Error);
+}
+
+// The seed kernels skipped k terms where A's element was exactly 0.0f. IEEE
+// requires 0·NaN = NaN and 0·Inf = NaN, so a NaN in the *other* operand must
+// poison the output even when multiplied by zero. Satellite regression: all
+// three variants propagate NaN.
+TEST(GemmIeeeSemantics, NanInAPropagatesThroughZeroB) {
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  Tensor a({2, 3});
+  a[4] = nan;  // a(1,1)
+  const Tensor b({3, 2});  // all zeros
+
+  const Tensor c = ops::matmul(a, b);
+  EXPECT_TRUE(std::isnan(c.at(1, 0))) << "matmul row with NaN";
+  EXPECT_TRUE(std::isnan(c.at(1, 1)));
+  EXPECT_EQ(c.at(0, 0), 0.0f) << "clean row stays clean";
+
+  // tn: A is (k, m) = (3, 2); poison a(1, 1) -> output row 1.
+  Tensor at({3, 2});
+  at[3] = nan;
+  const Tensor ct = ops::matmul_tn(at, Tensor({3, 2}));
+  EXPECT_TRUE(std::isnan(ct.at(1, 0))) << "matmul_tn";
+  EXPECT_EQ(ct.at(0, 0), 0.0f);
+
+  // nt: B is (n, k); a NaN multiplied by B's zeros.
+  const Tensor cn = ops::matmul_nt(a, Tensor({2, 3}));
+  EXPECT_TRUE(std::isnan(cn.at(1, 0))) << "matmul_nt";
+  EXPECT_EQ(cn.at(0, 0), 0.0f);
+}
+
+TEST(GemmIeeeSemantics, ReferenceKernelsAlsoPropagate) {
+  // The retained oracle must share the fixed semantics, or the bit-compare
+  // tests above would be vacuous on poisoned inputs.
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  Tensor a({1, 2});
+  a[0] = nan;
+  EXPECT_TRUE(std::isnan(ops::reference::matmul(a, Tensor({2, 1}))[0]));
+  Tensor at({2, 1});
+  at[0] = nan;
+  EXPECT_TRUE(std::isnan(ops::reference::matmul_tn(at, Tensor({2, 1}))[0]));
+  EXPECT_TRUE(std::isnan(ops::reference::matmul_nt(a, Tensor({1, 2}))[0]));
+}
+
+// -- elementwise _into kernels ----------------------------------------------
+
+TEST(ElementwiseInto, MatchesReference) {
+  Rng rng(11);
+  const Tensor x = Tensor::randn({37, 53}, rng);
+  Tensor out;
+  ops::tanh_forward_into(out, x);
+  expect_bit_identical(out, ops::reference::tanh_forward(x), "tanh");
+  ops::relu_forward_into(out, x);
+  expect_bit_identical(out, ops::reference::relu_forward(x), "relu");
+  ops::softmax_rows_into(out, x);
+  expect_bit_identical(out, ops::reference::softmax_rows(x), "softmax");
+  ops::log_softmax_rows_into(out, x);
+  expect_bit_identical(out, ops::reference::log_softmax_rows(x),
+                       "log_softmax");
+  ops::sum_rows_into(out, x);
+  expect_bit_identical(out, ops::reference::sum_rows(x), "sum_rows");
+}
+
+TEST(ElementwiseInto, OutputMayAliasInput) {
+  Rng rng(13);
+  Tensor x = Tensor::randn({8, 9}, rng);
+  const Tensor expected = ops::reference::softmax_rows(x);
+  ops::softmax_rows_into(x, x);  // in place
+  expect_bit_identical(x, expected, "softmax in place");
+
+  Tensor y = Tensor::randn({40}, rng);
+  const Tensor expected_tanh = ops::reference::tanh_forward(y);
+  ops::tanh_forward_into(y, y);
+  expect_bit_identical(y, expected_tanh, "tanh in place");
+}
+
+TEST(ElementwiseInto, SoftmaxHandlesZeroColumns) {
+  Tensor lp;
+  ops::softmax_rows_into(lp, Tensor({3, 0}));
+  EXPECT_EQ(lp.shape(), (Shape{3, 0}));
+  ops::log_softmax_rows_into(lp, Tensor({3, 0}));
+  EXPECT_EQ(lp.shape(), (Shape{3, 0}));
+}
+
+TEST(ElementwiseInto, TanhParallelBitIdentical) {
+  Rng rng(17);
+  const Tensor x = Tensor::randn({600, 80}, rng);  // above parallel cutoff
+  ops::set_kernel_threads(1);
+  Tensor serial;
+  ops::tanh_forward_into(serial, x);
+  ops::set_kernel_threads(3);
+  Tensor parallel;
+  ops::tanh_forward_into(parallel, x);
+  ops::set_kernel_threads(1);
+  expect_bit_identical(parallel, serial, "tanh threaded");
+}
+
+// -- scratch pool ------------------------------------------------------------
+
+TEST(ScratchPool, ReusesReturnedBuffers) {
+  ops::ScratchPool pool;
+  const float* p0 = nullptr;
+  {
+    auto lease = pool.take({16, 16});
+    p0 = lease->data().data();
+    EXPECT_EQ(lease->shape(), (Shape{16, 16}));
+  }
+  EXPECT_EQ(pool.pooled(), 1u);
+  {
+    // Smaller request: served from the same buffer, no new allocation.
+    auto lease = pool.take({4, 4});
+    EXPECT_EQ(lease->data().data(), p0);
+    EXPECT_EQ(pool.pooled(), 0u);
+  }
+  EXPECT_EQ(pool.pooled(), 1u);
+}
+
+TEST(ScratchPool, PrefersSmallestSufficientBuffer) {
+  ops::ScratchPool pool;
+  const float* big = nullptr;
+  const float* small = nullptr;
+  {
+    auto a = pool.take({100});
+    auto b = pool.take({10});
+    big = a->data().data();
+    small = b->data().data();
+  }
+  EXPECT_EQ(pool.pooled(), 2u);
+  {
+    auto lease = pool.take({8});
+    EXPECT_EQ(lease->data().data(), small)
+        << "an oversized buffer must not be pinned to a small request";
+  }
+  {
+    auto lease = pool.take({64});
+    EXPECT_EQ(lease->data().data(), big);
+  }
+}
+
+TEST(ScratchPool, KernelsReachSteadyStateWithoutAllocating) {
+  Rng rng(23);
+  const Tensor a = Tensor::randn({40, 30}, rng);
+  const Tensor b = Tensor::randn({40, 50}, rng);
+  Tensor c;
+  ops::matmul_tn_into(c, a, b);  // warm-up populates the thread-local pool
+  const std::uint64_t before = tensor_buffer_allocs();
+  for (int i = 0; i < 5; ++i) ops::matmul_tn_into(c, a, b);
+  EXPECT_EQ(tensor_buffer_allocs(), before)
+      << "steady-state matmul_tn must reuse its pack scratch";
+}
+
+// -- kernel config ------------------------------------------------------------
+
+TEST(KernelConfig, ThreadSettingRoundTrips) {
+  const std::size_t saved = ops::kernel_threads();
+  ops::set_kernel_threads(3);
+  EXPECT_EQ(ops::kernel_threads(), 3u);
+  ops::set_kernel_threads(0);  // 0 clamps to 1 (serial)
+  EXPECT_EQ(ops::kernel_threads(), 1u);
+  ops::set_kernel_threads(saved == 0 ? 1 : saved);
+}
+
+}  // namespace
+}  // namespace stellaris

@@ -30,6 +30,35 @@ TEST(ThreadPool, ParallelForCoversEveryIndex) {
 TEST(ThreadPool, ParallelForZeroIsNoop) {
   ThreadPool pool(2);
   pool.parallel_for(0, [](std::size_t) { FAIL() << "should not run"; });
+  EXPECT_EQ(pool.tasks_enqueued(), 0u);
+}
+
+TEST(ThreadPool, ParallelForChunksIntoOneTaskPerWorker) {
+  // A huge index range must not turn into one heap-allocated task per
+  // index: static partitioning caps the task count at size().
+  ThreadPool pool(4);
+  const std::size_t n = 1'000'000;
+  std::atomic<std::uint64_t> sum{0};
+  pool.parallel_for(n, [&](std::size_t i) {
+    sum.fetch_add(i, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(sum.load(), static_cast<std::uint64_t>(n) * (n - 1) / 2);
+  EXPECT_EQ(pool.tasks_enqueued(), pool.size());
+}
+
+TEST(ThreadPool, ParallelForFewerIndicesThanWorkers) {
+  ThreadPool pool(8);
+  std::vector<std::atomic<int>> hits(3);
+  pool.parallel_for(3, [&](std::size_t i) { hits[i]++; });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+  EXPECT_EQ(pool.tasks_enqueued(), 3u);  // one chunk per index, no more
+}
+
+TEST(ThreadPool, ParallelForUnevenSplitCoversEveryIndexOnce) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(100);  // 100 = 3*33 + 1
+  pool.parallel_for(100, [&](std::size_t i) { hits[i]++; });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
 }
 
 TEST(ThreadPool, ExceptionsPropagateThroughFutures) {
