@@ -1,0 +1,132 @@
+// Fault sweep — training under an unreliable substrate (src/fault).
+//
+// Sweeps the per-invocation failure rate (container crashes + stragglers +
+// a low spot-reclamation rate) and compares Stellaris' asynchronous
+// serverless pipeline against the synchronous serverful PPO baseline under
+// the SAME fault environment and retry policy. Expected shape: Stellaris
+// degrades gracefully — a failed actor or learner is retried while the
+// rest of the pipeline keeps streaming, so reward and time-to-target move
+// little and only the wasted-work cost grows — while the barrier baseline
+// stalls every round on its slowest retry chain, inflating wall-clock and
+// the serverful bill with it.
+#include "common.hpp"
+
+#include <cmath>
+#include <iostream>
+
+using namespace stellaris;
+
+namespace {
+
+/// Virtual time at which a run's (unsmoothed) evaluated reward first
+/// reaches `target`; the run's total time if it never does.
+double time_to_target(const core::TrainResult& r, double target) {
+  for (const auto& rec : r.rounds)
+    if (rec.evaluated && rec.reward >= target) return rec.time_s;
+  return r.total_time_s;
+}
+
+double mean_time_to_target(const std::vector<core::TrainResult>& runs,
+                           double target) {
+  double sum = 0.0;
+  for (const auto& r : runs) sum += time_to_target(r, target);
+  return runs.empty() ? 0.0 : sum / static_cast<double>(runs.size());
+}
+
+core::FaultStats sum_faults(const std::vector<core::TrainResult>& runs) {
+  core::FaultStats f;
+  for (const auto& r : runs) {
+    f.crashes += r.faults.crashes;
+    f.vm_reclaims += r.faults.vm_reclaims;
+    f.stragglers += r.faults.stragglers;
+    f.failed_invocations += r.faults.failed_invocations;
+    f.retries += r.faults.retries;
+    f.giveups += r.faults.giveups;
+    f.checkpoints += r.faults.checkpoints;
+    f.restores += r.faults.restores;
+    f.wasted_cost_usd += r.faults.wasted_cost_usd;
+    f.wasted_seconds += r.faults.wasted_seconds;
+  }
+  return f;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto obs_session = bench::obs_session_from_args(argc, argv);
+  const std::string env = "Hopper";
+  const std::size_t rounds = 24;
+  const std::size_t seeds = 2;
+  const std::vector<double> fault_rates = {0.0, 0.05, 0.1, 0.2};
+
+  Table t({"fault_rate", "system", "final_reward", "time_s",
+           "time_to_target_s", "total_cost_usd", "wasted_cost_usd",
+           "retries", "giveups", "restores"});
+
+  // Reward target for time-to-target: 60% of the zero-fault Stellaris
+  // final reward, measured first so every row uses the same bar.
+  auto make_cfg = [&](double rate) {
+    auto cfg = bench::base_config(env, rounds, 1);
+    cfg.faults.config.crash_prob = rate;
+    cfg.faults.config.straggler_prob = rate / 2.0;
+    cfg.faults.config.straggler_mult = 4.0;
+    if (rate > 0.0) cfg.faults.config.reclaim_rate_per_hour = 30.0;
+    cfg.retry.max_retries = 3;
+    cfg.retry.base_backoff_s = 0.05;
+    return cfg;
+  };
+
+  const auto clean_runs = bench::run_seeds(make_cfg(0.0), seeds);
+  const double target = 0.6 * bench::summarize(clean_runs).final_reward;
+  std::cout << "time-to-target reward bar: " << target << "\n";
+
+  for (double rate : fault_rates) {
+    // Stellaris: asynchronous serverless with retries + checkpoints.
+    const auto runs =
+        rate == 0.0 ? clean_runs : bench::run_seeds(make_cfg(rate), seeds);
+    const auto s = bench::summarize(runs);
+    const auto f = sum_faults(runs);
+    t.row()
+        .add(rate, 2)
+        .add("Stellaris")
+        .add(s.final_reward, 1)
+        .add(s.time_s, 1)
+        .add(mean_time_to_target(runs, target), 1)
+        .add(s.total_cost, 5)
+        .add(f.wasted_cost_usd / static_cast<double>(seeds), 5)
+        .add(f.retries)
+        .add(f.giveups)
+        .add(f.restores);
+
+    // Sync PPO baseline: same fault environment, analytic barrier stalls.
+    baselines::SyncConfig sc;
+    sc.base = make_cfg(rate);
+    sc.variant = baselines::SyncVariant::kVanillaPpo;
+    sc.num_learners = 4;
+    const auto sync_runs = bench::run_sync_seeds(sc, seeds);
+    const auto ss = bench::summarize(sync_runs);
+    const auto sf = sum_faults(sync_runs);
+    t.row()
+        .add(rate, 2)
+        .add("SyncPPO")
+        .add(ss.final_reward, 1)
+        .add(ss.time_s, 1)
+        .add(mean_time_to_target(sync_runs, target), 1)
+        .add(ss.total_cost, 5)
+        .add(sf.wasted_cost_usd / static_cast<double>(seeds), 5)
+        .add(sf.retries)
+        .add(sf.giveups)
+        .add(sf.restores);
+  }
+  t.emit("Fault sweep — reward, time, and cost vs failure rate"
+         " (Stellaris degrades gracefully; the barrier baseline's"
+         " wall-clock and serverful bill grow with every stall)",
+         "fig_faults.csv");
+  std::cout << "\nExpected shape: as fault_rate grows, SyncPPO time_s and"
+               " total_cost_usd climb steeply (each round waits out the"
+               " slowest retry chain and the fleet bills for the stall),"
+               " while Stellaris holds reward with modest time/cost"
+               " growth and absorbs failures as retries + wasted-work"
+               " cost.\n";
+  return 0;
+}

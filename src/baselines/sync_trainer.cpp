@@ -5,6 +5,7 @@
 
 #include "core/kl_probe.hpp"
 #include "core/learner_update.hpp"
+#include "fault/fault_injector.hpp"
 #include "nn/optimizer.hpp"
 #include "obs/obs.hpp"
 #include "rl/actor.hpp"
@@ -78,6 +79,33 @@ core::TrainResult run_sync_training(const SyncConfig& sync_cfg) {
   auto eval_env = envs::make_env(cfg.env_name);
   Rng rng(cfg.seed ^ 0x517cULL);
 
+  // Fault model for the barrier baselines: no event loop here, so the same
+  // probabilistic failure environment is replayed analytically. Every
+  // worker's duration runs through a retry chain (fault::simulate_retries,
+  // identical draw order to the platform's injector); a worker that
+  // exhausts its retries is re-run from scratch because a BARRIER cannot
+  // proceed without it — failures stall the whole round, the paper's core
+  // argument for asynchronous serverless training. The fault RNG is a
+  // dedicated stream: a zero-fault plan draws nothing and changes nothing.
+  const bool faults_on = cfg.faults.any();
+  Rng fault_rng(cfg.faults.config.seed);
+  core::FaultStats fstats;
+  auto faulted_duration = [&](double base) {
+    if (!faults_on) return base;
+    double total = 0.0;
+    while (true) {
+      const auto out = fault::simulate_retries(base, cfg.faults.config,
+                                               cfg.retry, fault_rng);
+      total += out.elapsed_s;
+      fstats.retries += out.attempts > 0 ? out.attempts - 1 : 0;
+      fstats.failed_invocations +=
+          out.ok ? out.attempts - 1 : out.attempts;
+      fstats.wasted_seconds += out.wasted_s;
+      if (out.ok) return total;
+      ++fstats.giveups;  // chain abandoned; the barrier re-runs the worker
+    }
+  };
+
   // Observability: sync baselines trace their barrier phases on three
   // tracks per run so the contrast with the async pipeline is visible in
   // the same Perfetto view.
@@ -89,6 +117,7 @@ core::TrainResult run_sync_training(const SyncConfig& sync_cfg) {
   core::TrainResult result;
   double clock_s = 0.0;
   double serverless_actor_cost = 0.0;
+  double wasted_actor_s = 0.0;
   const double fleet_price_per_s = cluster_hourly_price(cfg.cluster) / 3600.0;
   const double gpu_price_per_s = gpu_vm_hourly_price(cfg.cluster) / 3600.0;
   const std::size_t actor_slots =
@@ -106,18 +135,20 @@ core::TrainResult run_sync_training(const SyncConfig& sync_cfg) {
     const std::size_t waves =
         (cfg.num_actors + actor_slots - 1) / actor_slots;
     double actor_phase_s = 0.0;
+    const double actor_wasted_before = fstats.wasted_seconds;
     for (std::size_t w = 0; w < waves; ++w) {
       double wave_max = 0.0;
       const std::size_t in_wave =
           std::min(actor_slots, cfg.num_actors - w * actor_slots);
       for (std::size_t i = 0; i < in_wave; ++i)
         wave_max = std::max(
-            wave_max, cfg.latency.jittered(
-                          cfg.latency.actor_sample_s(cfg.horizon,
-                                                     env_spec.obs.image),
-                          rng));
+            wave_max,
+            faulted_duration(cfg.latency.jittered(
+                cfg.latency.actor_sample_s(cfg.horizon, env_spec.obs.image),
+                rng)));
       actor_phase_s += wave_max;
     }
+    wasted_actor_s += fstats.wasted_seconds - actor_wasted_before;
 
     // ---- learner phase: shard batches across sync learners ------------------
     std::vector<std::vector<float>> deltas;
@@ -140,12 +171,12 @@ core::TrainResult run_sync_training(const SyncConfig& sync_cfg) {
       deltas.push_back(std::move(update.delta));
       learner_phase_s = std::max(
           learner_phase_s,
-          cfg.latency.jittered(
+          faulted_duration(cfg.latency.jittered(
               cfg.latency.learner_compute_s(
                   batch_steps, params.size(),
                   cfg.cluster.per_slot_tflops()) *
                   static_cast<double>(update.epochs_run),
-              rng));
+              rng)));
     }
     // Synchronous allreduce of the deltas.
     const double allreduce_s =
@@ -246,6 +277,13 @@ core::TrainResult run_sync_training(const SyncConfig& sync_cfg) {
   }
   result.total_cost_usd = result.learner_cost_usd + result.actor_cost_usd;
   result.learner_invocations = cfg.rounds * n_learners;
+  // Wasted cost: the serverful fleet bills by wall-clock whether work
+  // succeeds or not, so its waste already shows up as inflated total time
+  // and cost; only the MinionsRL variant's serverless actors bill per busy
+  // second, so their failed seconds are separable.
+  if (minions)
+    fstats.wasted_cost_usd = cfg.cluster.actor_unit_price() * wasted_actor_s;
+  result.faults = fstats;
 
   std::vector<double> evaluated;
   for (const auto& r : result.rounds)

@@ -19,10 +19,28 @@ DistributedCache::DistributedCache() {
   m_blocked_wait_ms_ =
       &m.histogram("cache.blocked_read_wait_ms", 0.0, 500.0, 100);
   m_resident_bytes_ = &m.gauge("cache.resident_bytes");
+  m_async_waits_ = &m.counter("cache.async_waits");
+  m_async_timeouts_ = &m.counter("cache.async_timeouts");
+}
+
+CacheValue DistributedCache::read_entry_locked(const Entry& entry) {
+  ++stats_.hits;
+  m_hits_->add();
+  stats_.bytes_read += entry.data.size();
+  m_bytes_read_->add(entry.data.size());
+  return CacheValue{entry.data, entry.version};
 }
 
 std::uint64_t DistributedCache::put(const std::string& key, Bytes value) {
   std::uint64_t new_version = 0;
+  // Async waiters this put satisfies; their callbacks are scheduled (not
+  // run) outside the lock, as fresh events at the current virtual time.
+  struct Ready {
+    sim::Engine* engine;
+    AsyncCallback cb;
+    CacheValue value;
+  };
+  std::vector<Ready> ready;
   {
     std::lock_guard<std::mutex> lock(mu_);
     auto& entry = store_[key];
@@ -35,8 +53,23 @@ std::uint64_t DistributedCache::put(const std::string& key, Bytes value) {
     m_resident_bytes_->set(static_cast<double>(resident_bytes_));
     entry.data = std::move(value);
     new_version = ++entry.version;
+    for (auto it = waiters_.begin(); it != waiters_.end();) {
+      if (it->key == key && new_version > it->min_version) {
+        if (it->deadline) *it->deadline = true;
+        ready.push_back(
+            {it->engine, std::move(it->cb), read_entry_locked(entry)});
+        it = waiters_.erase(it);
+      } else {
+        ++it;
+      }
+    }
   }
   cv_.notify_all();
+  for (auto& r : ready)
+    r.engine->schedule_after(
+        0.0, [cb = std::move(r.cb), v = std::move(r.value)]() mutable {
+          cb(std::move(v));
+        });
   return new_version;
 }
 
@@ -97,6 +130,81 @@ std::optional<CacheValue> DistributedCache::get_blocking(
   stats_.bytes_read += it->second.data.size();
   m_bytes_read_->add(it->second.data.size());
   return CacheValue{it->second.data, it->second.version};
+}
+
+std::optional<CacheValue> DistributedCache::get_blocking(
+    const std::string& key, std::uint64_t min_version, sim::Engine& engine,
+    double timeout_s) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.gets;
+  m_gets_->add();
+  auto it = store_.find(key);
+  if (it != store_.end() && it->second.version > min_version)
+    return read_entry_locked(it->second);
+  // Single-threaded event loop: nothing can publish the key while we
+  // "wait", so an unsatisfied read is a deterministic timeout.
+  ++stats_.misses;
+  m_misses_->add();
+  m_blocked_timeouts_->add();
+  LOG_DEBUG << "virtual blocking read unsatisfied: key=" << key
+            << " min_version=" << min_version << " (deadline would be t="
+            << engine.now() + timeout_s << ")";
+  return std::nullopt;
+}
+
+void DistributedCache::get_async(const std::string& key,
+                                 std::uint64_t min_version,
+                                 sim::Engine& engine, double timeout_s,
+                                 AsyncCallback cb) {
+  m_async_waits_->add();
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.gets;
+  m_gets_->add();
+  auto it = store_.find(key);
+  if (it != store_.end() && it->second.version > min_version) {
+    CacheValue v = read_entry_locked(it->second);
+    engine.schedule_after(
+        0.0, [cb = std::move(cb), v = std::move(v)]() mutable {
+          cb(std::move(v));
+        });
+    return;
+  }
+  Waiter w;
+  w.id = next_waiter_id_++;
+  w.key = key;
+  w.min_version = min_version;
+  w.engine = &engine;
+  w.cb = std::move(cb);
+  if (timeout_s > 0.0) {
+    const std::uint64_t id = w.id;
+    w.deadline = engine.schedule_cancellable_after(
+        timeout_s, [this, id] { expire_waiter(id); });
+  }
+  waiters_.push_back(std::move(w));
+}
+
+void DistributedCache::expire_waiter(std::uint64_t id) {
+  AsyncCallback cb;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = waiters_.begin();
+    for (; it != waiters_.end(); ++it)
+      if (it->id == id) break;
+    if (it == waiters_.end()) return;  // already satisfied or cleared
+    cb = std::move(it->cb);
+    ++stats_.misses;
+    m_misses_->add();
+    m_async_timeouts_->add();
+    LOG_DEBUG << "async cache wait timed out: key=" << it->key
+              << " min_version=" << it->min_version;
+    waiters_.erase(it);
+  }
+  cb(std::nullopt);
+}
+
+std::size_t DistributedCache::pending_waiters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return waiters_.size();
 }
 
 bool DistributedCache::contains(const std::string& key) const {
@@ -181,6 +289,9 @@ void DistributedCache::clear() {
     store_.clear();
     resident_bytes_ = 0;
     m_resident_bytes_->set(0.0);
+    for (auto& w : waiters_)
+      if (w.deadline) *w.deadline = true;
+    waiters_.clear();
   }
   if (dropped > 0) LOG_DEBUG << "cache cleared (" << dropped << " keys)";
 }

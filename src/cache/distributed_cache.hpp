@@ -15,6 +15,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <mutex>
 #include <optional>
@@ -22,6 +23,7 @@
 #include <vector>
 
 #include "obs/metrics.hpp"
+#include "sim/engine.hpp"
 
 namespace stellaris::cache {
 
@@ -65,6 +67,31 @@ class DistributedCache {
                                          std::uint64_t min_version,
                                          std::chrono::milliseconds timeout);
 
+  /// Virtual-time deadline overload for simulation-driven callers. The
+  /// event loop is single-threaded, so no other event can publish the key
+  /// while this call "waits": the wait collapses deterministically to an
+  /// immediate hit (the key is already satisfied) or a miss accounted as a
+  /// timeout at `engine.now() + timeout_s` — no wall-clock sleep, no
+  /// nondeterminism, and the virtual clock never advances. Callers that
+  /// need to genuinely wait across events use get_async.
+  std::optional<CacheValue> get_blocking(const std::string& key,
+                                         std::uint64_t min_version,
+                                         sim::Engine& engine,
+                                         double timeout_s);
+
+  using AsyncCallback = std::function<void(std::optional<CacheValue>)>;
+
+  /// Event-driven wait: fires `cb` (via `engine`, in virtual time) as soon
+  /// as `key` reaches a version > `min_version` — immediately (same
+  /// timestamp, later event) if already satisfied — or with nullopt at the
+  /// virtual deadline `engine.now() + timeout_s`. timeout_s <= 0 means no
+  /// deadline (the waiter is dropped at clear()).
+  void get_async(const std::string& key, std::uint64_t min_version,
+                 sim::Engine& engine, double timeout_s, AsyncCallback cb);
+
+  /// Async waiters currently registered (tests / diagnostics).
+  std::size_t pending_waiters() const;
+
   bool contains(const std::string& key) const;
 
   /// Current version of a key (0 if absent).
@@ -93,10 +120,26 @@ class DistributedCache {
     Bytes data;
     std::uint64_t version = 0;
   };
+  /// One registered get_async call awaiting a put (or its deadline).
+  struct Waiter {
+    std::uint64_t id = 0;
+    std::string key;
+    std::uint64_t min_version = 0;
+    sim::Engine* engine = nullptr;
+    AsyncCallback cb;
+    sim::Engine::CancelHandle deadline;  ///< null when timeout_s <= 0
+  };
+
+  /// Account a hit and return the entry's value. Caller holds mu_.
+  CacheValue read_entry_locked(const Entry& entry);
+  /// Deadline event for an async waiter: drop it and fire cb(nullopt).
+  void expire_waiter(std::uint64_t id);
 
   mutable std::mutex mu_;
   std::condition_variable cv_;
   std::map<std::string, Entry> store_;
+  std::vector<Waiter> waiters_;
+  std::uint64_t next_waiter_id_ = 0;
   std::size_t resident_bytes_ = 0;
   mutable CacheStats stats_;
 
@@ -112,6 +155,8 @@ class DistributedCache {
   obs::Counter* m_blocked_timeouts_;
   obs::FixedHistogram* m_blocked_wait_ms_;
   obs::Gauge* m_resident_bytes_;
+  obs::Counter* m_async_waits_;
+  obs::Counter* m_async_timeouts_;
 };
 
 }  // namespace stellaris::cache

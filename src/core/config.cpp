@@ -31,6 +31,8 @@ void TrainConfig::validate() const {
   if (ratio_rho <= 0.0) throw ConfigError("ratio_rho must be positive");
   if (cluster.total_gpus() == 0)
     throw ConfigError("cluster needs at least one GPU VM for learners");
+  faults.validate();
+  retry.validate();
 }
 
 }  // namespace stellaris::core

@@ -8,6 +8,8 @@
 #include <cstdint>
 #include <string>
 
+#include "fault/fault_plan.hpp"
+#include "fault/retry_policy.hpp"
 #include "rl/impact.hpp"
 #include "rl/ppo.hpp"
 #include "serverless/cluster.hpp"
@@ -78,6 +80,19 @@ struct TrainConfig {
   serverless::ClusterSpec cluster = serverless::ClusterSpec::regular();
   serverless::LatencyModel latency;
   bool prewarm = true;
+
+  // -- fault tolerance (src/fault) ------------------------------------------------
+  /// Fault plan: probabilities/rates + optional scripted schedule. The
+  /// default plan injects nothing and leaves results bit-identical to a
+  /// faultless build.
+  fault::FaultPlan faults;
+  /// Retry policy applied (via invoke_retrying) to actor, learner, and
+  /// parameter-function invocations when the fault plan is active.
+  fault::RetryPolicy retry;
+  /// Checkpoint the parameter state to the cache every k-th policy update
+  /// (0 = only when the fault plan is active, every 10 updates; the
+  /// checkpoint key is keys::kCheckpoint).
+  std::size_t checkpoint_interval = 0;
 
   // -- evaluation -----------------------------------------------------------------
   std::size_t eval_episodes = 5;

@@ -50,6 +50,22 @@ struct LatencyBreakdown {
   double overhead_fraction() const;
 };
 
+/// Fault-plane outcome of a run (all zero when no faults are configured).
+struct FaultStats {
+  std::uint64_t crashes = 0;            ///< container crashes injected
+  std::uint64_t vm_reclaims = 0;        ///< spot-style host reclamations
+  std::uint64_t stragglers = 0;         ///< slowdown faults injected
+  std::uint64_t cache_faults = 0;       ///< cache op failures/delays injected
+  std::uint64_t failed_invocations = 0; ///< invocations that did not finish ok
+  std::uint64_t retries = 0;            ///< re-invocations after failure
+  std::uint64_t giveups = 0;            ///< retry chains that exhausted policy
+  std::uint64_t checkpoints = 0;        ///< parameter-state snapshots written
+  std::uint64_t restores = 0;           ///< recoveries from a checkpoint
+  double wasted_cost_usd = 0.0;         ///< $ billed for failed work
+  double wasted_seconds = 0.0;          ///< billed seconds of failed work
+  double retry_wait_s = 0.0;            ///< virtual time spent in backoff
+};
+
 struct TrainResult {
   std::vector<RoundRecord> rounds;
   std::vector<double> staleness_samples;  ///< per-gradient (Fig. 3(b))
@@ -69,6 +85,7 @@ struct TrainResult {
   std::uint64_t learner_invocations = 0;
   double delta_max = 0.0;  ///< calibrated round-0 max staleness
   LatencyBreakdown breakdown;
+  FaultStats faults;
 };
 
 }  // namespace stellaris::core

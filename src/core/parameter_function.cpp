@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "util/error.hpp"
+#include "util/serialize.hpp"
 
 namespace stellaris::core {
 
@@ -68,7 +69,31 @@ ParameterFunction::AggregateStats ParameterFunction::aggregate(
     v = std::clamp(v, cfg_.clamp_lo, cfg_.clamp_hi);
   }
   stats.new_version = ++version_;
+  applied_gradients_ += group.size();
   return stats;
+}
+
+Checkpoint ParameterFunction::serialize_state() const {
+  Checkpoint ckpt;
+  ckpt.params = params_;
+  ckpt.version = version_;
+  ckpt.applied_gradients = applied_gradients_;
+  ByteWriter w;
+  optimizer_->save_state(w);
+  ckpt.optimizer_state = w.take();
+  return ckpt;
+}
+
+void ParameterFunction::restore_state(const Checkpoint& ckpt) {
+  STELLARIS_CHECK_MSG(ckpt.params.size() == params_.size(),
+                      "checkpoint param dim mismatch: " << ckpt.params.size()
+                                                        << " vs "
+                                                        << params_.size());
+  params_ = ckpt.params;
+  ByteReader r(ckpt.optimizer_state);
+  optimizer_->load_state(r);
+  applied_gradients_ = ckpt.applied_gradients;
+  version_ = std::max(version_, ckpt.version);
 }
 
 }  // namespace stellaris::core

@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "core/policy_io.hpp"
 #include "core/staleness.hpp"
 #include "core/truncation.hpp"
 #include "nn/optimizer.hpp"
@@ -64,11 +65,27 @@ class ParameterFunction {
     return staleness_history_;
   }
 
+  /// Snapshot the recoverable state (params, version, applied-gradient
+  /// count, optimizer moments) as a Checkpoint for the cache.
+  Checkpoint serialize_state() const;
+
+  /// Restore from a checkpoint after a crash. The version counter is kept
+  /// MONOTONE — max(current, checkpoint) — modelling a version sequence
+  /// that survives the crash (e.g. cache-side INCR): gradients already in
+  /// flight carry pulled_version values aggregate() must never see exceed
+  /// version_. Weights, moments, and the gradient count roll back to the
+  /// checkpoint; the staleness history is not reconstructed.
+  void restore_state(const Checkpoint& ckpt);
+
+  /// Gradients aggregated since construction (survives restore).
+  std::uint64_t applied_gradients() const { return applied_gradients_; }
+
  private:
   std::vector<float> params_;
   Config cfg_;
   std::unique_ptr<nn::FlatOptimizer> optimizer_;
   std::uint64_t version_ = 0;
+  std::uint64_t applied_gradients_ = 0;
   std::vector<double> staleness_history_;
 };
 

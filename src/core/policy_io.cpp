@@ -27,4 +27,28 @@ std::pair<std::vector<float>, std::uint64_t> decode_policy(
   return {std::move(params), version};
 }
 
+std::vector<std::uint8_t> encode_checkpoint(const Checkpoint& ckpt) {
+  ByteWriter w;
+  w.put_u64(ckpt.version);
+  w.put_u64(ckpt.applied_gradients);
+  w.put_f32_vector(ckpt.params);
+  // Nested blob: length-prefixed raw bytes of the optimizer's own stream.
+  w.put_u64(ckpt.optimizer_state.size());
+  for (std::uint8_t b : ckpt.optimizer_state) w.put_u8(b);
+  return w.take();
+}
+
+Checkpoint decode_checkpoint(const std::vector<std::uint8_t>& bytes) {
+  ByteReader r(bytes);
+  Checkpoint ckpt;
+  ckpt.version = r.get_u64();
+  ckpt.applied_gradients = r.get_u64();
+  ckpt.params = r.get_f32_vector();
+  const std::uint64_t n = r.get_u64();
+  ckpt.optimizer_state.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i)
+    ckpt.optimizer_state.push_back(r.get_u8());
+  return ckpt;
+}
+
 }  // namespace stellaris::core

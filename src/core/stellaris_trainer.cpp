@@ -9,6 +9,7 @@
 #include "rl/impact.hpp"
 #include "rl/ppo.hpp"
 #include "rl/sample_batch.hpp"
+#include "util/error.hpp"
 #include "util/logging.hpp"
 
 namespace stellaris::core {
@@ -75,9 +76,15 @@ StellarisTrainer::StellarisTrainer(TrainConfig cfg)
     m_rounds_ = &m.counter("trainer.rounds");
     m_round_kl_ = &m.gauge("trainer.round_kl");
     m_round_reward_ = &m.gauge("trainer.round_reward");
+    m_checkpoints_ = &m.counter("trainer.checkpoints");
+    m_restores_ = &m.counter("trainer.restores");
   }
   platform_ = std::make_unique<serverless::ServerlessPlatform>(
       engine_, cfg_.cluster, cfg_.latency, cfg_.seed ^ 0x9e37ULL);
+  if (cfg_.faults.any()) {
+    injector_ = std::make_unique<fault::FaultInjector>(engine_, cfg_.faults);
+    platform_->set_fault_injector(injector_.get());
+  }
   data_loader_ = std::make_unique<serverless::GpuDataLoader>(
       cfg_.latency, cfg_.seed ^ 0x10adULL);
 
@@ -121,9 +128,19 @@ std::size_t StellarisTrainer::learner_limit() const {
   return std::min(cfg_.max_learners, slots);
 }
 
-StellarisTrainer::PolicySnapshot StellarisTrainer::latest_policy() const {
-  const auto bytes = cache_.get_or_throw(keys::kPolicyLatest);
-  auto [params, version] = decode_policy(bytes.data);
+namespace {
+/// Virtual-time deadline on the trainer's protocol-guaranteed cache reads.
+/// These keys are always published before the read fires, so the deadline
+/// only trips on a protocol violation — a hard error, not a retry case.
+constexpr double kCacheReadDeadlineS = 30.0;
+}  // namespace
+
+StellarisTrainer::PolicySnapshot StellarisTrainer::latest_policy() {
+  const auto value = cache_.get_blocking(keys::kPolicyLatest, 0, engine_,
+                                         kCacheReadDeadlineS);
+  if (!value)
+    throw CacheError("policy/latest missing past its virtual deadline");
+  auto [params, version] = decode_policy(value->data);
   return {std::move(params), version};
 }
 
@@ -154,6 +171,14 @@ TrainResult StellarisTrainer::train() {
        {"actors", cfg_.num_actors},
        {"rounds", cfg_.rounds}});
   cache_.put(keys::kPolicyLatest, encode_policy(param_fn_->params(), 0));
+  // Seed checkpoint so a parameter-function crash before the first periodic
+  // checkpoint still has something to restore from.
+  if (effective_checkpoint_interval() > 0) {
+    cache_.put(keys::kCheckpoint,
+               encode_checkpoint(param_fn_->serialize_state()));
+    ++checkpoints_written_;
+    m_checkpoints_->add();
+  }
   if (cfg_.prewarm) {
     platform_->prewarm_learners(learner_limit() + 1);
     platform_->prewarm_actors(cfg_.num_actors);
@@ -177,6 +202,25 @@ TrainResult StellarisTrainer::train() {
       costs.invocations(serverless::FnKind::kLearner);
   result_.staleness_samples = param_fn_->staleness_history();
   result_.delta_max = schedule_.delta_max();
+
+  // Fault-plane telemetry (all zero when no faults were configured).
+  if (injector_) {
+    result_.faults.crashes = injector_->crashes_injected();
+    result_.faults.vm_reclaims = injector_->reclaims_fired();
+    result_.faults.stragglers = injector_->stragglers_injected();
+    result_.faults.cache_faults = injector_->cache_faults_injected();
+  }
+  result_.faults.failed_invocations = costs.total_failed_invocations();
+  result_.faults.retries = platform_->retries();
+  result_.faults.giveups = platform_->giveups();
+  result_.faults.checkpoints = checkpoints_written_;
+  result_.faults.restores = restores_;
+  result_.faults.wasted_cost_usd = costs.total_wasted_cost();
+  result_.faults.wasted_seconds =
+      costs.wasted_seconds(serverless::FnKind::kLearner) +
+      costs.wasted_seconds(serverless::FnKind::kParameter) +
+      costs.wasted_seconds(serverless::FnKind::kActor);
+  result_.faults.retry_wait_s = retry_wait_accum_;
 
   std::vector<double> evaluated;
   for (const auto& r : result_.rounds)
@@ -209,16 +253,28 @@ void StellarisTrainer::launch_actor(std::size_t actor_idx) {
       cfg_.horizon * (env_spec_.obs.flat_dim + 8) * sizeof(float);
   opts.tier = serverless::DataTier::kCache;
   opts.span_name = "actor_sampling";
-  // Step ①: pull the latest policy when the actor starts.
+  // Step ①: pull the latest policy when the actor starts. Fires once per
+  // retry attempt, so a re-invoked actor samples under a FRESH snapshot.
   opts.on_start = [this, snapshot](double) { *snapshot = latest_policy(); };
-  platform_->invoke(opts, [this, actor_idx, snapshot](const auto& r) {
-    on_actor_complete(actor_idx, snapshot, r);
-  });
+  platform_->invoke_retrying(
+      opts, cfg_.retry, [this, actor_idx, snapshot](const auto& r) {
+        on_actor_complete(actor_idx, snapshot, r);
+      });
 }
 
 void StellarisTrainer::on_actor_complete(
     std::size_t actor_idx, const std::shared_ptr<PolicySnapshot>& snapshot,
     const serverless::ServerlessPlatform::InvokeResult& r) {
+  retry_wait_accum_ += r.retry_wait_s;
+  if (!r.ok) {
+    // Retry chain exhausted: the sampled work is lost. The actor itself is
+    // stateless, so just launch a fresh invocation chain.
+    LOG_DEBUG << "actor " << actor_idx << " gave up ("
+              << fault::error_kind_name(r.error) << " after " << r.attempts
+              << " attempts); relaunching";
+    if (!done_) launch_actor(actor_idx);
+    return;
+  }
   result_.breakdown.actor_sample_s += r.compute_s + r.start_latency_s;
   result_.breakdown.data_load_s += r.transfer_s;
 
@@ -303,15 +359,26 @@ void StellarisTrainer::maybe_launch_learner() {
     opts.payload_out_bytes = param_fn_->param_dim() * sizeof(float);
     opts.tier = serverless::DataTier::kCache;
     opts.span_name = "learner_compute";
-    // Step ②: the learner pulls the latest policy at container start.
-    opts.on_start = [this, snapshot](double) {
+    // Step ②: the learner pulls the latest policy at container start. Under
+    // retries this fires once per attempt; the previous attempt's entry in
+    // the in-flight version multiset must be withdrawn before the fresh
+    // snapshot's version is inserted, or SSP gating would track ghosts.
+    auto inserted = std::make_shared<std::optional<std::uint64_t>>();
+    opts.on_start = [this, snapshot, inserted](double) {
+      if (inserted->has_value()) {
+        auto it = inflight_pulled_versions_.find(**inserted);
+        if (it != inflight_pulled_versions_.end())
+          inflight_pulled_versions_.erase(it);
+      }
       *snapshot = latest_policy();
       inflight_pulled_versions_.insert(snapshot->version);
+      *inserted = snapshot->version;
     };
-    platform_->invoke(opts,
-                      [this, learner_id, snapshot, traj_ids](const auto& r) {
-                        on_learner_complete(learner_id, snapshot, traj_ids, r);
-                      });
+    platform_->invoke_retrying(
+        opts, cfg_.retry,
+        [this, learner_id, snapshot, traj_ids](const auto& r) {
+          on_learner_complete(learner_id, snapshot, traj_ids, r);
+        });
   }
   // Demand resumed: re-invoke backpressured actors.
   while (!paused_actors_.empty() &&
@@ -327,11 +394,7 @@ void StellarisTrainer::on_learner_complete(
     std::uint64_t learner_id, const std::shared_ptr<PolicySnapshot>& snapshot,
     const std::vector<std::uint64_t>& traj_ids,
     const serverless::ServerlessPlatform::InvokeResult& r) {
-  result_.breakdown.learner_start_s += r.start_latency_s;
-  result_.breakdown.learner_compute_s += r.compute_s;
-  result_.breakdown.grad_submit_s += r.transfer_s / 2.0;
-  result_.breakdown.data_load_s += r.transfer_s / 2.0;
-
+  retry_wait_accum_ += r.retry_wait_s;
   {
     auto it = inflight_pulled_versions_.find(snapshot->version);
     if (it != inflight_pulled_versions_.end())
@@ -339,13 +402,39 @@ void StellarisTrainer::on_learner_complete(
   }
   --active_learners_;
 
+  if (!r.ok) {
+    // Retry chain exhausted: the gradient is lost, but the trajectories are
+    // still in the cache — requeue them (front, preserving order) so the
+    // next learner slot picks them up.
+    LOG_DEBUG << "learner " << learner_id << " gave up ("
+              << fault::error_kind_name(r.error) << " after " << r.attempts
+              << " attempts); requeueing " << traj_ids.size()
+              << " trajectories";
+    if (!done_) {
+      for (auto it = traj_ids.rbegin(); it != traj_ids.rend(); ++it)
+        pending_trajs_.push_front(*it);
+      note_pending_trajs();
+    }
+    maybe_launch_learner();
+    return;
+  }
+
+  result_.breakdown.learner_start_s += r.start_latency_s;
+  result_.breakdown.learner_compute_s += r.compute_s;
+  result_.breakdown.grad_submit_s += r.transfer_s / 2.0;
+  result_.breakdown.data_load_s += r.transfer_s / 2.0;
+
   if (!done_) {
     // Real gradient computation under the pulled policy.
     std::vector<rl::SampleBatch> parts;
     parts.reserve(traj_ids.size());
     for (std::uint64_t id : traj_ids) {
-      parts.push_back(rl::SampleBatch::deserialize(
-          cache_.get_or_throw(keys::trajectory(id)).data));
+      const auto value = cache_.get_blocking(keys::trajectory(id), 0, engine_,
+                                             kCacheReadDeadlineS);
+      if (!value)
+        throw CacheError("trajectory " + std::to_string(id) +
+                         " missing past its virtual deadline");
+      parts.push_back(rl::SampleBatch::deserialize(value->data));
       cache_.erase(keys::trajectory(id));
     }
     rl::SampleBatch batch =
@@ -460,7 +549,13 @@ void StellarisTrainer::start_aggregation(
   opts.span_name = "gradient_aggregation";
   auto shared_group = std::make_shared<std::vector<GradientQueue::Item>>(
       std::move(group));
-  platform_->invoke(opts, [this, shared_group](const auto& r) {
+  platform_->invoke_retrying(opts, cfg_.retry, [this, shared_group](
+                                                   const auto& r) {
+    retry_wait_accum_ += r.retry_wait_s;
+    if (!r.ok) {
+      recover_param_fn(*shared_group);
+      return;
+    }
     result_.breakdown.aggregate_s += r.compute_s + r.start_latency_s;
     result_.breakdown.broadcast_s += r.transfer_s;
 
@@ -475,6 +570,7 @@ void StellarisTrainer::start_aggregation(
       cache_.erase(keys::gradient(item.msg.learner_id));
     cache_.put(keys::kPolicyLatest,
                encode_policy(param_fn_->params(), stats.new_version));
+    maybe_checkpoint(stats.new_version);
 
     // IMPACT target network refresh.
     if (cfg_.algorithm == Algorithm::kImpact) {
@@ -503,6 +599,49 @@ void StellarisTrainer::start_aggregation(
     try_aggregate();
     maybe_launch_learner();  // sync mode resumes launches after the barrier
   });
+}
+
+std::size_t StellarisTrainer::effective_checkpoint_interval() const {
+  if (cfg_.checkpoint_interval > 0) return cfg_.checkpoint_interval;
+  // Fault plan active: checkpoint every 10 policy updates by default.
+  return cfg_.faults.any() ? 10 : 0;
+}
+
+void StellarisTrainer::maybe_checkpoint(std::uint64_t new_version) {
+  const std::size_t interval = effective_checkpoint_interval();
+  if (interval == 0 || new_version % interval != 0) return;
+  cache_.put(keys::kCheckpoint, encode_checkpoint(param_fn_->serialize_state()));
+  ++checkpoints_written_;
+  m_checkpoints_->add();
+  if (auto* tr = obs::trace())
+    tr->instant(trainer_track(tr), "checkpoint", "fault", engine_.now(),
+                {{"version", new_version}});
+}
+
+void StellarisTrainer::recover_param_fn(
+    const std::vector<GradientQueue::Item>& group) {
+  // The aggregation invocation failed past its retry budget: the gradient
+  // group is lost. Restore the parameter state from the latest checkpoint
+  // (modelling a fresh parameter-function container that must reload its
+  // state), republish the policy, and let the pipeline refill the queue.
+  LOG_DEBUG << "parameter function failed; dropping " << group.size()
+            << " gradients and restoring from checkpoint";
+  if (const auto ckpt = cache_.get(keys::kCheckpoint)) {
+    param_fn_->restore_state(decode_checkpoint(ckpt->data));
+    ++restores_;
+    m_restores_->add();
+    if (auto* tr = obs::trace())
+      tr->instant(trainer_track(tr), "restore", "fault", engine_.now(),
+                  {{"version", param_fn_->version()},
+                   {"dropped_gradients", group.size()}});
+  }
+  cache_.put(keys::kPolicyLatest,
+             encode_policy(param_fn_->params(), param_fn_->version()));
+  for (const auto& item : group)
+    cache_.erase(keys::gradient(item.msg.learner_id));
+  param_fn_busy_ = false;
+  try_aggregate();
+  maybe_launch_learner();
 }
 
 void StellarisTrainer::finish_round(
@@ -556,6 +695,10 @@ void StellarisTrainer::finish_round(
 
   if (last) {
     done_ = true;
+    // Tear down the reclamation arrival process; its pending virtual-time
+    // timers would otherwise keep the event loop alive and stretch the
+    // measured makespan.
+    if (injector_) injector_->disarm();
     LOG_DEBUG << "training done at virtual t=" << engine_.now() << "s, cost=$"
               << platform_->costs().total_cost();
   }

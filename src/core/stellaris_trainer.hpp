@@ -29,6 +29,7 @@
 #include "cache/distributed_cache.hpp"
 #include "core/config.hpp"
 #include "core/metrics.hpp"
+#include "fault/fault_injector.hpp"
 #include "obs/obs.hpp"
 #include "core/parameter_function.hpp"
 #include "core/policy_io.hpp"
@@ -69,7 +70,13 @@ class StellarisTrainer {
   void start_aggregation(std::vector<GradientQueue::Item> group);
   void finish_round(const ParameterFunction::AggregateStats& stats,
                     double round_kl);
-  PolicySnapshot latest_policy() const;
+  /// Failed aggregation invocation: restore the parameter state from the
+  /// latest checkpoint and drop the lost gradient group.
+  void recover_param_fn(const std::vector<GradientQueue::Item>& group);
+  /// Periodic checkpoint of the parameter state to the cache.
+  void maybe_checkpoint(std::uint64_t new_version);
+  std::size_t effective_checkpoint_interval() const;
+  PolicySnapshot latest_policy();
   std::size_t learner_limit() const;
   obs::TrackId trainer_track(obs::TraceRecorder* tr) const;
   void note_grad_queue_depth();
@@ -82,6 +89,9 @@ class StellarisTrainer {
   sim::Engine engine_;
   std::unique_ptr<serverless::ServerlessPlatform> platform_;
   cache::DistributedCache cache_;
+  /// Fault plane (null when the plan injects nothing, so zero-fault runs
+  /// stay bit-identical to a faultless build).
+  std::unique_ptr<fault::FaultInjector> injector_;
 
   std::unique_ptr<ParameterFunction> param_fn_;
   StalenessSchedule schedule_;
@@ -126,6 +136,11 @@ class StellarisTrainer {
   double acc_entropy_ = 0.0;
   std::size_t acc_count_ = 0;
 
+  // Fault-recovery bookkeeping.
+  std::uint64_t checkpoints_written_ = 0;
+  std::uint64_t restores_ = 0;
+  double retry_wait_accum_ = 0.0;
+
   // Observability (src/obs): run-scoped trace tag + metric handles.
   std::string trace_tag_;
   obs::FixedHistogram* m_staleness_;
@@ -135,6 +150,8 @@ class StellarisTrainer {
   obs::Counter* m_rounds_;
   obs::Gauge* m_round_kl_;
   obs::Gauge* m_round_reward_;
+  obs::Counter* m_checkpoints_;
+  obs::Counter* m_restores_;
   double last_round_end_s_ = 0.0;
 
   TrainResult result_;

@@ -1,0 +1,109 @@
+// FaultInjector: executes a FaultPlan against the virtual-time engine.
+//
+// The injector is the single source of failure randomness. It owns a
+// dedicated RNG stream (seeded from the plan), so
+//  - a given (plan, seed) reproduces the exact same fault sequence on every
+//    run, and
+//  - the zero-fault plan draws nothing, leaving every other random stream
+//    (latency jitter, sampling, environments) untouched — zero-fault runs
+//    are bit-identical to a faultless build.
+//
+// Consumers:
+//  - ServerlessPlatform asks `on_invocation()` at each dispatch and applies
+//    the verdict (crash point, straggler multiplier, cache fault) to the
+//    invocation's timeline; it registers a callback via `arm_reclaims()`
+//    through which the injector fires whole-VM reclamations.
+//  - The sync baseline, which has no event loop, replays the same
+//    probabilistic model analytically through `simulate_retries()`.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "fault/fault_plan.hpp"
+#include "fault/retry_policy.hpp"
+#include "obs/metrics.hpp"
+#include "sim/engine.hpp"
+#include "util/rng.hpp"
+
+namespace stellaris::fault {
+
+/// Verdict for one invocation.
+struct InvocationFault {
+  ErrorKind fail = ErrorKind::kNone;  ///< kCrash / kCacheError / kNone
+  double fail_frac = 1.0;   ///< fraction of the work done before a crash
+  double straggler_mult = 1.0;  ///< compute-duration multiplier
+  double cache_delay_s = 0.0;   ///< extra data-transfer latency
+};
+
+class FaultInjector {
+ public:
+  FaultInjector(sim::Engine& engine, FaultPlan plan);
+
+  /// Decide the fate of an invocation of `fn_kind` (the integer value of
+  /// serverless::FnKind; kept as int so this library stays below the
+  /// serverless layer). Consumes matching scripted traps first, then
+  /// samples the probabilistic model.
+  InvocationFault on_invocation(int fn_kind);
+
+  /// Register the reclamation executor and start the arrival process
+  /// (Poisson arrivals from the config + scripted kVmReclaim entries).
+  /// The callback receives the fault RNG so victim selection is part of
+  /// the deterministic fault stream.
+  void arm_reclaims(std::function<void(Rng&)> reclaim_cb);
+
+  /// Stop future reclamations (cancels pending timers so they do not
+  /// stretch the run's virtual makespan).
+  void disarm();
+
+  bool reclaims_enabled() const;
+  const FaultPlan& plan() const { return plan_; }
+
+  // Injection counters (also mirrored into obs metrics).
+  std::uint64_t crashes_injected() const { return crashes_; }
+  std::uint64_t stragglers_injected() const { return stragglers_; }
+  std::uint64_t cache_faults_injected() const { return cache_faults_; }
+  std::uint64_t reclaims_fired() const { return reclaims_; }
+
+ private:
+  void schedule_next_reclaim();
+  void fire_reclaim();
+
+  sim::Engine& engine_;
+  FaultPlan plan_;
+  Rng rng_;
+  std::vector<bool> consumed_;  ///< scripted one-shot traps already fired
+  std::function<void(Rng&)> reclaim_cb_;
+  std::vector<sim::Engine::CancelHandle> reclaim_timers_;
+  bool armed_ = false;
+
+  std::uint64_t crashes_ = 0;
+  std::uint64_t stragglers_ = 0;
+  std::uint64_t cache_faults_ = 0;
+  std::uint64_t reclaims_ = 0;
+
+  obs::Counter* m_crashes_;
+  obs::Counter* m_stragglers_;
+  obs::Counter* m_cache_faults_;
+  obs::Counter* m_reclaims_;
+};
+
+/// Analytic retry chain for the barrier baselines (no event loop): runs
+/// attempt/backoff/retry against the probabilistic model until success,
+/// retries are exhausted, or the deadline passes. Returns total elapsed
+/// time including failed attempts and backoffs — the time a synchronous
+/// barrier stalls waiting for this worker.
+struct RetrySimOutcome {
+  double elapsed_s = 0.0;   ///< wall time of the whole chain
+  double wasted_s = 0.0;    ///< execution seconds of failed attempts
+  std::size_t attempts = 1;
+  bool ok = true;
+  ErrorKind error = ErrorKind::kNone;
+};
+
+RetrySimOutcome simulate_retries(double base_duration_s,
+                                 const FaultConfig& config,
+                                 const RetryPolicy& policy, Rng& rng);
+
+}  // namespace stellaris::fault

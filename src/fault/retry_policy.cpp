@@ -1,0 +1,30 @@
+#include "fault/retry_policy.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace stellaris::fault {
+
+double RetryPolicy::backoff_s(std::size_t retry, Rng& rng) const {
+  STELLARIS_CHECK_MSG(retry >= 1, "backoff is between attempts");
+  const double base =
+      base_backoff_s *
+      std::pow(backoff_mult, static_cast<double>(retry - 1));
+  double backoff = std::min(base, max_backoff_s);
+  if (jitter_frac > 0.0)
+    backoff *= 1.0 + rng.uniform(-jitter_frac, jitter_frac);
+  return std::max(backoff, 0.0);
+}
+
+void RetryPolicy::validate() const {
+  if (base_backoff_s < 0.0) throw ConfigError("base_backoff_s must be >= 0");
+  if (backoff_mult < 1.0) throw ConfigError("backoff_mult must be >= 1");
+  if (max_backoff_s < 0.0) throw ConfigError("max_backoff_s must be >= 0");
+  if (jitter_frac < 0.0 || jitter_frac >= 1.0)
+    throw ConfigError("jitter_frac must lie in [0, 1)");
+  if (deadline_s < 0.0) throw ConfigError("deadline_s must be >= 0");
+}
+
+}  // namespace stellaris::fault

@@ -1,0 +1,36 @@
+// Retry policy: bounded retries with exponential backoff + jitter, in
+// VIRTUAL time. Used by the serverless platform's retrying invoker and by
+// the sync baseline's analytic fault model, so both systems recover from
+// the same failures under the same policy.
+#pragma once
+
+#include <cstddef>
+
+#include "util/rng.hpp"
+
+namespace stellaris::fault {
+
+struct RetryPolicy {
+  std::size_t max_retries = 3;   ///< retries after the first attempt
+  double base_backoff_s = 0.05;  ///< backoff before retry #1
+  double backoff_mult = 2.0;     ///< exponential growth per retry
+  double max_backoff_s = 2.0;    ///< cap on any single backoff
+  double jitter_frac = 0.1;      ///< +/- uniform jitter on each backoff
+  /// Per-invocation deadline measured from the FIRST submit; a retry whose
+  /// backoff would start past the deadline is abandoned (ErrorKind::
+  /// kDeadline). 0 disables the deadline.
+  double deadline_s = 0.0;
+
+  /// May attempt number `attempt` (0-based; 0 = first try) run at all?
+  bool attempt_allowed(std::size_t attempt) const {
+    return attempt <= max_retries;
+  }
+
+  /// Backoff before retry number `retry` (1-based), jittered from `rng`.
+  /// Deterministic for a given RNG state.
+  double backoff_s(std::size_t retry, Rng& rng) const;
+
+  void validate() const;
+};
+
+}  // namespace stellaris::fault

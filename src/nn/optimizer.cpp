@@ -3,8 +3,24 @@
 #include <cmath>
 
 #include "util/error.hpp"
+#include "util/serialize.hpp"
 
 namespace stellaris::nn {
+
+void FlatOptimizer::save_state(ByteWriter& w) const {
+  w.put_string(name());
+  w.put_f64(lr_);
+  save_slots(w);
+}
+
+void FlatOptimizer::load_state(ByteReader& r) {
+  const std::string stored = r.get_string();
+  if (stored != name())
+    throw Error("optimizer state mismatch: stream holds '" + stored +
+                "' state, restoring into '" + name() + "'");
+  lr_ = r.get_f64();
+  load_slots(r);
+}
 
 namespace {
 void check_sizes(const std::vector<float>& params,
@@ -39,6 +55,16 @@ std::unique_ptr<FlatOptimizer> SgdOptimizer::clone() const {
   return std::make_unique<SgdOptimizer>(*this);
 }
 
+void SgdOptimizer::save_slots(ByteWriter& w) const {
+  w.put_f64(momentum_);
+  w.put_f32_vector(velocity_);
+}
+
+void SgdOptimizer::load_slots(ByteReader& r) {
+  momentum_ = r.get_f64();
+  velocity_ = r.get_f32_vector();
+}
+
 AdamOptimizer::AdamOptimizer(double lr, double beta1, double beta2, double eps)
     : FlatOptimizer(lr), beta1_(beta1), beta2_(beta2), eps_(eps) {}
 
@@ -68,6 +94,24 @@ std::unique_ptr<FlatOptimizer> AdamOptimizer::clone() const {
   return std::make_unique<AdamOptimizer>(*this);
 }
 
+void AdamOptimizer::save_slots(ByteWriter& w) const {
+  w.put_f64(beta1_);
+  w.put_f64(beta2_);
+  w.put_f64(eps_);
+  w.put_u64(static_cast<std::uint64_t>(t_));
+  w.put_f32_vector(m_);
+  w.put_f32_vector(v_);
+}
+
+void AdamOptimizer::load_slots(ByteReader& r) {
+  beta1_ = r.get_f64();
+  beta2_ = r.get_f64();
+  eps_ = r.get_f64();
+  t_ = static_cast<std::size_t>(r.get_u64());
+  m_ = r.get_f32_vector();
+  v_ = r.get_f32_vector();
+}
+
 RmsPropOptimizer::RmsPropOptimizer(double lr, double decay, double eps)
     : FlatOptimizer(lr), decay_(decay), eps_(eps) {}
 
@@ -85,6 +129,18 @@ void RmsPropOptimizer::step_with_lr(std::vector<float>& params,
 
 std::unique_ptr<FlatOptimizer> RmsPropOptimizer::clone() const {
   return std::make_unique<RmsPropOptimizer>(*this);
+}
+
+void RmsPropOptimizer::save_slots(ByteWriter& w) const {
+  w.put_f64(decay_);
+  w.put_f64(eps_);
+  w.put_f32_vector(sq_);
+}
+
+void RmsPropOptimizer::load_slots(ByteReader& r) {
+  decay_ = r.get_f64();
+  eps_ = r.get_f64();
+  sq_ = r.get_f32_vector();
 }
 
 std::unique_ptr<FlatOptimizer> make_optimizer(const std::string& name,

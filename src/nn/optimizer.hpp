@@ -14,6 +14,11 @@
 #include <string>
 #include <vector>
 
+namespace stellaris {
+class ByteWriter;
+class ByteReader;
+}  // namespace stellaris
+
 namespace stellaris::nn {
 
 class FlatOptimizer {
@@ -33,11 +38,23 @@ class FlatOptimizer {
   virtual std::string name() const = 0;
   virtual std::unique_ptr<FlatOptimizer> clone() const = 0;
 
+  /// Serialize the full optimizer state (lr + moment/accumulator slots,
+  /// prefixed with name() so a mismatched restore fails fast). Together
+  /// with the parameter vector this is everything a checkpoint needs for a
+  /// bit-identical training continuation.
+  void save_state(ByteWriter& w) const;
+  /// Inverse of save_state; throws Error if the stream was written by a
+  /// different optimizer type.
+  void load_state(ByteReader& r);
+
   double lr() const { return lr_; }
   void set_lr(double lr) { lr_ = lr; }
 
  protected:
   explicit FlatOptimizer(double lr) : lr_(lr) {}
+  /// Serialize the subclass's slot state (moments, accumulators, counters).
+  virtual void save_slots(ByteWriter& w) const = 0;
+  virtual void load_slots(ByteReader& r) = 0;
   double lr_;
 };
 
@@ -50,6 +67,10 @@ class SgdOptimizer final : public FlatOptimizer {
                     double lr) override;
   std::string name() const override { return "sgd"; }
   std::unique_ptr<FlatOptimizer> clone() const override;
+
+ protected:
+  void save_slots(ByteWriter& w) const override;
+  void load_slots(ByteReader& r) override;
 
  private:
   double momentum_;
@@ -67,6 +88,10 @@ class AdamOptimizer final : public FlatOptimizer {
   std::string name() const override { return "adam"; }
   std::unique_ptr<FlatOptimizer> clone() const override;
 
+ protected:
+  void save_slots(ByteWriter& w) const override;
+  void load_slots(ByteReader& r) override;
+
  private:
   double beta1_, beta2_, eps_;
   std::size_t t_ = 0;
@@ -83,6 +108,10 @@ class RmsPropOptimizer final : public FlatOptimizer {
                     double lr) override;
   std::string name() const override { return "rmsprop"; }
   std::unique_ptr<FlatOptimizer> clone() const override;
+
+ protected:
+  void save_slots(ByteWriter& w) const override;
+  void load_slots(ByteReader& r) override;
 
  private:
   double decay_, eps_;

@@ -14,6 +14,7 @@ ContainerPool::ContainerPool(std::size_t capacity, const LatencyModel& lat,
   m_cold_ = &m.counter(prefix + "cold_starts");
   m_warm_ = &m.counter(prefix + "warm_starts");
   m_prewarmed_ = &m.counter(prefix + "prewarmed");
+  m_kills_ = &m.counter(prefix + "kills");
   m_busy_ = &m.gauge(prefix + "busy");
 }
 
@@ -55,6 +56,21 @@ void ContainerPool::release(std::size_t container_id, double now) {
   s.warm_until = now + lat_.keep_alive_s;
   --busy_count_;
   m_busy_->set(static_cast<double>(busy_count_));
+}
+
+void ContainerPool::kill(std::size_t container_id) {
+  STELLARIS_CHECK_MSG(container_id < slots_.size(), "bad container id");
+  Slot& s = slots_[container_id];
+  if (s.state == State::kBusy) {
+    --busy_count_;
+    m_busy_->set(static_cast<double>(busy_count_));
+  }
+  if (s.state != State::kCold) {
+    ++kills_;
+    m_kills_->add();
+  }
+  s.state = State::kCold;
+  s.warm_until = -1.0;
 }
 
 std::size_t ContainerPool::prewarm(std::size_t n, double now) {

@@ -40,6 +40,14 @@ class ContainerPool {
   /// keep-alive window.
   void release(std::size_t container_id, double now);
 
+  /// Kill a container outright (crash or spot reclamation): whatever its
+  /// state, it goes cold immediately — no keep-alive, the runtime is gone.
+  /// Capacity is unchanged (the platform models replacement provisioning as
+  /// instantly available cold capacity). Safe on already-cold slots.
+  void kill(std::size_t container_id);
+
+  std::uint64_t kills() const { return kills_; }
+
   /// Warm up to `n` idle containers at `now` (subject to capacity). Returns
   /// how many were actually warmed. Pre-warm time is excluded from cost,
   /// matching the paper's cost model.
@@ -66,9 +74,11 @@ class ContainerPool {
   std::size_t busy_count_ = 0;
   std::uint64_t cold_starts_ = 0;
   std::uint64_t warm_starts_ = 0;
+  std::uint64_t kills_ = 0;
   obs::Counter* m_cold_;      // process-wide mirrors of the per-pool counts
   obs::Counter* m_warm_;
   obs::Counter* m_prewarmed_;
+  obs::Counter* m_kills_;
   obs::Gauge* m_busy_;
 };
 

@@ -27,13 +27,18 @@ const CostMeter::PerKind& CostMeter::bucket(FnKind kind) const {
 }
 
 void CostMeter::record(FnKind kind, double unit_price_per_s,
-                       double duration_s) {
+                       double duration_s, bool failed) {
   STELLARIS_CHECK_MSG(unit_price_per_s >= 0.0 && duration_s >= 0.0,
                       "negative price or duration");
   auto& b = bucket(kind);
   b.cost += unit_price_per_s * duration_s;
   b.seconds += duration_s;
   ++b.count;
+  if (failed) {
+    b.wasted_cost += unit_price_per_s * duration_s;
+    b.wasted_seconds += duration_s;
+    ++b.failed;
+  }
 }
 
 double CostMeter::cost(FnKind kind) const { return bucket(kind).cost; }
@@ -48,6 +53,26 @@ double CostMeter::busy_seconds(FnKind kind) const {
 
 std::uint64_t CostMeter::invocations(FnKind kind) const {
   return bucket(kind).count;
+}
+
+double CostMeter::wasted_cost(FnKind kind) const {
+  return bucket(kind).wasted_cost;
+}
+
+double CostMeter::total_wasted_cost() const {
+  return learner_.wasted_cost + parameter_.wasted_cost + actor_.wasted_cost;
+}
+
+double CostMeter::wasted_seconds(FnKind kind) const {
+  return bucket(kind).wasted_seconds;
+}
+
+std::uint64_t CostMeter::failed_invocations(FnKind kind) const {
+  return bucket(kind).failed;
+}
+
+std::uint64_t CostMeter::total_failed_invocations() const {
+  return learner_.failed + parameter_.failed + actor_.failed;
 }
 
 void CostMeter::reset() {

@@ -17,7 +17,12 @@ const char* fn_kind_name(FnKind kind);
 class CostMeter {
  public:
   /// Charge one invocation: unit price ($/s) × execution duration (s).
-  void record(FnKind kind, double unit_price_per_s, double duration_s);
+  /// Failed invocations (crashes, reclaimed VMs, cache errors) are billed
+  /// for the seconds they consumed before dying — the provider charges for
+  /// execution time, not for success — and additionally tracked as wasted
+  /// spend so fault sweeps can report the failure tax.
+  void record(FnKind kind, double unit_price_per_s, double duration_s,
+              bool failed = false);
 
   double cost(FnKind kind) const;
   double total_cost() const;
@@ -26,6 +31,13 @@ class CostMeter {
   double busy_seconds(FnKind kind) const;
   std::uint64_t invocations(FnKind kind) const;
 
+  /// Failure-tax accounting: spend / seconds / count of failed invocations.
+  double wasted_cost(FnKind kind) const;
+  double total_wasted_cost() const;
+  double wasted_seconds(FnKind kind) const;
+  std::uint64_t failed_invocations(FnKind kind) const;
+  std::uint64_t total_failed_invocations() const;
+
   void reset();
 
  private:
@@ -33,6 +45,9 @@ class CostMeter {
     double cost = 0.0;
     double seconds = 0.0;
     std::uint64_t count = 0;
+    double wasted_cost = 0.0;
+    double wasted_seconds = 0.0;
+    std::uint64_t failed = 0;
   };
   PerKind& bucket(FnKind kind);
   const PerKind& bucket(FnKind kind) const;

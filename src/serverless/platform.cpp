@@ -1,5 +1,7 @@
 #include "serverless/platform.hpp"
 
+#include <algorithm>
+
 #include "obs/obs.hpp"
 #include "util/error.hpp"
 #include "util/logging.hpp"
@@ -25,9 +27,42 @@ ServerlessPlatform::ServerlessPlatform(sim::Engine& engine,
       &m.counter("platform.invocations.parameter");
   m_invocations_[static_cast<int>(FnKind::kActor)] =
       &m.counter("platform.invocations.actor");
+  m_failed_invocations_ = &m.counter("platform.invocations_failed");
+  m_retries_ = &m.counter("platform.retries");
+  m_giveups_ = &m.counter("platform.retry_giveups");
   m_queue_wait_s_ = &m.histogram("platform.queue_wait_s", 0.0, 30.0, 120);
   m_gpu_queue_depth_ = &m.gauge("platform.queue_depth.gpu");
   m_actor_queue_depth_ = &m.gauge("platform.queue_depth.actor");
+
+  // Host table for spot-style reclamation: each VM of the cluster spec maps
+  // to a contiguous container-id range in its pool (GPU VMs host learner/
+  // parameter slots, CPU VMs host actor slots), in spec order.
+  std::size_t gpu_cursor = 0, actor_cursor = 0;
+  for (const auto& group : cluster_.vms) {
+    for (std::size_t i = 0; i < group.count; ++i) {
+      if (group.type.gpus > 0) {
+        const std::size_t n =
+            group.type.gpus * cluster_.learner_slots_per_gpu;
+        if (n > 0 && gpu_cursor + n <= gpu_pool_.capacity()) {
+          vm_hosts_.push_back({true, gpu_cursor, n, group.type.name});
+          gpu_cursor += n;
+        }
+      } else {
+        const std::size_t n = group.type.vcpus;
+        if (n > 0 && actor_cursor + n <= actor_pool_.capacity()) {
+          vm_hosts_.push_back({false, actor_cursor, n, group.type.name});
+          actor_cursor += n;
+        }
+      }
+    }
+  }
+}
+
+void ServerlessPlatform::set_fault_injector(fault::FaultInjector* injector) {
+  injector_ = injector;
+  if (injector_ && injector_->reclaims_enabled())
+    injector_->arm_reclaims(
+        [this](Rng& fault_rng) { reclaim_random_vm(fault_rng); });
 }
 
 ContainerPool& ServerlessPlatform::pool_for(FnKind kind) {
@@ -63,6 +98,67 @@ void ServerlessPlatform::invoke(const InvokeOptions& options, Callback cb) {
   try_dispatch(options.kind);
 }
 
+void ServerlessPlatform::invoke_retrying(const InvokeOptions& options,
+                                         const fault::RetryPolicy& policy,
+                                         Callback cb) {
+  struct Chain {
+    InvokeOptions options;
+    fault::RetryPolicy policy;
+    Callback cb;
+    double first_submit = 0.0;
+    std::size_t retries_done = 0;
+    double wait_total = 0.0;
+  };
+  auto chain = std::make_shared<Chain>();
+  chain->options = options;
+  chain->policy = policy;
+  chain->cb = std::move(cb);
+  chain->first_submit = engine_.now();
+
+  auto submit = std::make_shared<std::function<void()>>();
+  *submit = [this, chain, submit] {
+    invoke(chain->options, [this, chain, submit](const InvokeResult& r) {
+      InvokeResult final = r;
+      final.attempts = chain->retries_done + 1;
+      final.retry_wait_s = chain->wait_total;
+      if (r.ok) {
+        chain->cb(final);
+        return;
+      }
+      const std::size_t next_attempt = chain->retries_done + 1;
+      if (!chain->policy.attempt_allowed(next_attempt)) {
+        ++giveups_;
+        m_giveups_->add();
+        chain->cb(final);
+        return;
+      }
+      const double backoff = chain->policy.backoff_s(next_attempt, rng_);
+      if (chain->policy.deadline_s > 0.0 &&
+          engine_.now() + backoff - chain->first_submit >
+              chain->policy.deadline_s) {
+        final.error = fault::ErrorKind::kDeadline;
+        ++giveups_;
+        m_giveups_->add();
+        chain->cb(final);
+        return;
+      }
+      ++chain->retries_done;
+      chain->wait_total += backoff;
+      ++retries_;
+      m_retries_->add();
+      if (auto* tr = obs::trace())
+        tr->instant(tr->track(trace_tag_ + "/faults"), "retry", "fault",
+                    engine_.now(),
+                    {{"kind", fn_kind_name(chain->options.kind)},
+                     {"error", fault::error_kind_name(r.error)},
+                     {"retry", chain->retries_done},
+                     {"backoff_s", backoff}});
+      engine_.schedule_after(backoff, [submit] { (*submit)(); });
+    });
+  };
+  (*submit)();
+}
+
 void ServerlessPlatform::try_dispatch(FnKind kind) {
   auto& queue = queue_for(kind);
   auto& pool = pool_for(kind);
@@ -89,18 +185,23 @@ void ServerlessPlatform::trace_invocation(const Pending& pending,
   const obs::TrackId tid = tr->track(track);
   const char* name = pending.options.span_name ? pending.options.span_name
                                                : fn_kind_name(kind);
-  tr->complete(
-      tid, name, fn_kind_name(kind), result.start_time_s, result.end_time_s,
-      {{"cold", result.cold},
-       {"queue_wait_s", result.start_time_s - result.submit_time_s},
-       {"billed_s", result.billed_s},
-       {"cost_usd", result.cost_usd},
-       {"payload_in_bytes", pending.options.payload_in_bytes},
-       {"payload_out_bytes", pending.options.payload_out_bytes}});
+  obs::TraceArgs args{{"cold", result.cold},
+                      {"queue_wait_s", result.start_time_s - result.submit_time_s},
+                      {"billed_s", result.billed_s},
+                      {"cost_usd", result.cost_usd},
+                      {"payload_in_bytes", pending.options.payload_in_bytes},
+                      {"payload_out_bytes", pending.options.payload_out_bytes}};
+  if (!result.ok)
+    args.emplace_back("error", fault::error_kind_name(result.error));
+  tr->complete(tid, name, fn_kind_name(kind), result.start_time_s,
+               result.end_time_s, std::move(args));
   // Nested phase spans: container start, input fetch, compute, output write.
+  // For a crashed invocation the phases past the crash point never ran; the
+  // parent span's `error` arg marks it, and phases are clipped to the end.
   double t = result.start_time_s + latency_.invoke_overhead_s;
   auto child = [&](const char* cname, double dur) {
-    if (dur > 0.0) tr->complete(tid, cname, "phase", t, t + dur);
+    const double end = std::min(t + dur, result.end_time_s);
+    if (dur > 0.0 && end > t) tr->complete(tid, cname, "phase", t, end);
     t += dur;
   };
   child(result.cold ? "cold_start" : "warm_start", result.start_latency_s);
@@ -129,16 +230,36 @@ void ServerlessPlatform::dispatch(Pending pending) {
   result.start_latency_s = acq->start_latency_s;
   if (pending.options.on_start) pending.options.on_start(result.start_time_s);
 
-  const double transfer_in = latency_.transfer_s(
+  // Fault plane verdict: the injector draws from its own RNG stream, so a
+  // null injector (or a no-fault verdict) leaves the latency-jitter stream
+  // below bit-identical to a faultless build.
+  fault::InvocationFault fate;
+  if (injector_) fate = injector_->on_invocation(static_cast<int>(kind));
+
+  double transfer_in = latency_.transfer_s(
       pending.options.tier, pending.options.payload_in_bytes);
   const double transfer_out = latency_.transfer_s(
       pending.options.tier, pending.options.payload_out_bytes);
+  transfer_in += fate.cache_delay_s;
   result.transfer_s = transfer_in + transfer_out;
-  result.compute_s = latency_.jittered(pending.options.compute_s, rng_);
+  result.compute_s =
+      latency_.jittered(pending.options.compute_s, rng_) * fate.straggler_mult;
 
-  const double duration = latency_.invoke_overhead_s +
-                          result.start_latency_s + result.transfer_s +
-                          result.compute_s;
+  const double full_duration = latency_.invoke_overhead_s +
+                               result.start_latency_s + result.transfer_s +
+                               result.compute_s;
+  double duration = full_duration;
+  if (fate.fail == fault::ErrorKind::kCrash) {
+    // The container dies after completing fail_frac of its work; the time
+    // consumed up to the crash is billed.
+    duration = full_duration * fate.fail_frac;
+    result.ok = false;
+    result.error = fault::ErrorKind::kCrash;
+  } else if (fate.fail == fault::ErrorKind::kCacheError) {
+    // The function runs, but a cache operation fails: full duration burned.
+    result.ok = false;
+    result.error = fault::ErrorKind::kCacheError;
+  }
   result.end_time_s = engine_.now() + duration;
   result.billed_s = duration;
   result.cost_usd = unit_price(kind) * result.billed_s;
@@ -148,16 +269,76 @@ void ServerlessPlatform::dispatch(Pending pending) {
   trace_invocation(pending, result, acq->container_id, transfer_in,
                    transfer_out);
 
-  const std::size_t container = acq->container_id;
-  auto cb = std::move(pending.cb);
-  engine_.schedule_after(duration, [this, kind, container, result,
-                                    cb = std::move(cb)] {
-    costs_.record(kind, unit_price(kind), result.billed_s);
-    if (kind != FnKind::kActor) learner_busy_s_ += result.billed_s;
-    pool_for(kind).release(container, engine_.now());
-    if (cb) cb(result);
-    try_dispatch(kind);
-  });
+  const std::uint64_t token = next_token_++;
+  inflight_.emplace(token, InFlight{kind, acq->container_id, result,
+                                    std::move(pending.cb)});
+  engine_.schedule_after(duration, [this, token] { complete(token); });
+}
+
+void ServerlessPlatform::complete(std::uint64_t token) {
+  auto it = inflight_.find(token);
+  if (it == inflight_.end()) return;  // already failed by a VM reclamation
+  InFlight inflight = std::move(it->second);
+  inflight_.erase(it);
+  finish_inflight(token, std::move(inflight), /*killed=*/false);
+}
+
+void ServerlessPlatform::finish_inflight(std::uint64_t token,
+                                         InFlight inflight, bool killed) {
+  (void)token;
+  const FnKind kind = inflight.kind;
+  costs_.record(kind, unit_price(kind), inflight.result.billed_s,
+                !inflight.result.ok);
+  if (kind != FnKind::kActor) learner_busy_s_ += inflight.result.billed_s;
+  if (killed || inflight.result.error == fault::ErrorKind::kCrash)
+    pool_for(kind).kill(inflight.container);  // the container died with it
+  else
+    pool_for(kind).release(inflight.container, engine_.now());
+  if (!inflight.result.ok) m_failed_invocations_->add();
+  if (inflight.cb) inflight.cb(inflight.result);
+  try_dispatch(kind);
+}
+
+void ServerlessPlatform::reclaim_random_vm(Rng& fault_rng) {
+  if (vm_hosts_.empty()) return;
+  const VmHost& host = vm_hosts_[fault_rng.uniform_int(vm_hosts_.size())];
+  const double now = engine_.now();
+
+  // Fail every invocation running on the host, billed for the time consumed.
+  std::vector<std::uint64_t> victims;
+  for (const auto& [token, inflight] : inflight_) {
+    const bool on_gpu_pool = inflight.kind != FnKind::kActor;
+    if (on_gpu_pool == host.gpu_pool &&
+        inflight.container >= host.first_slot &&
+        inflight.container < host.first_slot + host.slot_count)
+      victims.push_back(token);
+  }
+  LOG_DEBUG << "reclaiming VM " << host.vm_name << " ("
+            << (host.gpu_pool ? "gpu" : "actor") << " slots "
+            << host.first_slot << "+" << host.slot_count << ") at t=" << now
+            << ": killing " << victims.size() << " invocations";
+  if (auto* tr = obs::trace())
+    tr->instant(tr->track(trace_tag_ + "/faults"), "vm_reclaim", "fault", now,
+                {{"vm", host.vm_name},
+                 {"pool", host.gpu_pool ? "gpu" : "actor"},
+                 {"killed_invocations", victims.size()}});
+  for (std::uint64_t token : victims) {
+    auto it = inflight_.find(token);
+    InFlight inflight = std::move(it->second);
+    inflight_.erase(it);
+    inflight.result.end_time_s = now;
+    inflight.result.billed_s =
+        std::max(0.0, now - inflight.result.start_time_s);
+    inflight.result.cost_usd =
+        unit_price(inflight.kind) * inflight.result.billed_s;
+    inflight.result.ok = false;
+    inflight.result.error = fault::ErrorKind::kVmReclaim;
+    finish_inflight(token, std::move(inflight), /*killed=*/true);
+  }
+  // Warm (idle) containers on the host die too.
+  auto& pool = host.gpu_pool ? gpu_pool_ : actor_pool_;
+  for (std::size_t i = 0; i < host.slot_count; ++i)
+    pool.kill(host.first_slot + i);
 }
 
 std::size_t ServerlessPlatform::prewarm_learners(std::size_t n) {

@@ -5,14 +5,26 @@
 // GPUs × slots-per-GPU); actors get the CPU-core pool. Invocations that
 // find the pool full queue FIFO and dispatch as slots free — the queueing
 // that makes learner count vs. learning time non-linear in Fig. 3(a).
+//
+// Failure plane (src/fault): when a FaultInjector is attached, every
+// dispatch consults it — invocations can crash partway through (billed for
+// the seconds they consumed), run slow on straggler hosts, or fail their
+// cache operations; whole VMs can be reclaimed spot-style, killing every
+// container (busy or warm) on that host. `invoke_retrying` layers bounded
+// exponential-backoff retries in virtual time on top. Without an injector,
+// behaviour and results are bit-identical to the pre-fault platform.
 #pragma once
 
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <map>
 #include <memory>
 #include <string>
+#include <vector>
 
+#include "fault/fault_injector.hpp"
+#include "fault/retry_policy.hpp"
 #include "obs/metrics.hpp"
 #include "serverless/cluster.hpp"
 #include "serverless/container_pool.hpp"
@@ -35,6 +47,9 @@ class ServerlessPlatform {
     DataTier tier = DataTier::kCache;
     /// Fires when the container is acquired (after any queueing) — the
     /// moment a function "pulls the latest policy" in the paper's workflow.
+    /// Under invoke_retrying this fires once per attempt, so a retried
+    /// function naturally re-pulls a FRESH policy snapshot (retries do not
+    /// silently inflate staleness).
     std::function<void(double start_time_s)> on_start;
     /// Label for this invocation's trace span (static string); falls back
     /// to the function-kind name when unset.
@@ -51,11 +66,32 @@ class ServerlessPlatform {
     double compute_s = 0.0;
     double billed_s = 0.0;
     double cost_usd = 0.0;
+    // Failure outcome. Failed invocations still bill the time they consumed.
+    bool ok = true;
+    fault::ErrorKind error = fault::ErrorKind::kNone;
+    /// Set by invoke_retrying: attempts made (1 = no retry) and total
+    /// virtual time spent waiting in backoff between them.
+    std::size_t attempts = 1;
+    double retry_wait_s = 0.0;
   };
   using Callback = std::function<void(const InvokeResult&)>;
 
-  /// Submit an invocation; `cb` fires (in virtual time) at completion.
+  /// Submit an invocation; `cb` fires (in virtual time) at completion —
+  /// with result.ok = false if the fault plane failed it.
   void invoke(const InvokeOptions& options, Callback cb);
+
+  /// Submit with recovery: on failure, retries with exponential backoff +
+  /// jitter (virtual time) per `policy`, re-entering the dispatch queue
+  /// each time. `cb` fires once, with the final outcome; `result.attempts`
+  /// and `result.retry_wait_s` describe the chain. Costs of every failed
+  /// attempt stay on the meter.
+  void invoke_retrying(const InvokeOptions& options,
+                       const fault::RetryPolicy& policy, Callback cb);
+
+  /// Attach the fault plane (nullptr detaches). Registers this platform as
+  /// the injector's reclamation executor if the plan includes reclaims.
+  void set_fault_injector(fault::FaultInjector* injector);
+  fault::FaultInjector* fault_injector() { return injector_; }
 
   /// Pre-warm up to n learner-pool containers (free of charge, per the
   /// paper's cost model).
@@ -77,6 +113,12 @@ class ServerlessPlatform {
   std::uint64_t learner_cold_starts() const { return gpu_pool_.cold_starts(); }
   std::uint64_t learner_warm_starts() const { return gpu_pool_.warm_starts(); }
   std::size_t queued(FnKind kind) const;
+  std::uint64_t retries() const { return retries_; }
+  std::uint64_t giveups() const { return giveups_; }
+  std::size_t inflight() const { return inflight_.size(); }
+
+  /// Number of reclaimable VMs (hosts) the cluster maps to.
+  std::size_t vm_count() const { return vm_hosts_.size(); }
 
  private:
   struct Pending {
@@ -84,12 +126,30 @@ class ServerlessPlatform {
     Callback cb;
     double submit_time;
   };
+  /// A dispatched, not-yet-completed invocation — the handle a VM
+  /// reclamation uses to fail work mid-flight.
+  struct InFlight {
+    FnKind kind = FnKind::kLearner;
+    std::size_t container = 0;
+    InvokeResult result;
+    Callback cb;
+  };
+  /// One reclaimable host: a contiguous container-id range in one pool.
+  struct VmHost {
+    bool gpu_pool = false;
+    std::size_t first_slot = 0;
+    std::size_t slot_count = 0;
+    std::string vm_name;
+  };
 
   ContainerPool& pool_for(FnKind kind);
   std::deque<Pending>& queue_for(FnKind kind);
   double unit_price(FnKind kind) const;
   void try_dispatch(FnKind kind);
   void dispatch(Pending pending);
+  void complete(std::uint64_t token);
+  void finish_inflight(std::uint64_t token, InFlight inflight, bool killed);
+  void reclaim_random_vm(Rng& fault_rng);
   void trace_invocation(const Pending& pending, const InvokeResult& result,
                         std::size_t container, double transfer_in_s,
                         double transfer_out_s) const;
@@ -107,10 +167,21 @@ class ServerlessPlatform {
   CostMeter costs_;
   double learner_busy_s_ = 0.0;
 
+  // Fault plane.
+  fault::FaultInjector* injector_ = nullptr;
+  std::vector<VmHost> vm_hosts_;
+  std::uint64_t next_token_ = 0;
+  std::map<std::uint64_t, InFlight> inflight_;
+  std::uint64_t retries_ = 0;
+  std::uint64_t giveups_ = 0;
+
   // Observability: run-scoped trace tag (captured at construction so all of
   // this platform's tracks group under the owning run) and metric handles.
   std::string trace_tag_;
   obs::Counter* m_invocations_[3];      // indexed by FnKind
+  obs::Counter* m_failed_invocations_;
+  obs::Counter* m_retries_;
+  obs::Counter* m_giveups_;
   obs::FixedHistogram* m_queue_wait_s_;
   obs::Gauge* m_gpu_queue_depth_;
   obs::Gauge* m_actor_queue_depth_;

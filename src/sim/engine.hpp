@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <queue>
 #include <vector>
 
@@ -21,6 +22,14 @@ using SimTime = double;
 
 class Engine {
  public:
+  /// Cancellation handle for events scheduled via the *_cancellable
+  /// variants: setting `*handle = true` before the event's timestamp makes
+  /// the engine discard it WITHOUT advancing virtual time to it. This is
+  /// how periodic timers (fault reclamation arrivals, retry deadlines) are
+  /// torn down when a run finishes — a dead timer far in the future must
+  /// not stretch the run's measured makespan.
+  using CancelHandle = std::shared_ptr<bool>;
+
   SimTime now() const { return now_; }
 
   /// Schedule `fn` at absolute virtual time `t` (>= now).
@@ -29,7 +38,13 @@ class Engine {
   /// Schedule `fn` `delay` seconds from now.
   void schedule_after(SimTime delay, std::function<void()> fn);
 
-  /// Execute the single earliest event; returns false if none remain.
+  /// Like schedule_at, but returns a handle that cancels the event.
+  CancelHandle schedule_cancellable_at(SimTime t, std::function<void()> fn);
+  CancelHandle schedule_cancellable_after(SimTime delay,
+                                          std::function<void()> fn);
+
+  /// Execute the earliest live event (cancelled events are discarded
+  /// silently, without advancing the clock); returns false if none remain.
   bool step();
 
   /// Run until the event queue is empty.
@@ -46,6 +61,7 @@ class Engine {
     SimTime t;
     std::uint64_t seq;
     std::function<void()> fn;
+    CancelHandle cancelled;  ///< null for ordinary (non-cancellable) events
   };
   struct Later {
     bool operator()(const Event& a, const Event& b) const {

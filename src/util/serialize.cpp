@@ -44,6 +44,7 @@ void ByteWriter::put_string(const std::string& s) {
 void ByteWriter::put_f32_vector(const std::vector<float>& v) {
   buf_.push_back(wire::kF32Vec);
   append_raw(buf_, static_cast<std::uint64_t>(v.size()));
+  if (v.empty()) return;  // null data() + 0 is UB in pointer arithmetic
   const auto* p = reinterpret_cast<const std::uint8_t*>(v.data());
   buf_.insert(buf_.end(), p, p + v.size() * sizeof(float));
 }
@@ -51,6 +52,7 @@ void ByteWriter::put_f32_vector(const std::vector<float>& v) {
 void ByteWriter::put_f64_vector(const std::vector<double>& v) {
   buf_.push_back(wire::kF64Vec);
   append_raw(buf_, static_cast<std::uint64_t>(v.size()));
+  if (v.empty()) return;
   const auto* p = reinterpret_cast<const std::uint8_t*>(v.data());
   buf_.insert(buf_.end(), p, p + v.size() * sizeof(double));
 }
@@ -58,6 +60,7 @@ void ByteWriter::put_f64_vector(const std::vector<double>& v) {
 void ByteWriter::put_u64_vector(const std::vector<std::uint64_t>& v) {
   buf_.push_back(wire::kU64Vec);
   append_raw(buf_, static_cast<std::uint64_t>(v.size()));
+  if (v.empty()) return;
   const auto* p = reinterpret_cast<const std::uint8_t*>(v.data());
   buf_.insert(buf_.end(), p, p + v.size() * sizeof(std::uint64_t));
 }
@@ -111,7 +114,7 @@ std::vector<float> ByteReader::get_f32_vector() {
   const auto n = raw<std::uint64_t>();
   need(n * sizeof(float));
   std::vector<float> v(n);
-  std::memcpy(v.data(), data_ + pos_, n * sizeof(float));
+  if (n != 0) std::memcpy(v.data(), data_ + pos_, n * sizeof(float));
   pos_ += n * sizeof(float);
   return v;
 }
@@ -121,7 +124,7 @@ std::vector<double> ByteReader::get_f64_vector() {
   const auto n = raw<std::uint64_t>();
   need(n * sizeof(double));
   std::vector<double> v(n);
-  std::memcpy(v.data(), data_ + pos_, n * sizeof(double));
+  if (n != 0) std::memcpy(v.data(), data_ + pos_, n * sizeof(double));
   pos_ += n * sizeof(double);
   return v;
 }
@@ -131,7 +134,8 @@ std::vector<std::uint64_t> ByteReader::get_u64_vector() {
   const auto n = raw<std::uint64_t>();
   need(n * sizeof(std::uint64_t));
   std::vector<std::uint64_t> v(n);
-  std::memcpy(v.data(), data_ + pos_, n * sizeof(std::uint64_t));
+  if (n != 0)
+    std::memcpy(v.data(), data_ + pos_, n * sizeof(std::uint64_t));
   pos_ += n * sizeof(std::uint64_t);
   return v;
 }

@@ -160,5 +160,101 @@ TEST(Cache, ClearEmptiesStore) {
   EXPECT_EQ(cache.resident_bytes(), 0u);
 }
 
+// ---- Virtual-time reads (simulation-driven callers) ----
+
+TEST(Cache, VirtualBlockingGetHitsImmediately) {
+  DistributedCache cache;
+  sim::Engine engine;
+  cache.put("k", bytes_of({1, 2}));
+  const auto v = cache.get_blocking("k", 0, engine, 5.0);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->version, 1u);
+  EXPECT_DOUBLE_EQ(engine.now(), 0.0);  // no virtual time consumed
+}
+
+TEST(Cache, VirtualBlockingGetRespectsMinVersion) {
+  DistributedCache cache;
+  sim::Engine engine;
+  cache.put("k", bytes_of({1}));
+  // Version 1 is not > 1: deterministic miss, counted as a timeout.
+  EXPECT_FALSE(cache.get_blocking("k", 1, engine, 5.0).has_value());
+  cache.put("k", bytes_of({2}));
+  const auto v = cache.get_blocking("k", 1, engine, 5.0);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->version, 2u);
+}
+
+TEST(Cache, AsyncGetFiresWhenKeyIsPublished) {
+  DistributedCache cache;
+  sim::Engine engine;
+  std::optional<CacheValue> got;
+  double fired_at = -1.0;
+  cache.get_async("k", 0, engine, 10.0, [&](auto v) {
+    got = std::move(v);
+    fired_at = engine.now();
+  });
+  EXPECT_EQ(cache.pending_waiters(), 1u);
+  engine.schedule_at(2.0, [&] { cache.put("k", bytes_of({7})); });
+  engine.run();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->data, bytes_of({7}));
+  EXPECT_DOUBLE_EQ(fired_at, 2.0);  // same timestamp as the put
+  EXPECT_EQ(cache.pending_waiters(), 0u);
+}
+
+TEST(Cache, AsyncGetAlreadySatisfiedFiresAtCurrentTime) {
+  DistributedCache cache;
+  sim::Engine engine;
+  cache.put("k", bytes_of({1}));
+  bool fired = false;
+  cache.get_async("k", 0, engine, 10.0, [&](auto v) {
+    fired = true;
+    EXPECT_TRUE(v.has_value());
+  });
+  EXPECT_FALSE(fired);  // delivered via the engine, not inline
+  engine.run();
+  EXPECT_TRUE(fired);
+  EXPECT_DOUBLE_EQ(engine.now(), 0.0);
+}
+
+TEST(Cache, AsyncGetTimesOutAtVirtualDeadline) {
+  DistributedCache cache;
+  sim::Engine engine;
+  std::optional<CacheValue> got = CacheValue{};  // sentinel
+  double fired_at = -1.0;
+  cache.get_async("missing", 0, engine, 3.0, [&](auto v) {
+    got = std::move(v);
+    fired_at = engine.now();
+  });
+  engine.run();
+  EXPECT_FALSE(got.has_value());
+  EXPECT_DOUBLE_EQ(fired_at, 3.0);
+  EXPECT_EQ(cache.pending_waiters(), 0u);
+}
+
+TEST(Cache, AsyncGetPutCancelsTheDeadline) {
+  DistributedCache cache;
+  sim::Engine engine;
+  int fires = 0;
+  cache.get_async("k", 0, engine, 3.0, [&](auto) { ++fires; });
+  engine.schedule_at(1.0, [&] { cache.put("k", bytes_of({1})); });
+  engine.run();
+  EXPECT_EQ(fires, 1);                  // deadline did not also fire
+  EXPECT_DOUBLE_EQ(engine.now(), 1.0);  // nor did it drag the clock to 3.0
+}
+
+TEST(Cache, PutWakesOnlyMatchingWaiters) {
+  DistributedCache cache;
+  sim::Engine engine;
+  int a_fires = 0, b_fires = 0;
+  cache.get_async("a", 0, engine, 0.0, [&](auto) { ++a_fires; });
+  cache.get_async("b", 0, engine, 0.0, [&](auto) { ++b_fires; });
+  cache.put("a", bytes_of({1}));
+  engine.run();
+  EXPECT_EQ(a_fires, 1);
+  EXPECT_EQ(b_fires, 0);
+  EXPECT_EQ(cache.pending_waiters(), 1u);
+}
+
 }  // namespace
 }  // namespace stellaris::cache

@@ -1,0 +1,156 @@
+// Checkpoint round-trips: the parameter-function recovery path must restore
+// weights AND optimizer state bit-identically, or a post-restore run would
+// silently diverge from an unfaulted one.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "core/parameter_function.hpp"
+#include "core/policy_io.hpp"
+#include "nn/optimizer.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "util/serialize.hpp"
+
+namespace stellaris {
+namespace {
+
+std::vector<float> random_params(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<float> p(n);
+  for (auto& x : p) x = static_cast<float>(rng.normal());
+  return p;
+}
+
+TEST(CheckpointIo, EncodeDecodeRoundTripIsBitIdentical) {
+  core::Checkpoint ckpt;
+  ckpt.params = random_params(257, 3);
+  ckpt.version = 12345;
+  ckpt.applied_gradients = 678;
+  ckpt.optimizer_state = {0x00, 0xff, 0x7f, 0x80, 0x01};
+  const auto bytes = core::encode_checkpoint(ckpt);
+  const auto back = core::decode_checkpoint(bytes);
+  EXPECT_EQ(back.params, ckpt.params);  // exact float equality
+  EXPECT_EQ(back.version, ckpt.version);
+  EXPECT_EQ(back.applied_gradients, ckpt.applied_gradients);
+  EXPECT_EQ(back.optimizer_state, ckpt.optimizer_state);
+}
+
+template <typename Opt, typename... Args>
+void check_optimizer_round_trip(Args... args) {
+  // Drive one optimizer a few steps, snapshot it, drive a twin restored
+  // from the snapshot, and demand bit-identical trajectories.
+  Opt original(args...);
+  auto params = random_params(64, 7);
+  Rng rng(9);
+  auto random_grad = [&rng] {
+    std::vector<float> g(64);
+    for (auto& x : g) x = static_cast<float>(rng.normal());
+    return g;
+  };
+  for (int i = 0; i < 5; ++i) original.step(params, random_grad());
+
+  ByteWriter w;
+  original.save_state(w);
+  Opt restored(args...);
+  ByteReader r(w.bytes());
+  restored.load_state(r);
+
+  auto params_a = params, params_b = params;
+  for (int i = 0; i < 5; ++i) {
+    const auto g = random_grad();
+    original.step(params_a, g);
+    restored.step(params_b, g);
+    ASSERT_EQ(params_a, params_b);  // exact float equality, every step
+  }
+}
+
+TEST(CheckpointIo, SgdStateRoundTrips) {
+  check_optimizer_round_trip<nn::SgdOptimizer>(0.01, 0.9);
+}
+
+TEST(CheckpointIo, AdamStateRoundTrips) {
+  check_optimizer_round_trip<nn::AdamOptimizer>(0.001, 0.9, 0.999, 1e-8);
+}
+
+TEST(CheckpointIo, RmsPropStateRoundTrips) {
+  check_optimizer_round_trip<nn::RmsPropOptimizer>(0.01, 0.99, 1e-8);
+}
+
+TEST(CheckpointIo, LoadRejectsWrongOptimizerKind) {
+  nn::AdamOptimizer adam(0.001);
+  ByteWriter w;
+  adam.save_state(w);
+  nn::SgdOptimizer sgd(0.001);
+  ByteReader r(w.bytes());
+  EXPECT_THROW(sgd.load_state(r), Error);
+}
+
+TEST(CheckpointIo, ParameterFunctionRestoresExactTrainingState) {
+  core::ParameterFunction::Config cfg;
+  cfg.optimizer = "adam";
+  auto make_item = [](std::vector<float> grad, std::uint64_t pulled) {
+    core::GradientQueue::Item it;
+    it.msg.grad = std::move(grad);
+    it.msg.pulled_version = pulled;
+    it.msg.mean_ratio = 1.0;
+    return it;
+  };
+
+  core::ParameterFunction pf(random_params(32, 1), cfg);
+  Rng rng(4);
+  auto random_grad = [&rng] {
+    std::vector<float> g(32);
+    for (auto& x : g) x = static_cast<float>(rng.normal());
+    return g;
+  };
+  for (int i = 0; i < 4; ++i)
+    pf.aggregate({make_item(random_grad(), pf.version())});
+
+  // Snapshot, then let the "original" continue while a twin restores.
+  const core::Checkpoint ckpt = pf.serialize_state();
+  core::ParameterFunction twin(random_params(32, 99), cfg);  // junk init
+  twin.restore_state(ckpt);
+  EXPECT_EQ(twin.version(), pf.version());
+  EXPECT_EQ(twin.params(), pf.params());
+
+  for (int i = 0; i < 4; ++i) {
+    const auto g = random_grad();
+    pf.aggregate({make_item(g, pf.version())});
+    twin.aggregate({make_item(g, twin.version())});
+    ASSERT_EQ(pf.params(), twin.params());  // optimizer state matched too
+  }
+}
+
+TEST(CheckpointIo, ParameterFunctionRejectsWrongDimension) {
+  core::ParameterFunction::Config cfg;
+  core::ParameterFunction pf(random_params(16, 1), cfg);
+  core::Checkpoint ckpt = pf.serialize_state();
+  ckpt.params.resize(8);
+  EXPECT_THROW(pf.restore_state(ckpt), Error);
+}
+
+TEST(CheckpointIo, RestoreKeepsVersionMonotone) {
+  // aggregate() asserts version_ >= pulled_version of incoming gradients;
+  // restoring an OLDER checkpoint must not rewind the public version.
+  core::ParameterFunction::Config cfg;
+  core::ParameterFunction pf(random_params(8, 1), cfg);
+  auto item = [&] {
+    core::GradientQueue::Item it;
+    it.msg.grad = std::vector<float>(8, 0.1f);
+    it.msg.pulled_version = pf.version();
+    it.msg.mean_ratio = 1.0;
+    return it;
+  };
+  pf.aggregate({item()});
+  const auto old_ckpt = pf.serialize_state();  // version 1
+  pf.aggregate({item()});
+  pf.aggregate({item()});
+  ASSERT_EQ(pf.version(), 3u);
+  pf.restore_state(old_ckpt);
+  EXPECT_EQ(pf.version(), 3u);  // weights rewind; the counter does not
+}
+
+}  // namespace
+}  // namespace stellaris

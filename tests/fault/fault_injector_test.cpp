@@ -1,0 +1,189 @@
+#include "fault/fault_injector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace stellaris::fault {
+namespace {
+
+// FnKind integer values (the injector stays below the serverless layer).
+constexpr int kLearner = 0;
+constexpr int kActor = 2;
+
+TEST(FaultInjector, ZeroFaultPlanIsANoOp) {
+  sim::Engine engine;
+  FaultInjector injector(engine, FaultPlan{});
+  for (int i = 0; i < 100; ++i) {
+    const auto fate = injector.on_invocation(kLearner);
+    EXPECT_EQ(fate.fail, ErrorKind::kNone);
+    EXPECT_DOUBLE_EQ(fate.straggler_mult, 1.0);
+    EXPECT_DOUBLE_EQ(fate.cache_delay_s, 0.0);
+  }
+  EXPECT_EQ(injector.crashes_injected(), 0u);
+  EXPECT_EQ(injector.stragglers_injected(), 0u);
+  EXPECT_EQ(injector.cache_faults_injected(), 0u);
+  EXPECT_FALSE(injector.reclaims_enabled());
+}
+
+TEST(FaultInjector, SamePlanSameSeedReplaysIdentically) {
+  FaultPlan plan;
+  plan.config.crash_prob = 0.3;
+  plan.config.straggler_prob = 0.2;
+  plan.config.cache_delay_prob = 0.1;
+  auto run_once = [&] {
+    sim::Engine engine;
+    FaultInjector injector(engine, plan);
+    std::vector<InvocationFault> fates;
+    for (int i = 0; i < 200; ++i) fates.push_back(injector.on_invocation(kLearner));
+    return fates;
+  };
+  const auto a = run_once();
+  const auto b = run_once();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].fail, b[i].fail);
+    EXPECT_DOUBLE_EQ(a[i].fail_frac, b[i].fail_frac);
+    EXPECT_DOUBLE_EQ(a[i].straggler_mult, b[i].straggler_mult);
+    EXPECT_DOUBLE_EQ(a[i].cache_delay_s, b[i].cache_delay_s);
+  }
+}
+
+TEST(FaultInjector, DifferentSeedsDiverge) {
+  FaultPlan a_plan, b_plan;
+  a_plan.config.crash_prob = b_plan.config.crash_prob = 0.5;
+  a_plan.config.seed = 1;
+  b_plan.config.seed = 2;
+  sim::Engine engine;
+  FaultInjector a(engine, a_plan), b(engine, b_plan);
+  bool diverged = false;
+  for (int i = 0; i < 64 && !diverged; ++i)
+    diverged = a.on_invocation(kLearner).fail != b.on_invocation(kLearner).fail;
+  EXPECT_TRUE(diverged);
+}
+
+TEST(FaultInjector, ScriptedTrapFiresOnceAtItsTime) {
+  FaultPlan plan;
+  plan.schedule.push_back({2.0, FaultKind::kCrash, kLearner, 0.25});
+  sim::Engine engine;
+  FaultInjector injector(engine, plan);
+
+  // Before the trap's time: nothing.
+  EXPECT_EQ(injector.on_invocation(kLearner).fail, ErrorKind::kNone);
+
+  engine.schedule_at(2.5, [] {});
+  engine.run();
+
+  // Wrong fn_kind: the trap stays armed.
+  EXPECT_EQ(injector.on_invocation(kActor).fail, ErrorKind::kNone);
+  // Matching invocation: fires with the scripted crash fraction...
+  const auto fate = injector.on_invocation(kLearner);
+  EXPECT_EQ(fate.fail, ErrorKind::kCrash);
+  EXPECT_DOUBLE_EQ(fate.fail_frac, 0.25);
+  // ...exactly once.
+  EXPECT_EQ(injector.on_invocation(kLearner).fail, ErrorKind::kNone);
+  EXPECT_EQ(injector.crashes_injected(), 1u);
+}
+
+TEST(FaultInjector, ScriptedStragglerAndCacheTrapsCompose) {
+  FaultPlan plan;
+  plan.schedule.push_back({0.0, FaultKind::kStraggler, -1, 3.0});
+  plan.schedule.push_back({0.0, FaultKind::kCacheDelay, -1, 0.2});
+  sim::Engine engine;
+  FaultInjector injector(engine, plan);
+  const auto fate = injector.on_invocation(kLearner);
+  EXPECT_EQ(fate.fail, ErrorKind::kNone);
+  EXPECT_DOUBLE_EQ(fate.straggler_mult, 3.0);
+  EXPECT_DOUBLE_EQ(fate.cache_delay_s, 0.2);
+  EXPECT_EQ(injector.stragglers_injected(), 1u);
+}
+
+TEST(FaultInjector, PoissonReclaimsFireAndDisarmStopsThem) {
+  FaultPlan plan;
+  plan.config.reclaim_rate_per_hour = 3600.0;  // ~1/s
+  sim::Engine engine;
+  FaultInjector injector(engine, plan);
+  ASSERT_TRUE(injector.reclaims_enabled());
+  std::uint64_t fired = 0;
+  injector.arm_reclaims([&](Rng&) { ++fired; });
+  engine.run_until(30.0);
+  EXPECT_GT(fired, 0u);
+  EXPECT_EQ(injector.reclaims_fired(), fired);
+
+  // Disarm cancels the pending self-rescheduling timer: the queue drains
+  // without the clock being dragged to the next arrival.
+  injector.disarm();
+  const double t = engine.now();
+  const std::uint64_t before = injector.reclaims_fired();
+  engine.run();
+  EXPECT_EQ(injector.reclaims_fired(), before);
+  EXPECT_DOUBLE_EQ(engine.now(), t);
+}
+
+TEST(FaultInjector, ScheduledReclaimFiresAtExactTime) {
+  FaultPlan plan;
+  plan.schedule.push_back({5.0, FaultKind::kVmReclaim, -1, 0.0});
+  sim::Engine engine;
+  FaultInjector injector(engine, plan);
+  double fired_at = -1.0;
+  injector.arm_reclaims([&](Rng&) { fired_at = engine.now(); });
+  engine.run();
+  EXPECT_DOUBLE_EQ(fired_at, 5.0);
+  EXPECT_EQ(injector.reclaims_fired(), 1u);
+}
+
+TEST(SimulateRetries, NoFaultsPassThrough) {
+  Rng rng(3);
+  const auto out = simulate_retries(1.5, FaultConfig{}, RetryPolicy{}, rng);
+  EXPECT_TRUE(out.ok);
+  EXPECT_EQ(out.attempts, 1u);
+  EXPECT_DOUBLE_EQ(out.elapsed_s, 1.5);
+  EXPECT_DOUBLE_EQ(out.wasted_s, 0.0);
+}
+
+TEST(SimulateRetries, FailedAttemptsAddElapsedAndWaste) {
+  FaultConfig cfg;
+  cfg.crash_prob = 0.5;
+  RetryPolicy policy;
+  policy.jitter_frac = 0.0;
+  Rng rng(11);
+  double total_elapsed = 0.0;
+  bool saw_retry = false;
+  for (int i = 0; i < 200; ++i) {
+    const auto out = simulate_retries(1.0, cfg, policy, rng);
+    total_elapsed += out.elapsed_s;
+    if (out.attempts > 1) {
+      saw_retry = true;
+      if (out.ok) {
+        // n-1 failed attempts (partial) + backoffs + 1 full success.
+        EXPECT_GT(out.elapsed_s, 1.0);
+        EXPECT_GT(out.wasted_s, 0.0);
+      }
+    }
+  }
+  EXPECT_TRUE(saw_retry);
+  EXPECT_GT(total_elapsed, 200.0);  // failures only ever add time
+}
+
+TEST(SimulateRetries, DeadlineAbandonsTheChain) {
+  FaultConfig cfg;
+  cfg.crash_prob = 0.9;  // almost certainly needs retries
+  RetryPolicy policy;
+  policy.base_backoff_s = 10.0;
+  policy.jitter_frac = 0.0;
+  policy.deadline_s = 5.0;  // first backoff already exceeds it
+  Rng rng(5);
+  bool saw_deadline = false;
+  for (int i = 0; i < 50 && !saw_deadline; ++i) {
+    const auto out = simulate_retries(1.0, cfg, policy, rng);
+    if (!out.ok) {
+      EXPECT_EQ(out.error, ErrorKind::kDeadline);
+      EXPECT_LE(out.elapsed_s, policy.deadline_s);
+      saw_deadline = true;
+    }
+  }
+  EXPECT_TRUE(saw_deadline);
+}
+
+}  // namespace
+}  // namespace stellaris::fault

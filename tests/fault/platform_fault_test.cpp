@@ -1,0 +1,201 @@
+// Fault plane behavior of the serverless platform: crashes bill partial
+// work, retries recover, reclamations kill whole hosts, and a zero-fault
+// injector leaves the timeline bit-identical.
+#include <gtest/gtest.h>
+
+#include "fault/fault_injector.hpp"
+#include "serverless/platform.hpp"
+
+namespace stellaris::serverless {
+namespace {
+
+ClusterSpec one_gpu_vm() {
+  ClusterSpec spec;
+  spec.vms = {{VmType::p3_2xlarge(), 1}};  // 1 host -> deterministic victim
+  return spec;
+}
+
+struct Fixture {
+  sim::Engine engine;
+  ServerlessPlatform platform;
+  fault::FaultInjector injector;
+
+  explicit Fixture(fault::FaultPlan plan,
+                   ClusterSpec cluster = ClusterSpec::regular())
+      : platform(engine, std::move(cluster), LatencyModel{}, 1),
+        injector(engine, std::move(plan)) {
+    platform.set_fault_injector(&injector);
+  }
+};
+
+ServerlessPlatform::InvokeOptions learner_opts(double compute) {
+  ServerlessPlatform::InvokeOptions opts;
+  opts.kind = FnKind::kLearner;
+  opts.compute_s = compute;
+  return opts;
+}
+
+TEST(PlatformFault, CrashFailsInvocationAndBillsPartialWork) {
+  fault::FaultPlan plan;
+  plan.schedule.push_back(
+      {0.0, fault::FaultKind::kCrash, int(FnKind::kLearner), 0.5});
+  Fixture f(plan);
+  ServerlessPlatform::InvokeResult ok_result, crash_result;
+  f.platform.invoke(learner_opts(2.0), [&](const auto& r) { crash_result = r; });
+  f.engine.run();
+  EXPECT_FALSE(crash_result.ok);
+  EXPECT_EQ(crash_result.error, fault::ErrorKind::kCrash);
+  EXPECT_GT(crash_result.billed_s, 0.0);
+
+  // A clean invocation of the same shape runs longer and costs more: the
+  // crash truncated the duration to the completed fraction.
+  f.platform.invoke(learner_opts(2.0), [&](const auto& r) { ok_result = r; });
+  f.engine.run();
+  EXPECT_TRUE(ok_result.ok);
+  EXPECT_LT(crash_result.billed_s, ok_result.billed_s);
+  EXPECT_EQ(f.platform.costs().total_failed_invocations(), 1u);
+  EXPECT_GT(f.platform.costs().total_wasted_cost(), 0.0);
+}
+
+TEST(PlatformFault, RetryingInvokeRecoversFromCrash) {
+  fault::FaultPlan plan;
+  plan.schedule.push_back(
+      {0.0, fault::FaultKind::kCrash, int(FnKind::kLearner), 0.5});
+  Fixture f(plan);
+  fault::RetryPolicy policy;
+  policy.jitter_frac = 0.0;
+  ServerlessPlatform::InvokeResult result;
+  f.platform.invoke_retrying(learner_opts(1.0), policy,
+                             [&](const auto& r) { result = r; });
+  f.engine.run();
+  EXPECT_TRUE(result.ok);
+  EXPECT_EQ(result.attempts, 2u);
+  EXPECT_GT(result.retry_wait_s, 0.0);  // backoff between the attempts
+  EXPECT_EQ(f.platform.retries(), 1u);
+  EXPECT_EQ(f.platform.giveups(), 0u);
+  // The failed first attempt still billed.
+  EXPECT_GT(f.platform.costs().total_wasted_cost(), 0.0);
+}
+
+TEST(PlatformFault, RetryingInvokeReportsStartPerAttempt) {
+  // on_start fires once per attempt — the hook a retried learner uses to
+  // re-pull a FRESH policy snapshot instead of reusing the stale one.
+  fault::FaultPlan plan;
+  plan.schedule.push_back(
+      {0.0, fault::FaultKind::kCrash, int(FnKind::kLearner), 0.5});
+  Fixture f(plan);
+  std::vector<double> starts;
+  auto opts = learner_opts(1.0);
+  opts.on_start = [&](double t) { starts.push_back(t); };
+  f.platform.invoke_retrying(opts, fault::RetryPolicy{},
+                             [](const auto&) {});
+  f.engine.run();
+  ASSERT_EQ(starts.size(), 2u);
+  EXPECT_GT(starts[1], starts[0]);
+}
+
+TEST(PlatformFault, ExhaustedRetriesGiveUp) {
+  fault::FaultPlan plan;
+  for (int i = 0; i < 4; ++i)  // one trap per attempt (1 try + 3 retries)
+    plan.schedule.push_back(
+        {0.0, fault::FaultKind::kCrash, int(FnKind::kLearner), 0.5});
+  Fixture f(plan);
+  fault::RetryPolicy policy;  // max_retries = 3
+  ServerlessPlatform::InvokeResult result;
+  f.platform.invoke_retrying(learner_opts(1.0), policy,
+                             [&](const auto& r) { result = r; });
+  f.engine.run();
+  EXPECT_FALSE(result.ok);
+  EXPECT_EQ(result.error, fault::ErrorKind::kCrash);
+  EXPECT_EQ(result.attempts, 4u);
+  EXPECT_EQ(f.platform.retries(), 3u);
+  EXPECT_EQ(f.platform.giveups(), 1u);
+}
+
+TEST(PlatformFault, DeadlineCutsTheChainShort) {
+  fault::FaultPlan plan;
+  for (int i = 0; i < 4; ++i)
+    plan.schedule.push_back(
+        {0.0, fault::FaultKind::kCrash, int(FnKind::kLearner), 0.5});
+  Fixture f(plan);
+  fault::RetryPolicy policy;
+  policy.base_backoff_s = 100.0;  // any backoff blows the deadline
+  policy.max_backoff_s = 100.0;
+  policy.jitter_frac = 0.0;
+  policy.deadline_s = 5.0;
+  ServerlessPlatform::InvokeResult result;
+  f.platform.invoke_retrying(learner_opts(1.0), policy,
+                             [&](const auto& r) { result = r; });
+  f.engine.run();
+  EXPECT_FALSE(result.ok);
+  EXPECT_EQ(result.error, fault::ErrorKind::kDeadline);
+  EXPECT_EQ(result.attempts, 1u);
+  EXPECT_EQ(f.platform.giveups(), 1u);
+}
+
+TEST(PlatformFault, VmReclamationKillsInFlightWork) {
+  fault::FaultPlan plan;
+  plan.schedule.push_back({1.0, fault::FaultKind::kVmReclaim, -1, 0.0});
+  Fixture f(plan, one_gpu_vm());
+  ASSERT_EQ(f.platform.vm_count(), 1u);
+  ServerlessPlatform::InvokeResult result;
+  f.platform.invoke(learner_opts(10.0), [&](const auto& r) { result = r; });
+  f.engine.run();
+  EXPECT_FALSE(result.ok);
+  EXPECT_EQ(result.error, fault::ErrorKind::kVmReclaim);
+  // Killed at t = 1.0, well before its ~10 s of compute finished; the
+  // consumed seconds still bill.
+  EXPECT_DOUBLE_EQ(result.end_time_s, 1.0);
+  EXPECT_GT(result.billed_s, 0.0);
+  EXPECT_LT(result.billed_s, 5.0);
+  EXPECT_EQ(f.injector.reclaims_fired(), 1u);
+  EXPECT_EQ(f.platform.inflight(), 0u);
+}
+
+TEST(PlatformFault, RetryingInvokeSurvivesReclamation) {
+  fault::FaultPlan plan;
+  plan.schedule.push_back({1.0, fault::FaultKind::kVmReclaim, -1, 0.0});
+  Fixture f(plan, one_gpu_vm());
+  fault::RetryPolicy policy;
+  policy.jitter_frac = 0.0;
+  ServerlessPlatform::InvokeResult result;
+  f.platform.invoke_retrying(learner_opts(3.0), policy,
+                             [&](const auto& r) { result = r; });
+  f.engine.run();
+  EXPECT_TRUE(result.ok);
+  EXPECT_EQ(result.attempts, 2u);
+}
+
+TEST(PlatformFault, ZeroFaultInjectorIsBitIdentical) {
+  // The acceptance bar for the whole subsystem, at platform granularity:
+  // attaching an injector with an empty plan changes nothing.
+  auto run_once = [](bool attach) {
+    sim::Engine engine;
+    ServerlessPlatform platform(engine, ClusterSpec::regular(),
+                                LatencyModel{}, 42);
+    fault::FaultInjector injector(engine, fault::FaultPlan{});
+    if (attach) platform.set_fault_injector(&injector);
+    std::vector<ServerlessPlatform::InvokeResult> results;
+    for (int i = 0; i < 16; ++i) {
+      auto opts = learner_opts(0.3 + 0.01 * i);
+      opts.payload_in_bytes = 1 << 16;
+      platform.invoke(opts, [&](const auto& r) { results.push_back(r); });
+    }
+    engine.run();
+    return results;
+  };
+  const auto with = run_once(true);
+  const auto without = run_once(false);
+  ASSERT_EQ(with.size(), without.size());
+  for (std::size_t i = 0; i < with.size(); ++i) {
+    EXPECT_EQ(with[i].start_time_s, without[i].start_time_s);
+    EXPECT_EQ(with[i].end_time_s, without[i].end_time_s);
+    EXPECT_EQ(with[i].compute_s, without[i].compute_s);
+    EXPECT_EQ(with[i].billed_s, without[i].billed_s);
+    EXPECT_EQ(with[i].cost_usd, without[i].cost_usd);
+    EXPECT_TRUE(with[i].ok);
+  }
+}
+
+}  // namespace
+}  // namespace stellaris::serverless

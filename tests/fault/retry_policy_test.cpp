@@ -1,0 +1,62 @@
+#include "fault/retry_policy.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace stellaris::fault {
+namespace {
+
+TEST(RetryPolicy, AttemptAccounting) {
+  RetryPolicy p;
+  p.max_retries = 2;
+  EXPECT_TRUE(p.attempt_allowed(0));   // first try
+  EXPECT_TRUE(p.attempt_allowed(1));   // retry 1
+  EXPECT_TRUE(p.attempt_allowed(2));   // retry 2
+  EXPECT_FALSE(p.attempt_allowed(3));  // exhausted
+}
+
+TEST(RetryPolicy, BackoffGrowsExponentiallyAndCaps) {
+  RetryPolicy p;
+  p.base_backoff_s = 0.1;
+  p.backoff_mult = 2.0;
+  p.max_backoff_s = 0.35;
+  p.jitter_frac = 0.0;  // deterministic
+  Rng rng(1);
+  EXPECT_DOUBLE_EQ(p.backoff_s(1, rng), 0.1);
+  EXPECT_DOUBLE_EQ(p.backoff_s(2, rng), 0.2);
+  EXPECT_DOUBLE_EQ(p.backoff_s(3, rng), 0.35);  // 0.4 capped
+  EXPECT_DOUBLE_EQ(p.backoff_s(4, rng), 0.35);
+}
+
+TEST(RetryPolicy, JitterStaysBoundedAndIsDeterministic) {
+  RetryPolicy p;
+  p.base_backoff_s = 1.0;
+  p.jitter_frac = 0.25;
+  Rng a(7), b(7);
+  for (std::size_t i = 1; i <= 8; ++i) {
+    const double x = p.backoff_s(1, a);
+    EXPECT_GE(x, 0.75);
+    EXPECT_LE(x, 1.25);
+    EXPECT_DOUBLE_EQ(x, p.backoff_s(1, b));  // same RNG state, same value
+  }
+}
+
+TEST(RetryPolicy, ValidateRejectsBadFields) {
+  RetryPolicy p;
+  p.base_backoff_s = -1.0;
+  EXPECT_THROW(p.validate(), ConfigError);
+  p = RetryPolicy{};
+  p.backoff_mult = 0.5;
+  EXPECT_THROW(p.validate(), ConfigError);
+  p = RetryPolicy{};
+  p.jitter_frac = 1.0;
+  EXPECT_THROW(p.validate(), ConfigError);
+  p = RetryPolicy{};
+  p.deadline_s = -2.0;
+  EXPECT_THROW(p.validate(), ConfigError);
+  EXPECT_NO_THROW(RetryPolicy{}.validate());
+}
+
+}  // namespace
+}  // namespace stellaris::fault

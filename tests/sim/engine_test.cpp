@@ -90,6 +90,40 @@ TEST(Engine, CountsExecutedEvents) {
   EXPECT_EQ(engine.executed_events(), 7u);
 }
 
+TEST(Engine, CancelledEventIsDiscardedWithoutAdvancingClock) {
+  Engine engine;
+  bool ran = false;
+  engine.schedule_at(1.0, [] {});
+  auto handle = engine.schedule_cancellable_at(5.0, [&] { ran = true; });
+  *handle = true;
+  engine.run();
+  EXPECT_FALSE(ran);
+  // The dead timer at t=5 must not stretch the measured makespan.
+  EXPECT_DOUBLE_EQ(engine.now(), 1.0);
+}
+
+TEST(Engine, CancellableEventRunsWhenNotCancelled) {
+  Engine engine;
+  double fired_at = -1.0;
+  engine.schedule_cancellable_after(2.5, [&] { fired_at = engine.now(); });
+  engine.run();
+  EXPECT_DOUBLE_EQ(fired_at, 2.5);
+}
+
+TEST(Engine, CancellationMidRunSkipsTheEvent) {
+  Engine engine;
+  std::vector<int> order;
+  auto handle =
+      engine.schedule_cancellable_at(2.0, [&] { order.push_back(2); });
+  engine.schedule_at(1.0, [&] {
+    order.push_back(1);
+    *handle = true;  // cancel the later event from an earlier one
+  });
+  engine.schedule_at(3.0, [&] { order.push_back(3); });
+  engine.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 3}));
+}
+
 TEST(Engine, DeterministicInterleaving) {
   // Two "processes" ping-ponging at equal times resolve identically on
   // every run — the property the staleness measurements rely on.
