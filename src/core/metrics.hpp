@@ -55,7 +55,8 @@ struct FaultStats {
   std::uint64_t crashes = 0;            ///< container crashes injected
   std::uint64_t vm_reclaims = 0;        ///< spot-style host reclamations
   std::uint64_t stragglers = 0;         ///< slowdown faults injected
-  std::uint64_t cache_faults = 0;       ///< cache op failures/delays injected
+  std::uint64_t cache_faults = 0;       ///< cache op failures injected
+  std::uint64_t cache_delays = 0;       ///< slow (but successful) cache ops
   std::uint64_t failed_invocations = 0; ///< invocations that did not finish ok
   std::uint64_t retries = 0;            ///< re-invocations after failure
   std::uint64_t giveups = 0;            ///< retry chains that exhausted policy

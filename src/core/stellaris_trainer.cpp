@@ -209,6 +209,7 @@ TrainResult StellarisTrainer::train() {
     result_.faults.vm_reclaims = injector_->reclaims_fired();
     result_.faults.stragglers = injector_->stragglers_injected();
     result_.faults.cache_faults = injector_->cache_faults_injected();
+    result_.faults.cache_delays = injector_->cache_delays_injected();
   }
   result_.faults.failed_invocations = costs.total_failed_invocations();
   result_.faults.retries = platform_->retries();

@@ -60,10 +60,13 @@ class FaultInjector {
   bool reclaims_enabled() const;
   const FaultPlan& plan() const { return plan_; }
 
-  // Injection counters (also mirrored into obs metrics).
+  // Injection counters (also mirrored into obs metrics). Cache faults are
+  // failed cache operations; cache delays (slow-but-successful operations)
+  // are counted separately.
   std::uint64_t crashes_injected() const { return crashes_; }
   std::uint64_t stragglers_injected() const { return stragglers_; }
   std::uint64_t cache_faults_injected() const { return cache_faults_; }
+  std::uint64_t cache_delays_injected() const { return cache_delays_; }
   std::uint64_t reclaims_fired() const { return reclaims_; }
 
  private:
@@ -75,17 +78,23 @@ class FaultInjector {
   Rng rng_;
   std::vector<bool> consumed_;  ///< scripted one-shot traps already fired
   std::function<void(Rng&)> reclaim_cb_;
+  /// Scripted kVmReclaim timers (bounded by the plan's schedule length).
   std::vector<sim::Engine::CancelHandle> reclaim_timers_;
+  /// The one pending Poisson-arrival timer; reassigned on each arrival so
+  /// long runs do not accumulate fired handles.
+  sim::Engine::CancelHandle reclaim_arrival_;
   bool armed_ = false;
 
   std::uint64_t crashes_ = 0;
   std::uint64_t stragglers_ = 0;
   std::uint64_t cache_faults_ = 0;
+  std::uint64_t cache_delays_ = 0;
   std::uint64_t reclaims_ = 0;
 
   obs::Counter* m_crashes_;
   obs::Counter* m_stragglers_;
   obs::Counter* m_cache_faults_;
+  obs::Counter* m_cache_delays_;
   obs::Counter* m_reclaims_;
 };
 

@@ -115,6 +115,11 @@ void ServerlessPlatform::invoke_retrying(const InvokeOptions& options,
   chain->cb = std::move(cb);
   chain->first_submit = engine_.now();
 
+  // The std::function stored in *submit captures `submit` by value so the
+  // chain can re-schedule itself; that self-reference is a shared_ptr cycle,
+  // so every terminal path must break it (*submit = nullptr) or the chain
+  // leaks. The currently-executing callback owns its own refs, so clearing
+  // *submit mid-call is safe.
   auto submit = std::make_shared<std::function<void()>>();
   *submit = [this, chain, submit] {
     invoke(chain->options, [this, chain, submit](const InvokeResult& r) {
@@ -122,6 +127,7 @@ void ServerlessPlatform::invoke_retrying(const InvokeOptions& options,
       final.attempts = chain->retries_done + 1;
       final.retry_wait_s = chain->wait_total;
       if (r.ok) {
+        *submit = nullptr;
         chain->cb(final);
         return;
       }
@@ -129,6 +135,7 @@ void ServerlessPlatform::invoke_retrying(const InvokeOptions& options,
       if (!chain->policy.attempt_allowed(next_attempt)) {
         ++giveups_;
         m_giveups_->add();
+        *submit = nullptr;
         chain->cb(final);
         return;
       }
@@ -139,6 +146,7 @@ void ServerlessPlatform::invoke_retrying(const InvokeOptions& options,
         final.error = fault::ErrorKind::kDeadline;
         ++giveups_;
         m_giveups_->add();
+        *submit = nullptr;
         chain->cb(final);
         return;
       }
@@ -280,23 +288,22 @@ void ServerlessPlatform::complete(std::uint64_t token) {
   if (it == inflight_.end()) return;  // already failed by a VM reclamation
   InFlight inflight = std::move(it->second);
   inflight_.erase(it);
-  finish_inflight(token, std::move(inflight), /*killed=*/false);
+  const FnKind kind = inflight.kind;
+  if (inflight.result.error == fault::ErrorKind::kCrash)
+    pool_for(kind).kill(inflight.container);  // the container died with it
+  else
+    pool_for(kind).release(inflight.container, engine_.now());
+  settle_inflight(inflight);
+  try_dispatch(kind);
 }
 
-void ServerlessPlatform::finish_inflight(std::uint64_t token,
-                                         InFlight inflight, bool killed) {
-  (void)token;
+void ServerlessPlatform::settle_inflight(InFlight& inflight) {
   const FnKind kind = inflight.kind;
   costs_.record(kind, unit_price(kind), inflight.result.billed_s,
                 !inflight.result.ok);
   if (kind != FnKind::kActor) learner_busy_s_ += inflight.result.billed_s;
-  if (killed || inflight.result.error == fault::ErrorKind::kCrash)
-    pool_for(kind).kill(inflight.container);  // the container died with it
-  else
-    pool_for(kind).release(inflight.container, engine_.now());
   if (!inflight.result.ok) m_failed_invocations_->add();
   if (inflight.cb) inflight.cb(inflight.result);
-  try_dispatch(kind);
 }
 
 void ServerlessPlatform::reclaim_random_vm(Rng& fault_rng) {
@@ -304,28 +311,39 @@ void ServerlessPlatform::reclaim_random_vm(Rng& fault_rng) {
   const VmHost& host = vm_hosts_[fault_rng.uniform_int(vm_hosts_.size())];
   const double now = engine_.now();
 
-  // Fail every invocation running on the host, billed for the time consumed.
-  std::vector<std::uint64_t> victims;
-  for (const auto& [token, inflight] : inflight_) {
-    const bool on_gpu_pool = inflight.kind != FnKind::kActor;
+  // Detach every invocation running on the host from the in-flight table,
+  // then kill every slot (busy and warm alike) — all BEFORE any completion
+  // callback or dispatch pass runs. Settling victims one by one would let a
+  // dispatch land fresh work on a just-freed slot this reclamation is about
+  // to kill, stranding its in-flight entry on a dead (or re-booked) slot.
+  std::vector<InFlight> failed;
+  for (auto it = inflight_.begin(); it != inflight_.end();) {
+    const bool on_gpu_pool = it->second.kind != FnKind::kActor;
     if (on_gpu_pool == host.gpu_pool &&
-        inflight.container >= host.first_slot &&
-        inflight.container < host.first_slot + host.slot_count)
-      victims.push_back(token);
+        it->second.container >= host.first_slot &&
+        it->second.container < host.first_slot + host.slot_count) {
+      failed.push_back(std::move(it->second));
+      it = inflight_.erase(it);
+    } else {
+      ++it;
+    }
   }
+  auto& pool = host.gpu_pool ? gpu_pool_ : actor_pool_;
+  for (std::size_t i = 0; i < host.slot_count; ++i)
+    pool.kill(host.first_slot + i);
+
   LOG_DEBUG << "reclaiming VM " << host.vm_name << " ("
             << (host.gpu_pool ? "gpu" : "actor") << " slots "
             << host.first_slot << "+" << host.slot_count << ") at t=" << now
-            << ": killing " << victims.size() << " invocations";
+            << ": killing " << failed.size() << " invocations";
   if (auto* tr = obs::trace())
     tr->instant(tr->track(trace_tag_ + "/faults"), "vm_reclaim", "fault", now,
                 {{"vm", host.vm_name},
                  {"pool", host.gpu_pool ? "gpu" : "actor"},
-                 {"killed_invocations", victims.size()}});
-  for (std::uint64_t token : victims) {
-    auto it = inflight_.find(token);
-    InFlight inflight = std::move(it->second);
-    inflight_.erase(it);
+                 {"killed_invocations", failed.size()}});
+
+  // The host is fully dead; fail the victims, billed for the time consumed.
+  for (InFlight& inflight : failed) {
     inflight.result.end_time_s = now;
     inflight.result.billed_s =
         std::max(0.0, now - inflight.result.start_time_s);
@@ -333,12 +351,9 @@ void ServerlessPlatform::reclaim_random_vm(Rng& fault_rng) {
         unit_price(inflight.kind) * inflight.result.billed_s;
     inflight.result.ok = false;
     inflight.result.error = fault::ErrorKind::kVmReclaim;
-    finish_inflight(token, std::move(inflight), /*killed=*/true);
+    settle_inflight(inflight);
   }
-  // Warm (idle) containers on the host die too.
-  auto& pool = host.gpu_pool ? gpu_pool_ : actor_pool_;
-  for (std::size_t i = 0; i < host.slot_count; ++i)
-    pool.kill(host.first_slot + i);
+  try_dispatch(host.gpu_pool ? FnKind::kLearner : FnKind::kActor);
 }
 
 std::size_t ServerlessPlatform::prewarm_learners(std::size_t n) {

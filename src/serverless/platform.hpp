@@ -148,7 +148,11 @@ class ServerlessPlatform {
   void try_dispatch(FnKind kind);
   void dispatch(Pending pending);
   void complete(std::uint64_t token);
-  void finish_inflight(std::uint64_t token, InFlight inflight, bool killed);
+  /// Cost/metric accounting + completion callback for a finished (or
+  /// failed) invocation whose container slot has already been released or
+  /// killed. Does NOT dispatch; callers run try_dispatch once their whole
+  /// teardown is done.
+  void settle_inflight(InFlight& inflight);
   void reclaim_random_vm(Rng& fault_rng);
   void trace_invocation(const Pending& pending, const InvokeResult& result,
                         std::size_t container, double transfer_in_s,

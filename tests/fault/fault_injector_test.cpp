@@ -96,6 +96,9 @@ TEST(FaultInjector, ScriptedStragglerAndCacheTrapsCompose) {
   EXPECT_DOUBLE_EQ(fate.straggler_mult, 3.0);
   EXPECT_DOUBLE_EQ(fate.cache_delay_s, 0.2);
   EXPECT_EQ(injector.stragglers_injected(), 1u);
+  // A delay is a slow-but-successful cache op, not a cache fault.
+  EXPECT_EQ(injector.cache_faults_injected(), 0u);
+  EXPECT_EQ(injector.cache_delays_injected(), 1u);
 }
 
 TEST(FaultInjector, PoissonReclaimsFireAndDisarmStopsThem) {

@@ -152,6 +152,36 @@ TEST(PlatformFault, VmReclamationKillsInFlightWork) {
   EXPECT_EQ(f.platform.inflight(), 0u);
 }
 
+TEST(PlatformFault, ReclamationUnderQueueBacklogIsClean) {
+  // Saturated regime: more submissions than the host's 4 learner slots, so
+  // a queue backlog exists when the reclaim fires. The teardown must finish
+  // (victims detached, every slot dead) before any queued work dispatches —
+  // otherwise a fresh invocation lands on a slot the reclaim then kills,
+  // and its completion releases a non-busy container.
+  fault::FaultPlan plan;
+  plan.schedule.push_back({1.0, fault::FaultKind::kVmReclaim, -1, 0.0});
+  Fixture f(plan, one_gpu_vm());
+  std::vector<ServerlessPlatform::InvokeResult> results;
+  for (int i = 0; i < 8; ++i)
+    f.platform.invoke(learner_opts(10.0),
+                      [&](const auto& r) { results.push_back(r); });
+  f.engine.run();
+  ASSERT_EQ(results.size(), 8u);
+  std::size_t reclaimed = 0, succeeded = 0;
+  for (const auto& r : results) {
+    if (r.ok)
+      ++succeeded;
+    else if (r.error == fault::ErrorKind::kVmReclaim)
+      ++reclaimed;
+  }
+  // The 4 running invocations die with the host; the 4 queued ones dispatch
+  // onto the replacement (cold) capacity afterwards and finish cleanly.
+  EXPECT_EQ(reclaimed, 4u);
+  EXPECT_EQ(succeeded, 4u);
+  EXPECT_EQ(f.platform.inflight(), 0u);
+  EXPECT_EQ(f.platform.queued(FnKind::kLearner), 0u);
+}
+
 TEST(PlatformFault, RetryingInvokeSurvivesReclamation) {
   fault::FaultPlan plan;
   plan.schedule.push_back({1.0, fault::FaultKind::kVmReclaim, -1, 0.0});
