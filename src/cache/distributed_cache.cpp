@@ -16,8 +16,11 @@ DistributedCache::DistributedCache() {
   m_bytes_written_ = &m.counter("cache.bytes_written");
   m_bytes_read_ = &m.counter("cache.bytes_read");
   m_blocked_timeouts_ = &m.counter("cache.blocked_read_timeouts");
-  m_blocked_wait_ms_ =
-      &m.histogram("cache.blocked_read_wait_ms", 0.0, 500.0, 100);
+  // Explicitly real-time (wall-clock) debug metric: how long real driver
+  // threads sat in get_blocking. Never feeds back into virtual-time
+  // results; see the header comment on the real-time get_blocking.
+  m_blocked_wait_real_ms_ =
+      &m.histogram("cache.blocked_read_wait_real_ms", 0.0, 500.0, 100);
   m_resident_bytes_ = &m.gauge("cache.resident_bytes");
   m_async_waits_ = &m.counter("cache.async_waits");
   m_async_timeouts_ = &m.counter("cache.async_timeouts");
@@ -31,6 +34,13 @@ CacheValue DistributedCache::read_entry_locked(const Entry& entry) {
   return CacheValue{entry.data, entry.version};
 }
 
+const DistributedCache::Entry* DistributedCache::find_ready_locked(
+    const std::string& key, std::uint64_t min_version) const {
+  auto it = store_.find(key);
+  if (it == store_.end() || it->second.version <= min_version) return nullptr;
+  return &it->second;
+}
+
 std::uint64_t DistributedCache::put(const std::string& key, Bytes value) {
   std::uint64_t new_version = 0;
   // Async waiters this put satisfies; their callbacks are scheduled (not
@@ -42,7 +52,7 @@ std::uint64_t DistributedCache::put(const std::string& key, Bytes value) {
   };
   std::vector<Ready> ready;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto& entry = store_[key];
     resident_bytes_ -= entry.data.size();
     resident_bytes_ += value.size();
@@ -74,7 +84,7 @@ std::uint64_t DistributedCache::put(const std::string& key, Bytes value) {
 }
 
 std::optional<CacheValue> DistributedCache::get(const std::string& key) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   ++stats_.gets;
   m_gets_->add();
   auto it = store_.find(key);
@@ -102,45 +112,55 @@ CacheValue DistributedCache::get_or_throw(const std::string& key) const {
 std::optional<CacheValue> DistributedCache::get_blocking(
     const std::string& key, std::uint64_t min_version,
     std::chrono::milliseconds timeout) {
+  // Real-concurrency path: this thread actually sleeps, so the wait is
+  // intentionally measured against the wall clock and recorded under an
+  // explicitly real-time debug metric. Nothing result-affecting depends on
+  // it; the virtual-time overload below handles simulation callers.
+  // lint:wall-clock-ok — measures genuine thread blocking time
   const auto wait_begin = std::chrono::steady_clock::now();
-  std::unique_lock<std::mutex> lock(mu_);
-  const bool ok = cv_.wait_for(lock, timeout, [&] {
-    auto it = store_.find(key);
-    return it != store_.end() && it->second.version > min_version;
-  });
-  const double waited_ms =
-      std::chrono::duration<double, std::milli>(
-          std::chrono::steady_clock::now() - wait_begin)
-          .count();
-  m_blocked_wait_ms_->observe(waited_ms);
-  ++stats_.gets;
-  m_gets_->add();
-  if (!ok) {
-    ++stats_.misses;
-    m_misses_->add();
-    m_blocked_timeouts_->add();
-    lock.unlock();
+  const auto deadline = wait_begin + timeout;
+  std::optional<CacheValue> result;
+  double waited_ms = 0.0;
+  {
+    MutexLock lock(mu_);
+    const Entry* e = find_ready_locked(key, min_version);
+    while (e == nullptr) {
+      if (cv_.wait_until(mu_, deadline) == std::cv_status::timeout) {
+        e = find_ready_locked(key, min_version);  // final re-check
+        break;
+      }
+      e = find_ready_locked(key, min_version);
+    }
+    // Real blocking time for the debug histogram.
+    const auto wait_end = std::chrono::steady_clock::now();  // lint:wall-clock-ok
+    waited_ms =
+        std::chrono::duration<double, std::milli>(wait_end - wait_begin)
+            .count();
+    m_blocked_wait_real_ms_->observe(waited_ms);
+    ++stats_.gets;
+    m_gets_->add();
+    if (e != nullptr) {
+      result = read_entry_locked(*e);
+    } else {
+      ++stats_.misses;
+      m_misses_->add();
+      m_blocked_timeouts_->add();
+    }
+  }
+  if (!result)
     LOG_DEBUG << "blocking read timed out after " << waited_ms
               << "ms: key=" << key << " min_version=" << min_version;
-    return std::nullopt;
-  }
-  auto it = store_.find(key);
-  ++stats_.hits;
-  m_hits_->add();
-  stats_.bytes_read += it->second.data.size();
-  m_bytes_read_->add(it->second.data.size());
-  return CacheValue{it->second.data, it->second.version};
+  return result;
 }
 
 std::optional<CacheValue> DistributedCache::get_blocking(
     const std::string& key, std::uint64_t min_version, sim::Engine& engine,
     double timeout_s) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   ++stats_.gets;
   m_gets_->add();
-  auto it = store_.find(key);
-  if (it != store_.end() && it->second.version > min_version)
-    return read_entry_locked(it->second);
+  if (const Entry* e = find_ready_locked(key, min_version))
+    return read_entry_locked(*e);
   // Single-threaded event loop: nothing can publish the key while we
   // "wait", so an unsatisfied read is a deterministic timeout.
   ++stats_.misses;
@@ -157,12 +177,11 @@ void DistributedCache::get_async(const std::string& key,
                                  sim::Engine& engine, double timeout_s,
                                  AsyncCallback cb) {
   m_async_waits_->add();
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   ++stats_.gets;
   m_gets_->add();
-  auto it = store_.find(key);
-  if (it != store_.end() && it->second.version > min_version) {
-    CacheValue v = read_entry_locked(it->second);
+  if (const Entry* e = find_ready_locked(key, min_version)) {
+    CacheValue v = read_entry_locked(*e);
     engine.schedule_after(
         0.0, [cb = std::move(cb), v = std::move(v)]() mutable {
           cb(std::move(v));
@@ -186,7 +205,7 @@ void DistributedCache::get_async(const std::string& key,
 void DistributedCache::expire_waiter(std::uint64_t id) {
   AsyncCallback cb;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto it = waiters_.begin();
     for (; it != waiters_.end(); ++it)
       if (it->id == id) break;
@@ -203,23 +222,23 @@ void DistributedCache::expire_waiter(std::uint64_t id) {
 }
 
 std::size_t DistributedCache::pending_waiters() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return waiters_.size();
 }
 
 bool DistributedCache::contains(const std::string& key) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return store_.count(key) > 0;
 }
 
 std::uint64_t DistributedCache::version(const std::string& key) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = store_.find(key);
   return it == store_.end() ? 0 : it->second.version;
 }
 
 bool DistributedCache::erase(const std::string& key) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = store_.find(key);
   if (it == store_.end()) return false;
   resident_bytes_ -= it->second.data.size();
@@ -232,7 +251,7 @@ bool DistributedCache::erase(const std::string& key) {
 
 std::vector<std::string> DistributedCache::keys_with_prefix(
     const std::string& prefix) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<std::string> out;
   for (auto it = store_.lower_bound(prefix); it != store_.end(); ++it) {
     if (it->first.compare(0, prefix.size(), prefix) != 0) break;
@@ -244,7 +263,7 @@ std::vector<std::string> DistributedCache::keys_with_prefix(
 std::size_t DistributedCache::erase_prefix(const std::string& prefix) {
   std::size_t removed = 0;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto it = store_.lower_bound(prefix);
     while (it != store_.end() &&
            it->first.compare(0, prefix.size(), prefix) == 0) {
@@ -262,29 +281,29 @@ std::size_t DistributedCache::erase_prefix(const std::string& prefix) {
 }
 
 std::size_t DistributedCache::num_keys() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return store_.size();
 }
 
 std::size_t DistributedCache::resident_bytes() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return resident_bytes_;
 }
 
 CacheStats DistributedCache::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return stats_;
 }
 
 void DistributedCache::reset_stats() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   stats_ = CacheStats{};
 }
 
 void DistributedCache::clear() {
   std::size_t dropped = 0;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     dropped = store_.size();
     store_.clear();
     resident_bytes_ = 0;

@@ -13,17 +13,16 @@
 #pragma once
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <map>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "obs/metrics.hpp"
 #include "sim/engine.hpp"
+#include "util/annotated_mutex.hpp"
 
 namespace stellaris::cache {
 
@@ -53,19 +52,27 @@ class DistributedCache {
   DistributedCache& operator=(const DistributedCache&) = delete;
 
   /// Store (replacing any prior value); returns the new version.
-  std::uint64_t put(const std::string& key, Bytes value);
+  std::uint64_t put(const std::string& key, Bytes value) EXCLUDES(mu_);
 
   /// Non-blocking read.
-  std::optional<CacheValue> get(const std::string& key) const;
+  std::optional<CacheValue> get(const std::string& key) const
+      EXCLUDES(mu_);
 
   /// Read that throws CacheError on miss — for keys the protocol guarantees.
-  CacheValue get_or_throw(const std::string& key) const;
+  CacheValue get_or_throw(const std::string& key) const EXCLUDES(mu_);
 
   /// Block until `key` exists with version > `min_version`, or timeout.
   /// Returns nullopt on timeout. min_version = 0 accepts any value.
+  ///
+  /// Real-concurrency driver only: the calling thread genuinely sleeps, so
+  /// the wait duration is measured in *real* time and recorded under the
+  /// explicitly real-time debug metric `cache.blocked_read_wait_real_ms`.
+  /// Everything result-affecting stays on the virtual clock (the sim
+  /// overload below never sleeps and records no wait time).
   std::optional<CacheValue> get_blocking(const std::string& key,
                                          std::uint64_t min_version,
-                                         std::chrono::milliseconds timeout);
+                                         std::chrono::milliseconds timeout)
+      EXCLUDES(mu_);
 
   /// Virtual-time deadline overload for simulation-driven callers. The
   /// event loop is single-threaded, so no other event can publish the key
@@ -77,7 +84,7 @@ class DistributedCache {
   std::optional<CacheValue> get_blocking(const std::string& key,
                                          std::uint64_t min_version,
                                          sim::Engine& engine,
-                                         double timeout_s);
+                                         double timeout_s) EXCLUDES(mu_);
 
   using AsyncCallback = std::function<void(std::optional<CacheValue>)>;
 
@@ -87,33 +94,35 @@ class DistributedCache {
   /// virtual deadline `engine.now() + timeout_s`. timeout_s <= 0 means no
   /// deadline (the waiter is dropped at clear()).
   void get_async(const std::string& key, std::uint64_t min_version,
-                 sim::Engine& engine, double timeout_s, AsyncCallback cb);
+                 sim::Engine& engine, double timeout_s, AsyncCallback cb)
+      EXCLUDES(mu_);
 
   /// Async waiters currently registered (tests / diagnostics).
-  std::size_t pending_waiters() const;
+  std::size_t pending_waiters() const EXCLUDES(mu_);
 
-  bool contains(const std::string& key) const;
+  bool contains(const std::string& key) const EXCLUDES(mu_);
 
   /// Current version of a key (0 if absent).
-  std::uint64_t version(const std::string& key) const;
+  std::uint64_t version(const std::string& key) const EXCLUDES(mu_);
 
   /// Remove a key; returns whether it existed.
-  bool erase(const std::string& key);
+  bool erase(const std::string& key) EXCLUDES(mu_);
 
   /// All keys starting with `prefix`, in lexicographic order.
-  std::vector<std::string> keys_with_prefix(const std::string& prefix) const;
+  std::vector<std::string> keys_with_prefix(const std::string& prefix) const
+      EXCLUDES(mu_);
 
   /// Remove every key with the prefix; returns count removed.
-  std::size_t erase_prefix(const std::string& prefix);
+  std::size_t erase_prefix(const std::string& prefix) EXCLUDES(mu_);
 
-  std::size_t num_keys() const;
+  std::size_t num_keys() const EXCLUDES(mu_);
   /// Total payload bytes currently resident.
-  std::size_t resident_bytes() const;
+  std::size_t resident_bytes() const EXCLUDES(mu_);
 
-  CacheStats stats() const;
-  void reset_stats();
+  CacheStats stats() const EXCLUDES(mu_);
+  void reset_stats() EXCLUDES(mu_);
 
-  void clear();
+  void clear() EXCLUDES(mu_);
 
  private:
   struct Entry {
@@ -130,18 +139,22 @@ class DistributedCache {
     sim::Engine::CancelHandle deadline;  ///< null when timeout_s <= 0
   };
 
-  /// Account a hit and return the entry's value. Caller holds mu_.
-  CacheValue read_entry_locked(const Entry& entry);
+  /// Account a hit and return the entry's value.
+  CacheValue read_entry_locked(const Entry& entry) REQUIRES(mu_);
+  /// The entry for `key` if it exists with version > min_version.
+  const Entry* find_ready_locked(const std::string& key,
+                                 std::uint64_t min_version) const
+      REQUIRES(mu_);
   /// Deadline event for an async waiter: drop it and fire cb(nullopt).
-  void expire_waiter(std::uint64_t id);
+  void expire_waiter(std::uint64_t id) EXCLUDES(mu_);
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::map<std::string, Entry> store_;
-  std::vector<Waiter> waiters_;
-  std::uint64_t next_waiter_id_ = 0;
-  std::size_t resident_bytes_ = 0;
-  mutable CacheStats stats_;
+  mutable Mutex mu_{"cache/distributed-cache", lock_rank::kCache};
+  CondVar cv_;
+  std::map<std::string, Entry> store_ GUARDED_BY(mu_);
+  std::vector<Waiter> waiters_ GUARDED_BY(mu_);
+  std::uint64_t next_waiter_id_ GUARDED_BY(mu_) = 0;
+  std::size_t resident_bytes_ GUARDED_BY(mu_) = 0;
+  mutable CacheStats stats_ GUARDED_BY(mu_);
 
   // Process-wide observability mirrors of the per-instance stats (resolved
   // once at construction; updates are relaxed atomics).
@@ -153,7 +166,7 @@ class DistributedCache {
   obs::Counter* m_bytes_written_;
   obs::Counter* m_bytes_read_;
   obs::Counter* m_blocked_timeouts_;
-  obs::FixedHistogram* m_blocked_wait_ms_;
+  obs::FixedHistogram* m_blocked_wait_real_ms_;
   obs::Gauge* m_resident_bytes_;
   obs::Counter* m_async_waits_;
   obs::Counter* m_async_timeouts_;

@@ -102,14 +102,14 @@ void FixedHistogram::reset() {
 }
 
 Counter& MetricsRegistry::counter(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  WriterLock lock(mu_);
   auto& slot = counters_[name];
   if (!slot) slot = std::make_unique<Counter>();
   return *slot;
 }
 
 Gauge& MetricsRegistry::gauge(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  WriterLock lock(mu_);
   auto& slot = gauges_[name];
   if (!slot) slot = std::make_unique<Gauge>();
   return *slot;
@@ -117,21 +117,21 @@ Gauge& MetricsRegistry::gauge(const std::string& name) {
 
 FixedHistogram& MetricsRegistry::histogram(const std::string& name, double lo,
                                            double hi, std::size_t bins) {
-  std::lock_guard<std::mutex> lock(mu_);
+  WriterLock lock(mu_);
   auto& slot = histograms_[name];
   if (!slot) slot = std::make_unique<FixedHistogram>(lo, hi, bins);
   return *slot;
 }
 
 void MetricsRegistry::reset() {
-  std::lock_guard<std::mutex> lock(mu_);
+  WriterLock lock(mu_);
   for (auto& [_, c] : counters_) c->reset();
   for (auto& [_, g] : gauges_) g->reset();
   for (auto& [_, h] : histograms_) h->reset();
 }
 
 void MetricsRegistry::write_json(std::ostream& os) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  ReaderLock lock(mu_);
   os << "{\n\"counters\":{";
   bool first = true;
   for (const auto& [name, c] : counters_) {
@@ -160,7 +160,7 @@ void MetricsRegistry::write_json(std::ostream& os) const {
 }
 
 void MetricsRegistry::write_csv(std::ostream& os) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  ReaderLock lock(mu_);
   os << "kind,name,field,value\n";
   for (const auto& [name, c] : counters_)
     os << "counter," << name << ",value," << c->value() << "\n";

@@ -17,9 +17,10 @@
 #include <limits>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "util/annotated_mutex.hpp"
 
 namespace stellaris::obs {
 
@@ -96,33 +97,38 @@ class MetricsRegistry {
   /// Look up or create. References stay valid for the registry's lifetime;
   /// reset() zeroes values but never invalidates them. Re-registering a
   /// histogram with different bounds keeps the original bounds.
-  Counter& counter(const std::string& name);
-  Gauge& gauge(const std::string& name);
+  Counter& counter(const std::string& name) EXCLUDES(mu_);
+  Gauge& gauge(const std::string& name) EXCLUDES(mu_);
   FixedHistogram& histogram(const std::string& name, double lo, double hi,
-                            std::size_t bins);
+                            std::size_t bins) EXCLUDES(mu_);
 
   /// Zero every instrument in place (handles stay valid).
-  void reset();
+  void reset() EXCLUDES(mu_);
 
   /// {"counters":{...},"gauges":{...},"histograms":{name:{lo,hi,count,sum,
   /// min,max,buckets:[...]}}}
-  void write_json(std::ostream& os) const;
+  void write_json(std::ostream& os) const EXCLUDES(mu_);
 
   /// Flat rows: kind,name,field,value (one row per scalar; histograms emit
   /// count/sum/mean/min/max/p50/p95/p99).
-  void write_csv(std::ostream& os) const;
+  void write_csv(std::ostream& os) const EXCLUDES(mu_);
 
   /// Dump to `path` — CSV when the extension is .csv, JSON otherwise.
-  bool write_file(const std::string& path) const;
+  bool write_file(const std::string& path) const EXCLUDES(mu_);
 
   /// The process-wide registry used by the instrumented subsystems.
   static MetricsRegistry& global();
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<FixedHistogram>> histograms_;
+  // Reader/writer split: registration (rare, at component construction)
+  // takes the mutex exclusively; exporters take it shared, so concurrent
+  // JSON/CSV snapshots never serialize against each other. Instrument
+  // *values* are relaxed atomics and not guarded at all.
+  mutable SharedMutex mu_{"obs/metrics-registry", lock_rank::kMetricsRegistry};
+  std::map<std::string, std::unique_ptr<Counter>> counters_ GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_ GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<FixedHistogram>> histograms_
+      GUARDED_BY(mu_);
 };
 
 }  // namespace stellaris::obs

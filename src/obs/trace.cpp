@@ -58,7 +58,7 @@ std::string TraceArg::render_double(double v) {
 TraceRecorder::TraceRecorder() { events_.reserve(1024); }
 
 TrackId TraceRecorder::track(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = tracks_.find(name);
   if (it != tracks_.end()) return it->second;
   const TrackId tid = static_cast<TrackId>(tracks_.size() + 1);
@@ -73,7 +73,7 @@ TrackId TraceRecorder::track(const std::string& name) {
 }
 
 void TraceRecorder::push(Event ev) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   events_.push_back(std::move(ev));
 }
 
@@ -114,12 +114,12 @@ void TraceRecorder::counter(const std::string& name, double t_s,
 }
 
 std::size_t TraceRecorder::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return events_.size();
 }
 
 void TraceRecorder::write_json(std::ostream& os) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   os << "{\"traceEvents\":[\n";
   os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,"
         "\"args\":{\"name\":\"stellaris\"}}";

@@ -17,11 +17,12 @@
 
 #include <cstdint>
 #include <iosfwd>
-#include <mutex>
 #include <string>
 #include <type_traits>
 #include <unordered_map>
 #include <vector>
+
+#include "util/annotated_mutex.hpp"
 
 namespace stellaris::obs {
 
@@ -60,7 +61,7 @@ class TraceRecorder {
   /// Register (or look up) a named track. Idempotent: the same name always
   /// maps to the same id. Emits the `thread_name` metadata event on first
   /// registration.
-  TrackId track(const std::string& name);
+  TrackId track(const std::string& name) EXCLUDES(mu_);
 
   /// Complete span ("X" phase): [t0_s, t1_s] in virtual seconds.
   void complete(TrackId tid, const std::string& name, const char* category,
@@ -74,10 +75,10 @@ class TraceRecorder {
   void counter(const std::string& name, double t_s, double value);
 
   /// Number of buffered events (metadata events included).
-  std::size_t size() const;
+  std::size_t size() const EXCLUDES(mu_);
 
   /// Serialize all buffered events as `{"traceEvents":[...]}`.
-  void write_json(std::ostream& os) const;
+  void write_json(std::ostream& os) const EXCLUDES(mu_);
 
   /// write_json to `path`; returns false (and leaves no partial file
   /// guarantee) if the file cannot be opened.
@@ -94,11 +95,13 @@ class TraceRecorder {
     TraceArgs args;
   };
 
-  void push(Event ev);
+  void push(Event ev) EXCLUDES(mu_);
 
-  mutable std::mutex mu_;
-  std::unordered_map<std::string, TrackId> tracks_;
-  std::vector<Event> events_;
+  mutable Mutex mu_{"obs/trace-recorder", lock_rank::kTraceRecorder};
+  // Name→id lookup only; serialization iterates events_ (a vector, in
+  // insertion order), never this map. lint:unordered-ok
+  std::unordered_map<std::string, TrackId> tracks_ GUARDED_BY(mu_);
+  std::vector<Event> events_ GUARDED_BY(mu_);
 };
 
 }  // namespace stellaris::obs

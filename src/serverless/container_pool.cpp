@@ -7,7 +7,8 @@ namespace stellaris::serverless {
 
 ContainerPool::ContainerPool(std::size_t capacity, const LatencyModel& lat,
                              std::uint64_t seed, std::string name)
-    : slots_(capacity), lat_(lat), rng_(seed), name_(std::move(name)) {
+    : capacity_(capacity), slots_(capacity), lat_(lat), rng_(seed),
+      name_(std::move(name)) {
   STELLARIS_CHECK_MSG(capacity > 0, "container pool needs capacity > 0");
   const std::string prefix = "containers." + name_ + ".";
   auto& m = obs::metrics();
@@ -19,6 +20,7 @@ ContainerPool::ContainerPool(std::size_t capacity, const LatencyModel& lat,
 }
 
 std::optional<ContainerPool::Acquisition> ContainerPool::acquire(double now) {
+  MutexLock lock(mu_);
   if (busy_count_ >= slots_.size()) return std::nullopt;
   // Prefer a warm idle container; expire stale keep-alives on the way.
   std::size_t cold_candidate = slots_.size();
@@ -48,6 +50,7 @@ std::optional<ContainerPool::Acquisition> ContainerPool::acquire(double now) {
 }
 
 void ContainerPool::release(std::size_t container_id, double now) {
+  MutexLock lock(mu_);
   STELLARIS_CHECK_MSG(container_id < slots_.size(), "bad container id");
   Slot& s = slots_[container_id];
   STELLARIS_CHECK_MSG(s.state == State::kBusy,
@@ -59,6 +62,7 @@ void ContainerPool::release(std::size_t container_id, double now) {
 }
 
 void ContainerPool::kill(std::size_t container_id) {
+  MutexLock lock(mu_);
   STELLARIS_CHECK_MSG(container_id < slots_.size(), "bad container id");
   Slot& s = slots_[container_id];
   if (s.state == State::kBusy) {
@@ -74,6 +78,7 @@ void ContainerPool::kill(std::size_t container_id) {
 }
 
 std::size_t ContainerPool::prewarm(std::size_t n, double now) {
+  MutexLock lock(mu_);
   std::size_t warmed = 0;
   for (auto& s : slots_) {
     if (warmed == n) break;
@@ -89,7 +94,28 @@ std::size_t ContainerPool::prewarm(std::size_t n, double now) {
   return warmed;
 }
 
+std::uint64_t ContainerPool::kills() const {
+  MutexLock lock(mu_);
+  return kills_;
+}
+
+std::size_t ContainerPool::busy() const {
+  MutexLock lock(mu_);
+  return busy_count_;
+}
+
+std::uint64_t ContainerPool::cold_starts() const {
+  MutexLock lock(mu_);
+  return cold_starts_;
+}
+
+std::uint64_t ContainerPool::warm_starts() const {
+  MutexLock lock(mu_);
+  return warm_starts_;
+}
+
 std::size_t ContainerPool::warm_idle(double now) const {
+  MutexLock lock(mu_);
   std::size_t n = 0;
   for (const auto& s : slots_)
     if (s.state == State::kWarmIdle && s.warm_until >= now) ++n;

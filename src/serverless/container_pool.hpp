@@ -15,6 +15,7 @@
 
 #include "obs/metrics.hpp"
 #include "serverless/latency_model.hpp"
+#include "util/annotated_mutex.hpp"
 
 namespace stellaris::serverless {
 
@@ -34,31 +35,31 @@ class ContainerPool {
   };
 
   /// Claim a container at virtual time `now`; nullopt if the pool is full.
-  std::optional<Acquisition> acquire(double now);
+  std::optional<Acquisition> acquire(double now) EXCLUDES(mu_);
 
   /// Return a container to the warm pool at `now`; it stays warm for the
   /// keep-alive window.
-  void release(std::size_t container_id, double now);
+  void release(std::size_t container_id, double now) EXCLUDES(mu_);
 
   /// Kill a container outright (crash or spot reclamation): whatever its
   /// state, it goes cold immediately — no keep-alive, the runtime is gone.
   /// Capacity is unchanged (the platform models replacement provisioning as
   /// instantly available cold capacity). Safe on already-cold slots.
-  void kill(std::size_t container_id);
+  void kill(std::size_t container_id) EXCLUDES(mu_);
 
-  std::uint64_t kills() const { return kills_; }
+  std::uint64_t kills() const EXCLUDES(mu_);
 
   /// Warm up to `n` idle containers at `now` (subject to capacity). Returns
   /// how many were actually warmed. Pre-warm time is excluded from cost,
   /// matching the paper's cost model.
-  std::size_t prewarm(std::size_t n, double now);
+  std::size_t prewarm(std::size_t n, double now) EXCLUDES(mu_);
 
-  std::size_t capacity() const { return slots_.size(); }
-  std::size_t busy() const { return busy_count_; }
-  std::size_t warm_idle(double now) const;
+  std::size_t capacity() const { return capacity_; }
+  std::size_t busy() const EXCLUDES(mu_);
+  std::size_t warm_idle(double now) const EXCLUDES(mu_);
 
-  std::uint64_t cold_starts() const { return cold_starts_; }
-  std::uint64_t warm_starts() const { return warm_starts_; }
+  std::uint64_t cold_starts() const EXCLUDES(mu_);
+  std::uint64_t warm_starts() const EXCLUDES(mu_);
 
  private:
   enum class State { kCold, kWarmIdle, kBusy };
@@ -67,14 +68,21 @@ class ContainerPool {
     double warm_until = -1.0;
   };
 
-  std::vector<Slot> slots_;
+  // The sim driver is single-threaded, but the pool is shared state the
+  // real-concurrency driver (and tests) may hit from pool threads; the
+  // annotation audit found every field here mutated with no guard at all.
+  // Leaf-ranked: nothing else is acquired while held (metrics updates are
+  // relaxed atomics, the latency jitter draw is pure computation).
+  mutable Mutex mu_{"serverless/container-pool", lock_rank::kContainerPool};
+  const std::size_t capacity_;  ///< fixed at construction, lock-free reads
+  std::vector<Slot> slots_ GUARDED_BY(mu_);
   LatencyModel lat_;
-  Rng rng_;
+  Rng rng_ GUARDED_BY(mu_);
   std::string name_;
-  std::size_t busy_count_ = 0;
-  std::uint64_t cold_starts_ = 0;
-  std::uint64_t warm_starts_ = 0;
-  std::uint64_t kills_ = 0;
+  std::size_t busy_count_ GUARDED_BY(mu_) = 0;
+  std::uint64_t cold_starts_ GUARDED_BY(mu_) = 0;
+  std::uint64_t warm_starts_ GUARDED_BY(mu_) = 0;
+  std::uint64_t kills_ GUARDED_BY(mu_) = 0;
   obs::Counter* m_cold_;      // process-wide mirrors of the per-pool counts
   obs::Counter* m_warm_;
   obs::Counter* m_prewarmed_;

@@ -3,10 +3,10 @@
 #include <atomic>
 #include <cstdlib>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 
+#include "util/annotated_mutex.hpp"
 #include "util/thread_pool.hpp"
 
 namespace stellaris::ops {
@@ -56,9 +56,9 @@ void set_kernel_parallel_min_flops(std::uint64_t flops) {
 namespace detail {
 
 ThreadPool& kernel_pool(std::size_t threads) {
-  static std::mutex mu;
+  static Mutex mu("tensor/kernel-pool", lock_rank::kKernelPool);
   static std::unique_ptr<ThreadPool> pool;
-  std::lock_guard<std::mutex> lock(mu);
+  MutexLock lock(mu);
   if (!pool || pool->size() != threads)
     pool = std::make_unique<ThreadPool>(threads);
   return *pool;

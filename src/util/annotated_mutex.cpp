@@ -1,0 +1,54 @@
+#include "util/annotated_mutex.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+namespace stellaris::detail {
+
+namespace {
+
+struct HeldLock {
+  const void* mu;
+  const char* name;
+  int rank;
+};
+
+// Per-thread stack of currently held locks, in acquisition order. Lives in
+// a function-local thread_local so threads created before first use are
+// fine and the vector is destroyed with the thread.
+std::vector<HeldLock>& held_stack() {
+  thread_local std::vector<HeldLock> stack;
+  return stack;
+}
+
+}  // namespace
+
+void lock_order_push(const void* mu, const char* name, int rank) {
+  auto& stack = held_stack();
+  if (!stack.empty() && rank <= stack.back().rank) {
+    // Deliberately abort (not throw): a hierarchy violation is a latent
+    // deadlock, and aborting makes it deterministic and test-assertable.
+    std::fprintf(stderr,
+                 "stellaris lock-order violation: acquiring \"%s\" (rank %d) "
+                 "while holding \"%s\" (rank %d); locks must be acquired in "
+                 "strictly increasing rank order (see DESIGN.md §11)\n",
+                 name, rank, stack.back().name, stack.back().rank);
+    std::abort();
+  }
+  stack.push_back({mu, name, rank});
+}
+
+void lock_order_pop(const void* mu) {
+  auto& stack = held_stack();
+  // Releases are almost always LIFO; MutexLock::unlock() can release out
+  // of order, so search from the back.
+  for (auto it = stack.rbegin(); it != stack.rend(); ++it) {
+    if (it->mu == mu) {
+      stack.erase(std::next(it).base());
+      return;
+    }
+  }
+}
+
+}  // namespace stellaris::detail

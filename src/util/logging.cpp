@@ -53,12 +53,12 @@ Logger& Logger::instance() {
 }
 
 void Logger::set_level(LogLevel level) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   level_ = level;
 }
 
 LogLevel Logger::level() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return level_;
 }
 
@@ -67,7 +67,7 @@ void Logger::write(LogLevel level, const std::string& msg) {
   const int idx = static_cast<int>(level);
   if (idx < 0 || idx > 3) return;
   const std::string ts = log_timestamp();  // format outside the lock
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (static_cast<int>(level) < static_cast<int>(level_)) return;
   std::cerr << "[" << ts << "] [" << kNames[idx] << "] " << msg << '\n';
 }

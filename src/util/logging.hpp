@@ -11,10 +11,11 @@
 // at first use; set_level() overrides it afterwards.
 #pragma once
 
-#include <mutex>
 #include <sstream>
 #include <string>
 #include <string_view>
+
+#include "util/annotated_mutex.hpp"
 
 namespace stellaris {
 
@@ -34,16 +35,18 @@ class Logger {
  public:
   static Logger& instance();
 
-  void set_level(LogLevel level);
-  LogLevel level() const;
+  void set_level(LogLevel level) EXCLUDES(mu_);
+  LogLevel level() const EXCLUDES(mu_);
 
   /// Emit a pre-formatted line at `level` (no-op below threshold).
-  void write(LogLevel level, const std::string& msg);
+  void write(LogLevel level, const std::string& msg) EXCLUDES(mu_);
 
  private:
   Logger();
-  mutable std::mutex mu_;
-  LogLevel level_ = LogLevel::kInfo;
+  // Terminal leaf of the lock hierarchy: every subsystem may log while
+  // holding its own lock, so nothing may be acquired while this is held.
+  mutable Mutex mu_{"util/logger", lock_rank::kLogger};
+  LogLevel level_ GUARDED_BY(mu_) = LogLevel::kInfo;
 };
 
 namespace detail {

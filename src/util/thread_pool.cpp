@@ -15,7 +15,7 @@ ThreadPool::ThreadPool(std::size_t threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stopping_ = true;
   }
   cv_.notify_all();
@@ -24,7 +24,7 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::enqueue(std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (stopping_) throw std::runtime_error("submit on stopped ThreadPool");
     queue_.push(std::move(task));
   }
@@ -36,8 +36,8 @@ void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      MutexLock lock(mu_);
+      while (!work_available()) cv_.wait(mu_);
       if (queue_.empty()) {
         if (stopping_) return;
         continue;
@@ -58,7 +58,7 @@ void ThreadPool::parallel_for(std::size_t n,
   const std::size_t per = n / chunks, rem = n % chunks;
 
   std::latch done(static_cast<std::ptrdiff_t>(chunks));
-  std::mutex err_mu;
+  Mutex err_mu("util/parallel-for-errors", lock_rank::kParallelForErrors);
   std::exception_ptr first_error;
 
   std::size_t begin = 0;
@@ -69,7 +69,7 @@ void ThreadPool::parallel_for(std::size_t n,
       try {
         for (std::size_t i = begin; i < end; ++i) fn(i);
       } catch (...) {
-        std::lock_guard<std::mutex> lock(err_mu);
+        MutexLock lock(err_mu);
         if (!first_error) first_error = std::current_exception();
       }
       done.count_down();

@@ -8,15 +8,15 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "util/annotated_mutex.hpp"
 
 namespace stellaris {
 
@@ -65,14 +65,20 @@ class ThreadPool {
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
 
  private:
-  void worker_loop();
-  void enqueue(std::function<void()> task);
+  void worker_loop() EXCLUDES(mu_);
+  void enqueue(std::function<void()> task) EXCLUDES(mu_);
+
+  /// Wake condition for workers. Also true when stopping (workers drain
+  /// the queue, then exit).
+  bool work_available() const REQUIRES(mu_) {
+    return stopping_ || !queue_.empty();
+  }
 
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> queue_;
-  std::mutex mu_;
-  std::condition_variable cv_;
-  bool stopping_ = false;
+  Mutex mu_{"util/thread-pool", lock_rank::kThreadPool};
+  std::queue<std::function<void()>> queue_ GUARDED_BY(mu_);
+  CondVar cv_;
+  bool stopping_ GUARDED_BY(mu_) = false;
   std::atomic<std::uint64_t> tasks_enqueued_{0};
 };
 

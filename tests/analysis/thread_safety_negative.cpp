@@ -1,0 +1,40 @@
+// Known-bad snippet for the negative-compile ctest.
+//
+// This file is NOT part of any test binary. Under Clang, the
+// `thread_safety_negative_compile` ctest compiles it with
+// -Werror=thread-safety and asserts the compile FAILS (WILL_FAIL): the
+// function below touches a GUARDED_BY field without its mutex and calls a
+// REQUIRES function unlocked. If the capability macros ever silently
+// degrade to no-ops under Clang (a broken #if, a renamed attribute), this
+// file starts compiling and the ctest goes red.
+//
+// A companion `thread_safety_negative_baseline` ctest compiles the same
+// file WITHOUT the -Werror promotion and asserts success, proving the
+// failure above is attributable to the analysis, not to a syntax error.
+
+#include "util/annotated_mutex.hpp"
+
+namespace {
+
+class BadCounter {
+ public:
+  // BAD: writes value_ without holding mu_.
+  void increment_unlocked() { ++value_; }
+
+  // BAD: calls a REQUIRES(mu_) helper without the lock.
+  long read_unlocked() const { return locked_value(); }
+
+ private:
+  long locked_value() const REQUIRES(mu_) { return value_; }
+
+  mutable stellaris::Mutex mu_{"test/bad-counter", 1};
+  long value_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int thread_safety_negative_entry() {
+  BadCounter c;
+  c.increment_unlocked();
+  return static_cast<int>(c.read_unlocked());
+}

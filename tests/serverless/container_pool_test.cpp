@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+
 #include "util/error.hpp"
+#include "util/thread_pool.hpp"
 
 namespace stellaris::serverless {
 namespace {
@@ -80,6 +83,33 @@ TEST(ContainerPool, ReleaseInvalidStatesThrow) {
   EXPECT_THROW(pool.release(0, 0.0), Error);    // not busy
   EXPECT_THROW(pool.release(5, 0.0), Error);    // bad id
   EXPECT_THROW(ContainerPool(0, fast_lat(), 1), Error);
+}
+
+// Regression test for the annotation audit: every pool field used to be
+// mutated with no guard, so concurrent acquire/release from real threads
+// (the real-concurrency driver path) could corrupt slot state and the
+// start counters. Hammer the pool from many threads and check the
+// invariants the mutex now enforces. Run under TSan in CI.
+TEST(ContainerPool, ConcurrentAcquireReleaseKeepsInvariants) {
+  constexpr std::size_t kCapacity = 4;
+  constexpr std::size_t kIters = 2000;
+  ContainerPool pool(kCapacity, fast_lat(), 1);
+  std::atomic<std::uint64_t> acquired{0};
+  std::atomic<bool> overflow{false};
+  ThreadPool threads(8);
+  threads.parallel_for(kIters, [&](std::size_t i) {
+    auto a = pool.acquire(static_cast<double>(i));
+    if (!a) return;
+    acquired.fetch_add(1, std::memory_order_relaxed);
+    if (pool.busy() > kCapacity) overflow.store(true);
+    pool.release(a->container_id, static_cast<double>(i));
+  });
+  EXPECT_FALSE(overflow.load());
+  EXPECT_EQ(pool.busy(), 0u);  // every successful acquire was released
+  EXPECT_GT(acquired.load(), 0u);
+  // Each successful acquisition was either a cold or a warm start.
+  EXPECT_EQ(pool.cold_starts() + pool.warm_starts(), acquired.load());
+  EXPECT_EQ(pool.kills(), 0u);
 }
 
 TEST(ContainerPool, WarmContainersPreferredOverCold) {
