@@ -12,6 +12,11 @@
 // every tensor kernel against its ops::reference seed implementation on a
 // fixed shape set, so the emitted file is a before/after perf trajectory:
 // "reference" is the seed kernel, "value" is the current blocked kernel.
+//
+// A third personality, the cache/serialize harness (--cache-json=<path>,
+// --cache-compare=<path>, --cache), times the zero-copy cache data plane
+// and the single-pass encoders against reimplementations of the seed's
+// copying paths; it shares --max-regress with the kernel harness.
 #include <benchmark/benchmark.h>
 
 #include <chrono>
@@ -20,12 +25,14 @@
 #include <fstream>
 #include <functional>
 #include <limits>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "cache/distributed_cache.hpp"
 #include "core/parameter_function.hpp"
+#include "core/policy_io.hpp"
 #include "envs/env.hpp"
 #include "nn/distributions.hpp"
 #include "rl/actor.hpp"
@@ -278,10 +285,162 @@ std::vector<KernelResult> run_kernel_benches() {
   return out;
 }
 
-void write_kernel_json(const std::string& path,
+// ---------------------------------------------------------------------------
+// Cache / serialization substrate harness
+// ---------------------------------------------------------------------------
+//
+// Same KernelResult shape as the tensor-kernel harness, but "reference" is a
+// faithful reimplementation of the pre-zero-copy data plane: deep-copying
+// cache reads/writes, growing unsized encoders with per-field temporaries,
+// and allocate-per-call decoders. "value" is the current path. Activated by
+// --cache-json / --cache-compare / --cache; shares --max-regress.
+
+/// The old copying encoder: unsized writer (geometric growth) plus a fresh
+/// temporary vector per tensor header — the allocation profile the sized
+/// single-pass encoder replaced.
+std::vector<std::uint8_t> legacy_serialize_batch(const rl::SampleBatch& b) {
+  ByteWriter w;
+  auto put_tensor = [&](const Tensor& t) {
+    std::vector<std::uint64_t> dims(t.shape().begin(), t.shape().end());
+    w.put_u64_vector(dims);
+    w.put_f32_vector(t.vec());
+  };
+  w.put_u8(b.action_kind == nn::ActionKind::kContinuous ? 0 : 1);
+  put_tensor(b.obs);
+  put_tensor(b.actions_cont);
+  w.put_u64_vector(
+      std::vector<std::uint64_t>(b.actions_disc.begin(), b.actions_disc.end()));
+  put_tensor(b.rewards);
+  put_tensor(b.dones);
+  put_tensor(b.behaviour_log_probs);
+  put_tensor(b.values);
+  w.put_f32(b.bootstrap_value);
+  std::vector<std::uint64_t> seg_starts;
+  std::vector<float> seg_boot;
+  for (const auto& s : b.segments) {
+    seg_starts.push_back(s.start);
+    seg_boot.push_back(s.bootstrap);
+  }
+  w.put_u64_vector(seg_starts);
+  w.put_f32_vector(seg_boot);
+  w.put_u64(b.policy_version);
+  put_tensor(b.advantages);
+  put_tensor(b.value_targets);
+  w.put_f64_vector(b.episode_returns);
+  return w.take();
+}
+
+/// The old checkpoint encoder: unsized writer and a per-byte loop for the
+/// optimizer blob.
+std::vector<std::uint8_t> legacy_encode_checkpoint(const core::Checkpoint& c) {
+  ByteWriter w;
+  w.put_u64(c.version);
+  w.put_u64(c.applied_gradients);
+  w.put_f32_vector(c.params);
+  w.put_u64(c.optimizer_state.size());
+  for (std::uint8_t byte : c.optimizer_state) w.put_u8(byte);
+  return w.take();
+}
+
+std::vector<KernelResult> run_cache_benches() {
+  std::vector<KernelResult> out;
+
+  const struct {
+    const char* name;
+    std::size_t bytes;
+  } sizes[] = {{"1KiB", 1024}, {"64KiB", 64 * 1024}, {"1MiB", 1024 * 1024}};
+
+  for (const auto& s : sizes) {
+    const double work = static_cast<double>(s.bytes);
+    cache::DistributedCache cache;
+    cache.put("k", cache::Bytes(s.bytes, 0x5a));
+    out.push_back(
+        {"cache_get", s.name, "gbps", work,
+         // Current read: refcount bump + span view, no byte moves.
+         measure_rate(work, [&] { benchmark::DoNotOptimize(cache.get("k")); }),
+         // Old read: the store handed back a deep copy of the payload.
+         measure_rate(work, [&] {
+           auto v = cache.get("k");
+           cache::Bytes copy(v->bytes().begin(), v->bytes().end());
+           benchmark::DoNotOptimize(copy);
+         })});
+
+    const auto payload =
+        std::make_shared<const cache::Bytes>(cache::Bytes(s.bytes, 0x5a));
+    const cache::Bytes master(s.bytes, 0x5a);
+    out.push_back(
+        {"cache_put", s.name, "gbps", work,
+         // Current write: publishers move/share one refcounted buffer.
+         measure_rate(work, [&] { cache.put("k", payload); }),
+         // Old write: every put copied the caller's buffer into the store.
+         measure_rate(work, [&] { cache.put("k", cache::Bytes(master)); })});
+  }
+
+  {
+    rl::Actor actor(envs::make_env("Hopper"), 1);
+    auto env_spec = envs::env_spec("Hopper");
+    nn::ActorCritic policy(env_spec.obs, env_spec.action_kind,
+                           env_spec.act_dim, nn::NetworkSpec::mujoco(32), 1);
+    auto batch = actor.sample(policy, 128, 0);
+    const auto bytes = batch.serialize();
+    STELLARIS_CHECK_MSG(legacy_serialize_batch(batch) == bytes,
+                        "legacy encoder diverged from the frozen wire format");
+    const double work = static_cast<double>(bytes.size());
+    out.push_back({"serialize_batch", "hopper128", "gbps", work,
+                   measure_rate(work,
+                                [&] {
+                                  benchmark::DoNotOptimize(batch.serialize());
+                                }),
+                   measure_rate(work, [&] {
+                     benchmark::DoNotOptimize(legacy_serialize_batch(batch));
+                   })});
+    rl::SampleBatch scratch;
+    out.push_back(
+        {"deserialize_batch", "hopper128", "gbps", work,
+         // Current decode: tensors land in reused buffers (zero alloc warm).
+         measure_rate(work,
+                      [&] { rl::SampleBatch::deserialize_into(bytes, scratch); }),
+         // Old decode: a fresh batch (and every tensor) allocated per call.
+         measure_rate(work, [&] {
+           benchmark::DoNotOptimize(rl::SampleBatch::deserialize(bytes));
+         })});
+  }
+
+  {
+    core::Checkpoint ckpt;
+    ckpt.params.assign(64 * 1024, 0.5f);
+    ckpt.version = 3;
+    ckpt.applied_gradients = 9;
+    ckpt.optimizer_state.assign(512 * 1024, 0xa7);
+    const auto bytes = core::encode_checkpoint(ckpt);
+    STELLARIS_CHECK_MSG(legacy_encode_checkpoint(ckpt) == bytes,
+                        "legacy encoder diverged from the frozen wire format");
+    const double work = static_cast<double>(bytes.size());
+    out.push_back(
+        {"encode_ckpt", "64k+512KiB", "gbps", work,
+         measure_rate(work,
+                      [&] {
+                        benchmark::DoNotOptimize(core::encode_checkpoint(ckpt));
+                      }),
+         measure_rate(work, [&] {
+           benchmark::DoNotOptimize(legacy_encode_checkpoint(ckpt));
+         })});
+    core::Checkpoint scratch;
+    out.push_back(
+        {"decode_ckpt", "64k+512KiB", "gbps", work,
+         measure_rate(work,
+                      [&] { core::decode_checkpoint_into(bytes, scratch); }),
+         measure_rate(work, [&] {
+           benchmark::DoNotOptimize(core::decode_checkpoint(bytes));
+         })});
+  }
+  return out;
+}
+
+void write_kernel_json(const std::string& path, const std::string& schema,
                        const std::vector<KernelResult>& results) {
   std::ofstream os(path);
-  os << "{\n  \"schema\": \"stellaris-kernel-bench-v1\",\n"
+  os << "{\n  \"schema\": \"" << schema << "\",\n"
      << "  \"kernel_threads\": " << ops::kernel_threads() << ",\n"
      << "  \"entries\": [\n";
   for (std::size_t i = 0; i < results.size(); ++i) {
@@ -325,19 +484,25 @@ double compare_to_baseline(const std::string& path,
   return worst;
 }
 
-int run_kernel_harness(const std::string& json_out,
-                       const std::string& baseline, double max_regress) {
-  const auto results = run_kernel_benches();
+const char* metric_suffix(const std::string& metric) {
+  if (metric == "gflops") return "GF";
+  if (metric == "gbps") return "GB";
+  return "Ge";
+}
+
+int run_harness(const std::vector<KernelResult>& results,
+                const std::string& schema, const std::string& json_out,
+                const std::string& baseline, double max_regress) {
   std::printf("%-18s %-12s %10s %10s %9s\n", "kernel", "shape", "current",
               "reference", "speedup");
   for (const auto& r : results) {
     std::printf("%-18s %-12s %8.2f%s %8.2f%s %8.2fx\n", r.kernel.c_str(),
-                r.shape.c_str(), r.value, r.metric == "gflops" ? "GF" : "Ge",
-                r.reference, r.metric == "gflops" ? "GF" : "Ge",
+                r.shape.c_str(), r.value, metric_suffix(r.metric),
+                r.reference, metric_suffix(r.metric),
                 r.reference > 0.0 ? r.value / r.reference : 0.0);
   }
   if (!json_out.empty()) {
-    write_kernel_json(json_out, results);
+    write_kernel_json(json_out, schema, results);
     std::printf("wrote %s\n", json_out.c_str());
   }
   if (!baseline.empty()) {
@@ -357,9 +522,9 @@ int run_kernel_harness(const std::string& json_out,
 }  // namespace stellaris
 
 int main(int argc, char** argv) {
-  std::string json_out, baseline;
+  std::string json_out, baseline, cache_json, cache_baseline;
   double max_regress = 2.0;
-  bool kernel_mode = false;
+  bool kernel_mode = false, cache_mode = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--json=", 0) == 0) {
@@ -368,15 +533,32 @@ int main(int argc, char** argv) {
     } else if (arg.rfind("--compare=", 0) == 0) {
       baseline = arg.substr(10);
       kernel_mode = true;
+    } else if (arg.rfind("--cache-json=", 0) == 0) {
+      cache_json = arg.substr(13);
+      cache_mode = true;
+    } else if (arg.rfind("--cache-compare=", 0) == 0) {
+      cache_baseline = arg.substr(16);
+      cache_mode = true;
     } else if (arg.rfind("--max-regress=", 0) == 0) {
       max_regress = std::stod(arg.substr(14));
-      kernel_mode = true;
     } else if (arg == "--kernels") {
       kernel_mode = true;
+    } else if (arg == "--cache") {
+      cache_mode = true;
     }
   }
-  if (kernel_mode)
-    return stellaris::run_kernel_harness(json_out, baseline, max_regress);
+  if (kernel_mode || cache_mode) {
+    int rc = 0;
+    if (kernel_mode)
+      rc |= stellaris::run_harness(stellaris::run_kernel_benches(),
+                                   "stellaris-kernel-bench-v1", json_out,
+                                   baseline, max_regress);
+    if (cache_mode)
+      rc |= stellaris::run_harness(stellaris::run_cache_benches(),
+                                   "stellaris-cache-bench-v1", cache_json,
+                                   cache_baseline, max_regress);
+    return rc;
+  }
 
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;

@@ -1,12 +1,32 @@
 #include "cache/distributed_cache.hpp"
 
+#include <algorithm>
+
 #include "obs/obs.hpp"
 #include "util/error.hpp"
 #include "util/logging.hpp"
 
 namespace stellaris::cache {
 
-DistributedCache::DistributedCache() {
+namespace {
+/// FNV-1a 64-bit. Deliberately not std::hash: the stripe a key lands on
+/// must be identical on every platform/stdlib so shard-local effects (e.g.
+/// contention patterns in the real driver) are reproducible.
+std::uint64_t fnv1a(const std::string& s) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+}  // namespace
+
+DistributedCache::DistributedCache(std::size_t num_shards) {
+  if (num_shards == 0) num_shards = 1;
+  shards_.reserve(num_shards);
+  for (std::size_t i = 0; i < num_shards; ++i)
+    shards_.push_back(std::make_unique<Shard>());
   auto& m = obs::metrics();
   m_puts_ = &m.counter("cache.puts");
   m_gets_ = &m.counter("cache.gets");
@@ -26,22 +46,39 @@ DistributedCache::DistributedCache() {
   m_async_timeouts_ = &m.counter("cache.async_timeouts");
 }
 
-CacheValue DistributedCache::read_entry_locked(const Entry& entry) {
-  ++stats_.hits;
+DistributedCache::Shard& DistributedCache::shard_for(
+    const std::string& key) const {
+  return *shards_[fnv1a(key) % shards_.size()];
+}
+
+CacheValue DistributedCache::read_entry_locked(Shard& s,
+                                               const Entry& entry) const {
+  ++s.stats.hits;
   m_hits_->add();
-  stats_.bytes_read += entry.data.size();
-  m_bytes_read_->add(entry.data.size());
+  // Logical bytes "transferred" to the reader — the payload itself is
+  // shared, not copied, but the metric keeps its transfer-volume meaning.
+  s.stats.bytes_read += entry.data->size();
+  m_bytes_read_->add(entry.data->size());
   return CacheValue{entry.data, entry.version};
 }
 
 const DistributedCache::Entry* DistributedCache::find_ready_locked(
-    const std::string& key, std::uint64_t min_version) const {
-  auto it = store_.find(key);
-  if (it == store_.end() || it->second.version <= min_version) return nullptr;
+    const Shard& s, const std::string& key, std::uint64_t min_version) {
+  auto it = s.store.find(key);
+  if (it == s.store.end() || it->second.version <= min_version)
+    return nullptr;
   return &it->second;
 }
 
 std::uint64_t DistributedCache::put(const std::string& key, Bytes value) {
+  // Wrapping moves the byte buffer into the refcounted payload — the heap
+  // block the caller filled is the block every reader will alias.
+  return put(key, std::make_shared<const Bytes>(std::move(value)));
+}
+
+std::uint64_t DistributedCache::put(const std::string& key, Payload value) {
+  if (!value) value = std::make_shared<const Bytes>();
+  Shard& s = shard_for(key);
   std::uint64_t new_version = 0;
   // Async waiters this put satisfies; their callbacks are scheduled (not
   // run) outside the lock, as fresh events at the current virtual time.
@@ -52,29 +89,31 @@ std::uint64_t DistributedCache::put(const std::string& key, Bytes value) {
   };
   std::vector<Ready> ready;
   {
-    MutexLock lock(mu_);
-    auto& entry = store_[key];
-    resident_bytes_ -= entry.data.size();
-    resident_bytes_ += value.size();
-    stats_.bytes_written += value.size();
-    ++stats_.puts;
+    MutexLock lock(s.mu);
+    auto& entry = s.store[key];
+    const std::size_t old_size = entry.data ? entry.data->size() : 0;
+    s.resident_bytes -= old_size;
+    s.resident_bytes += value->size();
+    s.stats.bytes_written += value->size();
+    ++s.stats.puts;
     m_puts_->add();
-    m_bytes_written_->add(value.size());
-    m_resident_bytes_->set(static_cast<double>(resident_bytes_));
+    m_bytes_written_->add(value->size());
+    m_resident_bytes_->add(static_cast<double>(value->size()) -
+                           static_cast<double>(old_size));
     entry.data = std::move(value);
     new_version = ++entry.version;
-    for (auto it = waiters_.begin(); it != waiters_.end();) {
+    for (auto it = s.waiters.begin(); it != s.waiters.end();) {
       if (it->key == key && new_version > it->min_version) {
         if (it->deadline) *it->deadline = true;
         ready.push_back(
-            {it->engine, std::move(it->cb), read_entry_locked(entry)});
-        it = waiters_.erase(it);
+            {it->engine, std::move(it->cb), read_entry_locked(s, entry)});
+        it = s.waiters.erase(it);
       } else {
         ++it;
       }
     }
   }
-  cv_.notify_all();
+  s.cv.notify_all();
   for (auto& r : ready)
     r.engine->schedule_after(
         0.0, [cb = std::move(r.cb), v = std::move(r.value)]() mutable {
@@ -84,20 +123,17 @@ std::uint64_t DistributedCache::put(const std::string& key, Bytes value) {
 }
 
 std::optional<CacheValue> DistributedCache::get(const std::string& key) const {
-  MutexLock lock(mu_);
-  ++stats_.gets;
+  Shard& s = shard_for(key);
+  MutexLock lock(s.mu);
+  ++s.stats.gets;
   m_gets_->add();
-  auto it = store_.find(key);
-  if (it == store_.end()) {
-    ++stats_.misses;
+  auto it = s.store.find(key);
+  if (it == s.store.end()) {
+    ++s.stats.misses;
     m_misses_->add();
     return std::nullopt;
   }
-  ++stats_.hits;
-  m_hits_->add();
-  stats_.bytes_read += it->second.data.size();
-  m_bytes_read_->add(it->second.data.size());
-  return CacheValue{it->second.data, it->second.version};
+  return read_entry_locked(s, it->second);
 }
 
 CacheValue DistributedCache::get_or_throw(const std::string& key) const {
@@ -112,6 +148,7 @@ CacheValue DistributedCache::get_or_throw(const std::string& key) const {
 std::optional<CacheValue> DistributedCache::get_blocking(
     const std::string& key, std::uint64_t min_version,
     std::chrono::milliseconds timeout) {
+  Shard& s = shard_for(key);
   // Real-concurrency path: this thread actually sleeps, so the wait is
   // intentionally measured against the wall clock and recorded under an
   // explicitly real-time debug metric. Nothing result-affecting depends on
@@ -122,14 +159,14 @@ std::optional<CacheValue> DistributedCache::get_blocking(
   std::optional<CacheValue> result;
   double waited_ms = 0.0;
   {
-    MutexLock lock(mu_);
-    const Entry* e = find_ready_locked(key, min_version);
+    MutexLock lock(s.mu);
+    const Entry* e = find_ready_locked(s, key, min_version);
     while (e == nullptr) {
-      if (cv_.wait_until(mu_, deadline) == std::cv_status::timeout) {
-        e = find_ready_locked(key, min_version);  // final re-check
+      if (s.cv.wait_until(s.mu, deadline) == std::cv_status::timeout) {
+        e = find_ready_locked(s, key, min_version);  // final re-check
         break;
       }
-      e = find_ready_locked(key, min_version);
+      e = find_ready_locked(s, key, min_version);
     }
     // Real blocking time for the debug histogram.
     const auto wait_end = std::chrono::steady_clock::now();  // lint:wall-clock-ok
@@ -137,12 +174,12 @@ std::optional<CacheValue> DistributedCache::get_blocking(
         std::chrono::duration<double, std::milli>(wait_end - wait_begin)
             .count();
     m_blocked_wait_real_ms_->observe(waited_ms);
-    ++stats_.gets;
+    ++s.stats.gets;
     m_gets_->add();
     if (e != nullptr) {
-      result = read_entry_locked(*e);
+      result = read_entry_locked(s, *e);
     } else {
-      ++stats_.misses;
+      ++s.stats.misses;
       m_misses_->add();
       m_blocked_timeouts_->add();
     }
@@ -156,14 +193,15 @@ std::optional<CacheValue> DistributedCache::get_blocking(
 std::optional<CacheValue> DistributedCache::get_blocking(
     const std::string& key, std::uint64_t min_version, sim::Engine& engine,
     double timeout_s) {
-  MutexLock lock(mu_);
-  ++stats_.gets;
+  Shard& s = shard_for(key);
+  MutexLock lock(s.mu);
+  ++s.stats.gets;
   m_gets_->add();
-  if (const Entry* e = find_ready_locked(key, min_version))
-    return read_entry_locked(*e);
+  if (const Entry* e = find_ready_locked(s, key, min_version))
+    return read_entry_locked(s, *e);
   // Single-threaded event loop: nothing can publish the key while we
   // "wait", so an unsatisfied read is a deterministic timeout.
-  ++stats_.misses;
+  ++s.stats.misses;
   m_misses_->add();
   m_blocked_timeouts_->add();
   LOG_DEBUG << "virtual blocking read unsatisfied: key=" << key
@@ -176,12 +214,13 @@ void DistributedCache::get_async(const std::string& key,
                                  std::uint64_t min_version,
                                  sim::Engine& engine, double timeout_s,
                                  AsyncCallback cb) {
+  Shard& s = shard_for(key);
   m_async_waits_->add();
-  MutexLock lock(mu_);
-  ++stats_.gets;
+  MutexLock lock(s.mu);
+  ++s.stats.gets;
   m_gets_->add();
-  if (const Entry* e = find_ready_locked(key, min_version)) {
-    CacheValue v = read_entry_locked(*e);
+  if (const Entry* e = find_ready_locked(s, key, min_version)) {
+    CacheValue v = read_entry_locked(s, *e);
     engine.schedule_after(
         0.0, [cb = std::move(cb), v = std::move(v)]() mutable {
           cb(std::move(v));
@@ -189,7 +228,7 @@ void DistributedCache::get_async(const std::string& key,
     return;
   }
   Waiter w;
-  w.id = next_waiter_id_++;
+  w.id = s.next_waiter_id++;
   w.key = key;
   w.min_version = min_version;
   w.engine = &engine;
@@ -197,83 +236,99 @@ void DistributedCache::get_async(const std::string& key,
   if (timeout_s > 0.0) {
     const std::uint64_t id = w.id;
     w.deadline = engine.schedule_cancellable_after(
-        timeout_s, [this, id] { expire_waiter(id); });
+        timeout_s, [this, &s, id] { expire_waiter(s, id); });
   }
-  waiters_.push_back(std::move(w));
+  s.waiters.push_back(std::move(w));
 }
 
-void DistributedCache::expire_waiter(std::uint64_t id) {
+void DistributedCache::expire_waiter(Shard& s, std::uint64_t id) {
   AsyncCallback cb;
   {
-    MutexLock lock(mu_);
-    auto it = waiters_.begin();
-    for (; it != waiters_.end(); ++it)
+    MutexLock lock(s.mu);
+    auto it = s.waiters.begin();
+    for (; it != s.waiters.end(); ++it)
       if (it->id == id) break;
-    if (it == waiters_.end()) return;  // already satisfied or cleared
+    if (it == s.waiters.end()) return;  // already satisfied or cleared
     cb = std::move(it->cb);
-    ++stats_.misses;
+    ++s.stats.misses;
     m_misses_->add();
     m_async_timeouts_->add();
     LOG_DEBUG << "async cache wait timed out: key=" << it->key
               << " min_version=" << it->min_version;
-    waiters_.erase(it);
+    s.waiters.erase(it);
   }
   cb(std::nullopt);
 }
 
 std::size_t DistributedCache::pending_waiters() const {
-  MutexLock lock(mu_);
-  return waiters_.size();
+  std::size_t n = 0;
+  for (const auto& s : shards_) {  // lint:shard-iter-ok — order-independent sum
+    MutexLock lock(s->mu);
+    n += s->waiters.size();
+  }
+  return n;
 }
 
 bool DistributedCache::contains(const std::string& key) const {
-  MutexLock lock(mu_);
-  return store_.count(key) > 0;
+  Shard& s = shard_for(key);
+  MutexLock lock(s.mu);
+  return s.store.count(key) > 0;
 }
 
 std::uint64_t DistributedCache::version(const std::string& key) const {
-  MutexLock lock(mu_);
-  auto it = store_.find(key);
-  return it == store_.end() ? 0 : it->second.version;
+  Shard& s = shard_for(key);
+  MutexLock lock(s.mu);
+  auto it = s.store.find(key);
+  return it == s.store.end() ? 0 : it->second.version;
 }
 
 bool DistributedCache::erase(const std::string& key) {
-  MutexLock lock(mu_);
-  auto it = store_.find(key);
-  if (it == store_.end()) return false;
-  resident_bytes_ -= it->second.data.size();
-  ++stats_.erases;
+  Shard& s = shard_for(key);
+  MutexLock lock(s.mu);
+  auto it = s.store.find(key);
+  if (it == s.store.end()) return false;
+  const std::size_t freed = it->second.data ? it->second.data->size() : 0;
+  s.resident_bytes -= freed;
+  ++s.stats.erases;
   m_erases_->add();
-  m_resident_bytes_->set(static_cast<double>(resident_bytes_));
-  store_.erase(it);
+  m_resident_bytes_->add(-static_cast<double>(freed));
+  s.store.erase(it);
   return true;
 }
 
 std::vector<std::string> DistributedCache::keys_with_prefix(
     const std::string& prefix) const {
-  MutexLock lock(mu_);
   std::vector<std::string> out;
-  for (auto it = store_.lower_bound(prefix); it != store_.end(); ++it) {
-    if (it->first.compare(0, prefix.size(), prefix) != 0) break;
-    out.push_back(it->first);
+  // lint:shard-iter-ok — collected across shards, then sorted below
+  for (const auto& s : shards_) {
+    MutexLock lock(s->mu);
+    for (const auto& [key, entry] : s->store)
+      if (key.compare(0, prefix.size(), prefix) == 0) out.push_back(key);
   }
+  // Lexicographic result regardless of shard count or hash placement.
+  std::sort(out.begin(), out.end());
   return out;
 }
 
 std::size_t DistributedCache::erase_prefix(const std::string& prefix) {
   std::size_t removed = 0;
-  {
-    MutexLock lock(mu_);
-    auto it = store_.lower_bound(prefix);
-    while (it != store_.end() &&
-           it->first.compare(0, prefix.size(), prefix) == 0) {
-      resident_bytes_ -= it->second.data.size();
-      ++stats_.erases;
-      m_erases_->add();
-      it = store_.erase(it);
-      ++removed;
+  // lint:shard-iter-ok — per-key removal; totals are order-independent
+  for (const auto& s : shards_) {
+    std::size_t freed = 0;
+    MutexLock lock(s->mu);
+    for (auto it = s->store.begin(); it != s->store.end();) {
+      if (it->first.compare(0, prefix.size(), prefix) == 0) {
+        freed += it->second.data ? it->second.data->size() : 0;
+        ++s->stats.erases;
+        m_erases_->add();
+        it = s->store.erase(it);
+        ++removed;
+      } else {
+        ++it;
+      }
     }
-    m_resident_bytes_->set(static_cast<double>(resident_bytes_));
+    s->resident_bytes -= freed;
+    m_resident_bytes_->add(-static_cast<double>(freed));
   }
   if (removed > 0)
     LOG_DEBUG << "erased " << removed << " keys with prefix " << prefix;
@@ -281,37 +336,57 @@ std::size_t DistributedCache::erase_prefix(const std::string& prefix) {
 }
 
 std::size_t DistributedCache::num_keys() const {
-  MutexLock lock(mu_);
-  return store_.size();
+  std::size_t n = 0;
+  for (const auto& s : shards_) {  // lint:shard-iter-ok — order-independent sum
+    MutexLock lock(s->mu);
+    n += s->store.size();
+  }
+  return n;
 }
 
 std::size_t DistributedCache::resident_bytes() const {
-  MutexLock lock(mu_);
-  return resident_bytes_;
+  std::size_t n = 0;
+  for (const auto& s : shards_) {  // lint:shard-iter-ok — order-independent sum
+    MutexLock lock(s->mu);
+    n += s->resident_bytes;
+  }
+  return n;
 }
 
 CacheStats DistributedCache::stats() const {
-  MutexLock lock(mu_);
-  return stats_;
+  CacheStats total;
+  for (const auto& s : shards_) {  // lint:shard-iter-ok — order-independent sum
+    MutexLock lock(s->mu);
+    total.puts += s->stats.puts;
+    total.gets += s->stats.gets;
+    total.hits += s->stats.hits;
+    total.misses += s->stats.misses;
+    total.erases += s->stats.erases;
+    total.bytes_written += s->stats.bytes_written;
+    total.bytes_read += s->stats.bytes_read;
+  }
+  return total;
 }
 
 void DistributedCache::reset_stats() {
-  MutexLock lock(mu_);
-  stats_ = CacheStats{};
+  for (const auto& s : shards_) {  // lint:shard-iter-ok — per-shard reset
+    MutexLock lock(s->mu);
+    s->stats = CacheStats{};
+  }
 }
 
 void DistributedCache::clear() {
   std::size_t dropped = 0;
-  {
-    MutexLock lock(mu_);
-    dropped = store_.size();
-    store_.clear();
-    resident_bytes_ = 0;
-    m_resident_bytes_->set(0.0);
-    for (auto& w : waiters_)
+  for (const auto& s : shards_) {  // lint:shard-iter-ok — per-shard clear
+    MutexLock lock(s->mu);
+    dropped += s->store.size();
+    s->store.clear();
+    s->resident_bytes = 0;
+    for (auto& w : s->waiters)
       if (w.deadline) *w.deadline = true;
-    waiters_.clear();
+    s->waiters.clear();
   }
+  m_resident_bytes_->set(0.0);
   if (dropped > 0) LOG_DEBUG << "cache cleared (" << dropped << " keys)";
 }
 

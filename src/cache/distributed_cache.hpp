@@ -10,14 +10,31 @@
 //    multi-threaded driver),
 //  - prefix scans (gradient / trajectory inbox patterns like "grad/*"),
 //  - byte and hit/miss accounting that feeds the data-passing latency model.
+//
+// Data-plane design (DESIGN.md §12):
+//  - **Zero-copy reads.** Entries own their payload through
+//    `std::shared_ptr<const Bytes>`; every read hands back the refcounted
+//    payload plus a span view, so `get`/`get_blocking`/`get_async` and
+//    pub/sub waiters never copy bytes. A put replaces the entry's pointer —
+//    readers still holding the old payload keep a valid immutable snapshot.
+//  - **Sharded store.** Keys hash (FNV-1a, platform-stable) onto N stripes,
+//    each behind its own annotated Mutex at rank `lock_rank::kCache`. The
+//    stripes are rank-equal peers: no code path ever holds two shard locks
+//    at once (whole-cache operations visit shards one at a time in index
+//    order), which the runtime lock-order checker enforces. Aggregate
+//    results (key lists, stats sums) are made deterministic by sorting /
+//    order-independent reduction, so figures are bit-identical for any
+//    shard count.
 #pragma once
 
 #include <chrono>
 #include <cstdint>
 #include <functional>
-#include <map>
+#include <memory>
 #include <optional>
+#include <span>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "obs/metrics.hpp"
@@ -27,11 +44,23 @@
 namespace stellaris::cache {
 
 using Bytes = std::vector<std::uint8_t>;
+/// Immutable refcounted payload: shared between the store and any number
+/// of concurrent readers. Never mutated after publication.
+using Payload = std::shared_ptr<const Bytes>;
 
-/// Value + metadata returned by reads.
+/// Value + metadata returned by reads. Holds the payload alive via the
+/// refcount and exposes it as a span — no byte copy happens on any read
+/// path. The view stays valid for the lifetime of this CacheValue even if
+/// the key is overwritten or erased after the read.
 struct CacheValue {
-  Bytes data;
+  Payload payload;            ///< refcounted ownership of the bytes
   std::uint64_t version = 0;  ///< per-key write counter, starts at 1
+
+  std::span<const std::uint8_t> bytes() const {
+    return payload ? std::span<const std::uint8_t>(*payload)
+                   : std::span<const std::uint8_t>{};
+  }
+  std::size_t size_bytes() const { return payload ? payload->size() : 0; }
 };
 
 /// Aggregate counters (monotonic since construction or reset_stats()).
@@ -47,19 +76,27 @@ struct CacheStats {
 
 class DistributedCache {
  public:
-  DistributedCache();
+  /// Default stripe count: enough to keep put/get contention negligible at
+  /// fig06-scale actor counts while whole-cache scans stay cheap.
+  static constexpr std::size_t kDefaultShards = 8;
+
+  explicit DistributedCache(std::size_t num_shards = kDefaultShards);
   DistributedCache(const DistributedCache&) = delete;
   DistributedCache& operator=(const DistributedCache&) = delete;
 
+  std::size_t num_shards() const { return shards_.size(); }
+
   /// Store (replacing any prior value); returns the new version.
-  std::uint64_t put(const std::string& key, Bytes value) EXCLUDES(mu_);
+  std::uint64_t put(const std::string& key, Bytes value);
+  /// Store an already-refcounted payload (no copy; `value` must not be
+  /// mutated afterwards). Null payloads are stored as empty.
+  std::uint64_t put(const std::string& key, Payload value);
 
   /// Non-blocking read.
-  std::optional<CacheValue> get(const std::string& key) const
-      EXCLUDES(mu_);
+  std::optional<CacheValue> get(const std::string& key) const;
 
   /// Read that throws CacheError on miss — for keys the protocol guarantees.
-  CacheValue get_or_throw(const std::string& key) const EXCLUDES(mu_);
+  CacheValue get_or_throw(const std::string& key) const;
 
   /// Block until `key` exists with version > `min_version`, or timeout.
   /// Returns nullopt on timeout. min_version = 0 accepts any value.
@@ -71,8 +108,7 @@ class DistributedCache {
   /// overload below never sleeps and records no wait time).
   std::optional<CacheValue> get_blocking(const std::string& key,
                                          std::uint64_t min_version,
-                                         std::chrono::milliseconds timeout)
-      EXCLUDES(mu_);
+                                         std::chrono::milliseconds timeout);
 
   /// Virtual-time deadline overload for simulation-driven callers. The
   /// event loop is single-threaded, so no other event can publish the key
@@ -84,7 +120,7 @@ class DistributedCache {
   std::optional<CacheValue> get_blocking(const std::string& key,
                                          std::uint64_t min_version,
                                          sim::Engine& engine,
-                                         double timeout_s) EXCLUDES(mu_);
+                                         double timeout_s);
 
   using AsyncCallback = std::function<void(std::optional<CacheValue>)>;
 
@@ -94,39 +130,38 @@ class DistributedCache {
   /// virtual deadline `engine.now() + timeout_s`. timeout_s <= 0 means no
   /// deadline (the waiter is dropped at clear()).
   void get_async(const std::string& key, std::uint64_t min_version,
-                 sim::Engine& engine, double timeout_s, AsyncCallback cb)
-      EXCLUDES(mu_);
+                 sim::Engine& engine, double timeout_s, AsyncCallback cb);
 
   /// Async waiters currently registered (tests / diagnostics).
-  std::size_t pending_waiters() const EXCLUDES(mu_);
+  std::size_t pending_waiters() const;
 
-  bool contains(const std::string& key) const EXCLUDES(mu_);
+  bool contains(const std::string& key) const;
 
   /// Current version of a key (0 if absent).
-  std::uint64_t version(const std::string& key) const EXCLUDES(mu_);
+  std::uint64_t version(const std::string& key) const;
 
   /// Remove a key; returns whether it existed.
-  bool erase(const std::string& key) EXCLUDES(mu_);
+  bool erase(const std::string& key);
 
-  /// All keys starting with `prefix`, in lexicographic order.
-  std::vector<std::string> keys_with_prefix(const std::string& prefix) const
-      EXCLUDES(mu_);
+  /// All keys starting with `prefix`, in lexicographic order (sorted after
+  /// collection, so the result is identical for any shard count).
+  std::vector<std::string> keys_with_prefix(const std::string& prefix) const;
 
   /// Remove every key with the prefix; returns count removed.
-  std::size_t erase_prefix(const std::string& prefix) EXCLUDES(mu_);
+  std::size_t erase_prefix(const std::string& prefix);
 
-  std::size_t num_keys() const EXCLUDES(mu_);
+  std::size_t num_keys() const;
   /// Total payload bytes currently resident.
-  std::size_t resident_bytes() const EXCLUDES(mu_);
+  std::size_t resident_bytes() const;
 
-  CacheStats stats() const EXCLUDES(mu_);
-  void reset_stats() EXCLUDES(mu_);
+  CacheStats stats() const;
+  void reset_stats();
 
-  void clear() EXCLUDES(mu_);
+  void clear();
 
  private:
   struct Entry {
-    Bytes data;
+    Payload data;  ///< never null once written
     std::uint64_t version = 0;
   };
   /// One registered get_async call awaiting a put (or its deadline).
@@ -138,23 +173,42 @@ class DistributedCache {
     AsyncCallback cb;
     sim::Engine::CancelHandle deadline;  ///< null when timeout_s <= 0
   };
+  /// One lock stripe. All stripes share rank kCache and are never nested;
+  /// whole-cache operations lock them one at a time in index order.
+  struct Shard {
+    Mutex mu{"cache/shard", lock_rank::kCache};
+    CondVar cv;
+    // Per-key versioned entries. Iteration order is shard-private and never
+    // observable: aggregate reads sort (keys_with_prefix) or reduce
+    // order-independently (stats, byte/key counts).
+    // lint:unordered-ok — outputs sorted or order-independent (see above)
+    std::unordered_map<std::string, Entry> store GUARDED_BY(mu);
+    std::vector<Waiter> waiters GUARDED_BY(mu);
+    std::uint64_t next_waiter_id GUARDED_BY(mu) = 0;
+    std::size_t resident_bytes GUARDED_BY(mu) = 0;
+    CacheStats stats GUARDED_BY(mu);
+  };
 
-  /// Account a hit and return the entry's value.
-  CacheValue read_entry_locked(const Entry& entry) REQUIRES(mu_);
+  Shard& shard_for(const std::string& key) const;
+
+  /// Account a hit against `s` and return the entry's refcounted value.
+  /// The single place where hits/bytes_read are bumped: every successful
+  /// read on every path (plain, blocking, async, waiter wake-up) funnels
+  /// through here, so each logical read is counted exactly once.
+  CacheValue read_entry_locked(Shard& s, const Entry& entry) const
+      REQUIRES(s.mu);
   /// The entry for `key` if it exists with version > min_version.
-  const Entry* find_ready_locked(const std::string& key,
-                                 std::uint64_t min_version) const
-      REQUIRES(mu_);
+  static const Entry* find_ready_locked(const Shard& s,
+                                        const std::string& key,
+                                        std::uint64_t min_version)
+      REQUIRES(s.mu);
   /// Deadline event for an async waiter: drop it and fire cb(nullopt).
-  void expire_waiter(std::uint64_t id) EXCLUDES(mu_);
+  void expire_waiter(Shard& s, std::uint64_t id);
 
-  mutable Mutex mu_{"cache/distributed-cache", lock_rank::kCache};
-  CondVar cv_;
-  std::map<std::string, Entry> store_ GUARDED_BY(mu_);
-  std::vector<Waiter> waiters_ GUARDED_BY(mu_);
-  std::uint64_t next_waiter_id_ GUARDED_BY(mu_) = 0;
-  std::size_t resident_bytes_ GUARDED_BY(mu_) = 0;
-  mutable CacheStats stats_ GUARDED_BY(mu_);
+  // Stripes are fixed at construction; the vector itself is immutable, so
+  // unsynchronized shard lookup is safe. unique_ptr keeps Shard addresses
+  // stable (Mutex/CondVar are not movable).
+  std::vector<std::unique_ptr<Shard>> shards_;
 
   // Process-wide observability mirrors of the per-instance stats (resolved
   // once at construction; updates are relaxed atomics).

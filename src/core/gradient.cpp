@@ -3,7 +3,8 @@
 namespace stellaris::core {
 
 std::vector<std::uint8_t> GradientMsg::serialize() const {
-  ByteWriter w;
+  ByteWriter w(wire::size_f32_vector(grad.size()) + wire::size_u64() * 3 +
+               wire::size_f64() * 3);
   w.put_f32_vector(grad);
   w.put_u64(learner_id);
   w.put_u64(pulled_version);
@@ -14,17 +15,21 @@ std::vector<std::uint8_t> GradientMsg::serialize() const {
   return w.take();
 }
 
-GradientMsg GradientMsg::deserialize(const std::vector<std::uint8_t>& bytes) {
-  ByteReader r(bytes);
+GradientMsg GradientMsg::deserialize(ByteSpan bytes) {
   GradientMsg m;
-  m.grad = r.get_f32_vector();
-  m.learner_id = r.get_u64();
-  m.pulled_version = r.get_u64();
-  m.mean_ratio = r.get_f64();
-  m.batch_size = r.get_u64();
-  m.kl = r.get_f64();
-  m.compute_time_s = r.get_f64();
+  deserialize_into(bytes, m);
   return m;
+}
+
+void GradientMsg::deserialize_into(ByteSpan bytes, GradientMsg& out) {
+  ByteReader r(bytes);
+  r.get_f32_vector_into(out.grad);
+  out.learner_id = r.get_u64();
+  out.pulled_version = r.get_u64();
+  out.mean_ratio = r.get_f64();
+  out.batch_size = r.get_u64();
+  out.kl = r.get_f64();
+  out.compute_time_s = r.get_f64();
 }
 
 }  // namespace stellaris::core

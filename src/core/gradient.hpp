@@ -22,7 +22,9 @@ struct GradientMsg {
   double compute_time_s = 0.0;      ///< virtual seconds spent computing
 
   std::vector<std::uint8_t> serialize() const;
-  static GradientMsg deserialize(const std::vector<std::uint8_t>& bytes);
+  static GradientMsg deserialize(ByteSpan bytes);
+  /// Decode into an existing message, reusing its grad buffer's capacity.
+  static void deserialize_into(ByteSpan bytes, GradientMsg& out);
 };
 
 }  // namespace stellaris::core

@@ -8,6 +8,8 @@
 #include <utility>
 #include <vector>
 
+#include "util/serialize.hpp"
+
 namespace stellaris::core {
 
 /// Cache key layout:
@@ -35,14 +37,17 @@ struct Checkpoint {
 };
 
 std::vector<std::uint8_t> encode_checkpoint(const Checkpoint& ckpt);
-Checkpoint decode_checkpoint(const std::vector<std::uint8_t>& bytes);
+Checkpoint decode_checkpoint(ByteSpan bytes);
+/// Decode into an existing Checkpoint, reusing its buffers' capacity.
+void decode_checkpoint_into(ByteSpan bytes, Checkpoint& out);
 
 /// Encode flat policy weights with their version.
 std::vector<std::uint8_t> encode_policy(const std::vector<float>& params,
                                         std::uint64_t version);
 
 /// Decode (params, version).
-std::pair<std::vector<float>, std::uint64_t> decode_policy(
-    const std::vector<std::uint8_t>& bytes);
+std::pair<std::vector<float>, std::uint64_t> decode_policy(ByteSpan bytes);
+/// Decode into an existing params buffer (capacity reuse); returns version.
+std::uint64_t decode_policy_into(ByteSpan bytes, std::vector<float>& params);
 
 }  // namespace stellaris::core

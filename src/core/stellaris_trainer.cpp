@@ -78,6 +78,8 @@ StellarisTrainer::StellarisTrainer(TrainConfig cfg)
     m_round_reward_ = &m.gauge("trainer.round_reward");
     m_checkpoints_ = &m.counter("trainer.checkpoints");
     m_restores_ = &m.counter("trainer.restores");
+    m_policy_decodes_ = &m.counter("trainer.policy_decodes");
+    m_policy_pull_reuses_ = &m.counter("trainer.policy_pull_reuses");
   }
   platform_ = std::make_unique<serverless::ServerlessPlatform>(
       engine_, cfg_.cluster, cfg_.latency, cfg_.seed ^ 0x9e37ULL);
@@ -135,13 +137,25 @@ namespace {
 constexpr double kCacheReadDeadlineS = 30.0;
 }  // namespace
 
-StellarisTrainer::PolicySnapshot StellarisTrainer::latest_policy() {
+StellarisTrainer::PolicyRef StellarisTrainer::latest_policy() {
   const auto value = cache_.get_blocking(keys::kPolicyLatest, 0, engine_,
                                          kCacheReadDeadlineS);
   if (!value)
     throw CacheError("policy/latest missing past its virtual deadline");
-  auto [params, version] = decode_policy(value->data);
-  return {std::move(params), version};
+  // Version-gated pull: the cache entry's put counter tells us whether the
+  // bytes changed since the last decode. Unchanged ⇒ every concurrent
+  // puller shares the previously decoded (immutable) snapshot; the decode
+  // runs once per published policy version.
+  if (decoded_policy_ && value->version == decoded_policy_entry_version_) {
+    m_policy_pull_reuses_->add();
+    return decoded_policy_;
+  }
+  auto snap = std::make_shared<PolicySnapshot>();
+  snap->version = decode_policy_into(value->bytes(), snap->params);
+  decoded_policy_ = std::move(snap);
+  decoded_policy_entry_version_ = value->version;
+  m_policy_decodes_->add();
+  return decoded_policy_;
 }
 
 obs::TrackId StellarisTrainer::trainer_track(obs::TraceRecorder* tr) const {
@@ -243,7 +257,7 @@ TrainResult StellarisTrainer::train() {
 
 void StellarisTrainer::launch_actor(std::size_t actor_idx) {
   if (done_) return;
-  auto snapshot = std::make_shared<PolicySnapshot>();
+  auto pulled = std::make_shared<PolicyRef>();
 
   serverless::ServerlessPlatform::InvokeOptions opts;
   opts.kind = serverless::FnKind::kActor;
@@ -256,15 +270,15 @@ void StellarisTrainer::launch_actor(std::size_t actor_idx) {
   opts.span_name = "actor_sampling";
   // Step ①: pull the latest policy when the actor starts. Fires once per
   // retry attempt, so a re-invoked actor samples under a FRESH snapshot.
-  opts.on_start = [this, snapshot](double) { *snapshot = latest_policy(); };
+  opts.on_start = [this, pulled](double) { *pulled = latest_policy(); };
   platform_->invoke_retrying(
-      opts, cfg_.retry, [this, actor_idx, snapshot](const auto& r) {
-        on_actor_complete(actor_idx, snapshot, r);
+      opts, cfg_.retry, [this, actor_idx, pulled](const auto& r) {
+        on_actor_complete(actor_idx, pulled, r);
       });
 }
 
 void StellarisTrainer::on_actor_complete(
-    std::size_t actor_idx, const std::shared_ptr<PolicySnapshot>& snapshot,
+    std::size_t actor_idx, const PolicyPull& pulled,
     const serverless::ServerlessPlatform::InvokeResult& r) {
   retry_wait_accum_ += r.retry_wait_s;
   if (!r.ok) {
@@ -279,10 +293,12 @@ void StellarisTrainer::on_actor_complete(
   result_.breakdown.actor_sample_s += r.compute_s + r.start_latency_s;
   result_.breakdown.data_load_s += r.transfer_s;
 
-  // Real sampling under the snapshot policy.
-  actor_model_->set_flat_params(snapshot->params);
+  // Real sampling under the snapshot policy (shared immutable decode —
+  // never written through).
+  const PolicySnapshot& snapshot = **pulled;
+  actor_model_->set_flat_params(snapshot.params);
   rl::SampleBatch batch = actors_[actor_idx]->sample(
-      *actor_model_, cfg_.horizon, snapshot->version);
+      *actor_model_, cfg_.horizon, snapshot.version);
   const std::uint64_t traj_id = next_traj_id_++;
   auto bytes = batch.serialize();
   // GPU data loader (§V-B): start the cache→GPU pre-load immediately so the
@@ -293,7 +309,7 @@ void StellarisTrainer::on_actor_complete(
     tr->instant(trainer_track(tr), "traj_published", "trainer", engine_.now(),
                 {{"traj_id", traj_id},
                  {"actor", actor_idx},
-                 {"policy_version", snapshot->version}});
+                 {"policy_version", snapshot.version}});
   cache_.put(keys::trajectory(traj_id), std::move(bytes));
   pending_trajs_.push_back(traj_id);
   note_pending_trajs();
@@ -348,7 +364,7 @@ void StellarisTrainer::maybe_launch_learner() {
     result_.breakdown.data_load_s += preload_wait_s;
     ++active_learners_;
     const std::uint64_t learner_id = next_learner_id_++;
-    auto snapshot = std::make_shared<PolicySnapshot>();
+    auto pulled = std::make_shared<PolicyRef>();
 
     serverless::ServerlessPlatform::InvokeOptions opts;
     opts.kind = serverless::FnKind::kLearner;
@@ -365,20 +381,20 @@ void StellarisTrainer::maybe_launch_learner() {
     // the in-flight version multiset must be withdrawn before the fresh
     // snapshot's version is inserted, or SSP gating would track ghosts.
     auto inserted = std::make_shared<std::optional<std::uint64_t>>();
-    opts.on_start = [this, snapshot, inserted](double) {
+    opts.on_start = [this, pulled, inserted](double) {
       if (inserted->has_value()) {
         auto it = inflight_pulled_versions_.find(**inserted);
         if (it != inflight_pulled_versions_.end())
           inflight_pulled_versions_.erase(it);
       }
-      *snapshot = latest_policy();
-      inflight_pulled_versions_.insert(snapshot->version);
-      *inserted = snapshot->version;
+      *pulled = latest_policy();
+      inflight_pulled_versions_.insert((*pulled)->version);
+      *inserted = (*pulled)->version;
     };
     platform_->invoke_retrying(
         opts, cfg_.retry,
-        [this, learner_id, snapshot, traj_ids](const auto& r) {
-          on_learner_complete(learner_id, snapshot, traj_ids, r);
+        [this, learner_id, pulled, traj_ids](const auto& r) {
+          on_learner_complete(learner_id, pulled, traj_ids, r);
         });
   }
   // Demand resumed: re-invoke backpressured actors.
@@ -392,12 +408,13 @@ void StellarisTrainer::maybe_launch_learner() {
 }
 
 void StellarisTrainer::on_learner_complete(
-    std::uint64_t learner_id, const std::shared_ptr<PolicySnapshot>& snapshot,
+    std::uint64_t learner_id, const PolicyPull& pulled,
     const std::vector<std::uint64_t>& traj_ids,
     const serverless::ServerlessPlatform::InvokeResult& r) {
   retry_wait_accum_ += r.retry_wait_s;
   {
-    auto it = inflight_pulled_versions_.find(snapshot->version);
+    const std::uint64_t pulled_version = *pulled ? (*pulled)->version : 0;
+    auto it = inflight_pulled_versions_.find(pulled_version);
     if (it != inflight_pulled_versions_.end())
       inflight_pulled_versions_.erase(it);
   }
@@ -426,21 +443,30 @@ void StellarisTrainer::on_learner_complete(
   result_.breakdown.data_load_s += r.transfer_s / 2.0;
 
   if (!done_) {
-    // Real gradient computation under the pulled policy.
-    std::vector<rl::SampleBatch> parts;
-    parts.reserve(traj_ids.size());
-    for (std::uint64_t id : traj_ids) {
+    // Real gradient computation under the pulled policy. Trajectory ingest
+    // is zero-copy + zero-alloc once warm: the read hands back a refcounted
+    // view of the cached bytes (still valid after the erase below), and
+    // deserialize_into reuses the scratch batches' tensor buffers.
+    if (traj_parts_scratch_.size() < traj_ids.size())
+      traj_parts_scratch_.resize(traj_ids.size());
+    for (std::size_t i = 0; i < traj_ids.size(); ++i) {
+      const std::uint64_t id = traj_ids[i];
       const auto value = cache_.get_blocking(keys::trajectory(id), 0, engine_,
                                              kCacheReadDeadlineS);
       if (!value)
         throw CacheError("trajectory " + std::to_string(id) +
                          " missing past its virtual deadline");
-      parts.push_back(rl::SampleBatch::deserialize(value->data));
+      rl::SampleBatch::deserialize_into(value->bytes(),
+                                        traj_parts_scratch_[i]);
       cache_.erase(keys::trajectory(id));
     }
-    rl::SampleBatch batch =
-        parts.size() == 1 ? std::move(parts.front())
-                          : rl::SampleBatch::concat(parts);
+    if (traj_ids.size() > 1)
+      concat_scratch_ = rl::SampleBatch::concat(
+          std::span(traj_parts_scratch_.data(), traj_ids.size()));
+    // Mutable: compute_learner_update fills advantages in place; the next
+    // deserialize_into fully overwrites the scratch from the wire.
+    rl::SampleBatch& batch =
+        traj_ids.size() == 1 ? traj_parts_scratch_.front() : concat_scratch_;
 
     // Learner function body (shared with the sync baselines): bounded local
     // Adam epochs; the submitted "gradient" is the cumulative parameter
@@ -448,8 +474,9 @@ void StellarisTrainer::on_learner_complete(
     // under the staleness and truncation weights.
     if (cfg_.algorithm == Algorithm::kImpact)
       target_model_->set_flat_params(target_params_);
+    const PolicySnapshot& snapshot = **pulled;
     LearnerUpdate update = compute_learner_update(
-        cfg_, *learner_model_, *target_model_, snapshot->params, batch);
+        cfg_, *learner_model_, *target_model_, snapshot.params, batch);
     const rl::LossStats& stats = update.stats;
 
     acc_learner_kl_ += stats.kl;
@@ -461,7 +488,7 @@ void StellarisTrainer::on_learner_complete(
     GradientMsg msg;
     msg.grad = std::move(update.delta);
     msg.learner_id = learner_id;
-    msg.pulled_version = snapshot->version;
+    msg.pulled_version = snapshot.version;
     msg.mean_ratio = stats.mean_ratio;
     msg.batch_size = batch.size();
     msg.kl = stats.kl;
@@ -628,7 +655,7 @@ void StellarisTrainer::recover_param_fn(
   LOG_DEBUG << "parameter function failed; dropping " << group.size()
             << " gradients and restoring from checkpoint";
   if (const auto ckpt = cache_.get(keys::kCheckpoint)) {
-    param_fn_->restore_state(decode_checkpoint(ckpt->data));
+    param_fn_->restore_state(decode_checkpoint(ckpt->bytes()));
     ++restores_;
     m_restores_->add();
     if (auto* tr = obs::trace())

@@ -53,16 +53,21 @@ class StellarisTrainer {
     std::vector<float> params;
     std::uint64_t version = 0;
   };
+  /// Immutable decoded policy, shared by every in-flight function that
+  /// pulled the same `policy/latest` cache version (version-gated pulls:
+  /// deserialize once per version, never mutate a published snapshot).
+  using PolicyRef = std::shared_ptr<const PolicySnapshot>;
+  /// Per-invocation box for the snapshot a container pulled at start.
+  /// Each retry attempt re-points it at the then-latest policy.
+  using PolicyPull = std::shared_ptr<PolicyRef>;
 
   void launch_actor(std::size_t actor_idx);
-  void on_actor_complete(std::size_t actor_idx,
-                         const std::shared_ptr<PolicySnapshot>& snapshot,
+  void on_actor_complete(std::size_t actor_idx, const PolicyPull& pulled,
                          const serverless::ServerlessPlatform::InvokeResult& r);
   void maybe_launch_learner();
   bool ssp_blocks_launch() const;
   void on_learner_complete(
-      std::uint64_t learner_id,
-      const std::shared_ptr<PolicySnapshot>& snapshot,
+      std::uint64_t learner_id, const PolicyPull& pulled,
       const std::vector<std::uint64_t>& traj_ids,
       const serverless::ServerlessPlatform::InvokeResult& r);
   void on_gradient(GradientMsg msg);
@@ -76,7 +81,10 @@ class StellarisTrainer {
   /// Periodic checkpoint of the parameter state to the cache.
   void maybe_checkpoint(std::uint64_t new_version);
   std::size_t effective_checkpoint_interval() const;
-  PolicySnapshot latest_policy();
+  /// Pull `policy/latest`, decoding only when the cache entry's version
+  /// changed since the previous pull (otherwise the cached decoded
+  /// snapshot is shared with the caller).
+  PolicyRef latest_policy();
   std::size_t learner_limit() const;
   obs::TrackId trainer_track(obs::TraceRecorder* tr) const;
   void note_grad_queue_depth();
@@ -123,6 +131,14 @@ class StellarisTrainer {
   std::vector<std::size_t> paused_actors_;  // backpressured actor indices
   std::unique_ptr<serverless::GpuDataLoader> data_loader_;
   std::map<std::uint64_t, std::uint64_t> traj_loader_ids_;  // traj -> loader
+  // Version-gated pull state: last decoded policy snapshot and the cache
+  // entry version (put counter) it was decoded from.
+  PolicyRef decoded_policy_;
+  std::uint64_t decoded_policy_entry_version_ = 0;
+  // Trajectory-ingest scratch: deserialize_into reuses these batches'
+  // tensor buffers across learner completions (zero-alloc once warm).
+  std::vector<rl::SampleBatch> traj_parts_scratch_;
+  rl::SampleBatch concat_scratch_;
   std::multiset<std::uint64_t> inflight_pulled_versions_;  // SSP gating
   std::vector<float> target_params_;  // IMPACT target network
   std::size_t updates_since_target_ = 0;
@@ -152,6 +168,8 @@ class StellarisTrainer {
   obs::Gauge* m_round_reward_;
   obs::Counter* m_checkpoints_;
   obs::Counter* m_restores_;
+  obs::Counter* m_policy_decodes_;
+  obs::Counter* m_policy_pull_reuses_;
   double last_round_end_s_ = 0.0;
 
   TrainResult result_;

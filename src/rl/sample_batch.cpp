@@ -7,79 +7,111 @@
 namespace stellaris::rl {
 
 namespace {
-void put_tensor(ByteWriter& w, const Tensor& t) {
-  std::vector<std::uint64_t> dims(t.shape().begin(), t.shape().end());
-  w.put_u64_vector(dims);
-  w.put_f32_vector(t.vec());
-}
-
-Tensor get_tensor(ByteReader& r) {
-  const auto dims = r.get_u64_vector();
-  Shape shape(dims.begin(), dims.end());
-  auto data = r.get_f32_vector();
-  return Tensor(std::move(shape), std::move(data));
+/// Wire footprint of one tensor field: dims as u64vec + data as f32vec.
+std::size_t tensor_wire_size(const Tensor& t) {
+  return wire::size_u64_vector(t.shape().size()) +
+         wire::size_f32_vector(t.numel());
 }
 }  // namespace
 
 std::vector<std::uint8_t> SampleBatch::serialize() const {
-  ByteWriter w;
+  // Single-pass encode: exact size first, then one allocation and pure
+  // memcpy appends (tensor data goes out as whole spans).
+  const std::size_t total =
+      wire::size_u8() + tensor_wire_size(obs) + tensor_wire_size(actions_cont) +
+      wire::size_u64_vector(actions_disc.size()) + tensor_wire_size(rewards) +
+      tensor_wire_size(dones) + tensor_wire_size(behaviour_log_probs) +
+      tensor_wire_size(values) + wire::size_f32() +
+      wire::size_u64_vector(segments.size()) +
+      wire::size_f32_vector(segments.size()) + wire::size_u64() +
+      tensor_wire_size(advantages) + tensor_wire_size(value_targets) +
+      wire::size_f64_vector(episode_returns.size());
+  ByteWriter w(total);
+  std::vector<std::uint64_t> dims;  // scratch reused across tensor headers
+  auto put_tensor = [&](const Tensor& t) {
+    dims.assign(t.shape().begin(), t.shape().end());
+    w.put_u64_span(dims);
+    w.put_f32_span(t.vec());
+  };
   w.put_u8(action_kind == nn::ActionKind::kContinuous ? 0 : 1);
-  put_tensor(w, obs);
-  put_tensor(w, actions_cont);
+  put_tensor(obs);
+  put_tensor(actions_cont);
   {
-    std::vector<std::uint64_t> acts(actions_disc.begin(), actions_disc.end());
-    w.put_u64_vector(acts);
+    dims.assign(actions_disc.begin(), actions_disc.end());
+    w.put_u64_span(dims);
   }
-  put_tensor(w, rewards);
-  put_tensor(w, dones);
-  put_tensor(w, behaviour_log_probs);
-  put_tensor(w, values);
+  put_tensor(rewards);
+  put_tensor(dones);
+  put_tensor(behaviour_log_probs);
+  put_tensor(values);
   w.put_f32(bootstrap_value);
   {
     std::vector<std::uint64_t> seg_starts;
     std::vector<float> seg_boot;
+    seg_starts.reserve(segments.size());
+    seg_boot.reserve(segments.size());
     for (const auto& s : segments) {
       seg_starts.push_back(s.start);
       seg_boot.push_back(s.bootstrap);
     }
-    w.put_u64_vector(seg_starts);
-    w.put_f32_vector(seg_boot);
+    w.put_u64_span(seg_starts);
+    w.put_f32_span(seg_boot);
   }
   w.put_u64(policy_version);
-  put_tensor(w, advantages);
-  put_tensor(w, value_targets);
+  put_tensor(advantages);
+  put_tensor(value_targets);
   w.put_f64_vector(episode_returns);
   return w.take();
 }
 
-SampleBatch SampleBatch::deserialize(const std::vector<std::uint8_t>& bytes) {
-  ByteReader r(bytes);
+SampleBatch SampleBatch::deserialize(ByteSpan bytes) {
   SampleBatch b;
-  b.action_kind = r.get_u8() == 0 ? nn::ActionKind::kContinuous
-                                  : nn::ActionKind::kDiscrete;
-  b.obs = get_tensor(r);
-  b.actions_cont = get_tensor(r);
+  deserialize_into(bytes, b);
+  return b;
+}
+
+void SampleBatch::deserialize_into(ByteSpan bytes, SampleBatch& out) {
+  ByteReader r(bytes);
+  out.action_kind = r.get_u8() == 0 ? nn::ActionKind::kContinuous
+                                    : nn::ActionKind::kDiscrete;
+  std::vector<std::uint64_t> dims;  // scratch reused across tensor headers
+  Shape shape;
+  auto get_tensor = [&](Tensor& t) {
+    r.get_u64_vector_into(dims);
+    shape.assign(dims.begin(), dims.end());
+    // ensure_shape reuses t's buffer capacity; the vector read then lands
+    // directly in the tensor's storage (one memcpy, no allocation once the
+    // destination batch has seen this shape).
+    t.ensure_shape(shape);
+    const std::size_t n = r.get_f32_vector_into(t.vec());
+    if (n != shape_numel(shape))
+      throw Error("SampleBatch tensor data/shape mismatch: " +
+                  std::to_string(n) + " elements for " + shape_str(shape));
+  };
+  get_tensor(out.obs);
+  get_tensor(out.actions_cont);
   {
-    const auto acts = r.get_u64_vector();
-    b.actions_disc.assign(acts.begin(), acts.end());
+    r.get_u64_vector_into(dims);
+    out.actions_disc.assign(dims.begin(), dims.end());
   }
-  b.rewards = get_tensor(r);
-  b.dones = get_tensor(r);
-  b.behaviour_log_probs = get_tensor(r);
-  b.values = get_tensor(r);
-  b.bootstrap_value = r.get_f32();
+  get_tensor(out.rewards);
+  get_tensor(out.dones);
+  get_tensor(out.behaviour_log_probs);
+  get_tensor(out.values);
+  out.bootstrap_value = r.get_f32();
   {
     const auto seg_starts = r.get_u64_vector();
     const auto seg_boot = r.get_f32_vector();
+    out.segments.clear();
+    out.segments.reserve(seg_starts.size());
     for (std::size_t i = 0; i < seg_starts.size(); ++i)
-      b.segments.push_back(
+      out.segments.push_back(
           {static_cast<std::size_t>(seg_starts[i]), seg_boot[i]});
   }
-  b.policy_version = r.get_u64();
-  b.advantages = get_tensor(r);
-  b.value_targets = get_tensor(r);
-  b.episode_returns = r.get_f64_vector();
-  return b;
+  out.policy_version = r.get_u64();
+  get_tensor(out.advantages);
+  get_tensor(out.value_targets);
+  r.get_f64_vector_into(out.episode_returns);
 }
 
 std::vector<SampleBatch::SegmentView> SampleBatch::segment_views() const {
@@ -96,7 +128,7 @@ std::vector<SampleBatch::SegmentView> SampleBatch::segment_views() const {
   return views;
 }
 
-SampleBatch SampleBatch::concat(const std::vector<SampleBatch>& parts) {
+SampleBatch SampleBatch::concat(std::span<const SampleBatch> parts) {
   STELLARIS_CHECK_MSG(!parts.empty(), "concat of zero batches");
   SampleBatch out;
   out.action_kind = parts.front().action_kind;

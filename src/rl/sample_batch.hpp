@@ -67,11 +67,20 @@ struct SampleBatch {
 
   /// Wire round-trip (the "pickle" of the system).
   std::vector<std::uint8_t> serialize() const;
-  static SampleBatch deserialize(const std::vector<std::uint8_t>& bytes);
+  static SampleBatch deserialize(ByteSpan bytes);
+  /// Decode into an existing batch, reusing its tensor buffers (zero
+  /// allocations once `out` has seen the incoming shapes).
+  static void deserialize_into(ByteSpan bytes, SampleBatch& out);
 
   /// Concatenate batches (all must share layout and policy version rules
   /// don't apply — used by learners that merge several actor submissions).
-  static SampleBatch concat(const std::vector<SampleBatch>& parts);
+  static SampleBatch concat(std::span<const SampleBatch> parts);
+  static SampleBatch concat(const std::vector<SampleBatch>& parts) {
+    return concat(std::span<const SampleBatch>(parts));
+  }
+  static SampleBatch concat(std::initializer_list<SampleBatch> parts) {
+    return concat(std::span<const SampleBatch>(parts.begin(), parts.size()));
+  }
 
   /// Rows `idx` as a new batch (for minibatch SGD).
   SampleBatch select(const std::vector<std::size_t>& idx) const;

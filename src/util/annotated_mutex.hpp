@@ -100,6 +100,9 @@ namespace stellaris {
 /// every lock they may hold a lock across, and smaller than every lock
 /// they acquire while held.
 namespace lock_rank {
+// Every cache stripe (DistributedCache's per-shard mutexes) shares kCache:
+// stripes are peers that must never nest, and the strictly-greater check
+// makes a nested stripe acquisition abort (DESIGN.md §12).
 inline constexpr int kCache = 100;
 inline constexpr int kContainerPool = 120;
 inline constexpr int kKernelPool = 150;

@@ -2,67 +2,43 @@
 
 namespace stellaris {
 
-namespace {
-template <typename T>
-void append_raw(std::vector<std::uint8_t>& buf, T v) {
-  const auto* p = reinterpret_cast<const std::uint8_t*>(&v);
-  buf.insert(buf.end(), p, p + sizeof(T));
-}
-}  // namespace
+void ByteWriter::put_u32(std::uint32_t v) { put_tagged(wire::kU32, v); }
 
-void ByteWriter::put_u32(std::uint32_t v) {
-  buf_.push_back(wire::kU32);
-  append_raw(buf_, v);
-}
+void ByteWriter::put_u64(std::uint64_t v) { put_tagged(wire::kU64, v); }
 
-void ByteWriter::put_u64(std::uint64_t v) {
-  buf_.push_back(wire::kU64);
-  append_raw(buf_, v);
-}
+void ByteWriter::put_i64(std::int64_t v) { put_tagged(wire::kI64, v); }
 
-void ByteWriter::put_i64(std::int64_t v) {
-  buf_.push_back(wire::kI64);
-  append_raw(buf_, v);
-}
+void ByteWriter::put_f32(float v) { put_tagged(wire::kF32, v); }
 
-void ByteWriter::put_f32(float v) {
-  buf_.push_back(wire::kF32);
-  append_raw(buf_, v);
-}
-
-void ByteWriter::put_f64(double v) {
-  buf_.push_back(wire::kF64);
-  append_raw(buf_, v);
-}
+void ByteWriter::put_f64(double v) { put_tagged(wire::kF64, v); }
 
 void ByteWriter::put_string(const std::string& s) {
-  buf_.push_back(wire::kString);
-  append_raw(buf_, static_cast<std::uint32_t>(s.size()));
+  put_tagged(wire::kString, static_cast<std::uint32_t>(s.size()));
   buf_.insert(buf_.end(), s.begin(), s.end());
 }
 
-void ByteWriter::put_f32_vector(const std::vector<float>& v) {
-  buf_.push_back(wire::kF32Vec);
-  append_raw(buf_, static_cast<std::uint64_t>(v.size()));
+void ByteWriter::put_f32_span(std::span<const float> v) {
+  put_tagged(wire::kF32Vec, static_cast<std::uint64_t>(v.size()));
   if (v.empty()) return;  // null data() + 0 is UB in pointer arithmetic
-  const auto* p = reinterpret_cast<const std::uint8_t*>(v.data());
-  buf_.insert(buf_.end(), p, p + v.size() * sizeof(float));
+  append_raw(v.data(), v.size() * sizeof(float));
 }
 
-void ByteWriter::put_f64_vector(const std::vector<double>& v) {
-  buf_.push_back(wire::kF64Vec);
-  append_raw(buf_, static_cast<std::uint64_t>(v.size()));
+void ByteWriter::put_f64_span(std::span<const double> v) {
+  put_tagged(wire::kF64Vec, static_cast<std::uint64_t>(v.size()));
   if (v.empty()) return;
-  const auto* p = reinterpret_cast<const std::uint8_t*>(v.data());
-  buf_.insert(buf_.end(), p, p + v.size() * sizeof(double));
+  append_raw(v.data(), v.size() * sizeof(double));
 }
 
-void ByteWriter::put_u64_vector(const std::vector<std::uint64_t>& v) {
-  buf_.push_back(wire::kU64Vec);
-  append_raw(buf_, static_cast<std::uint64_t>(v.size()));
+void ByteWriter::put_u64_span(std::span<const std::uint64_t> v) {
+  put_tagged(wire::kU64Vec, static_cast<std::uint64_t>(v.size()));
   if (v.empty()) return;
-  const auto* p = reinterpret_cast<const std::uint8_t*>(v.data());
-  buf_.insert(buf_.end(), p, p + v.size() * sizeof(std::uint64_t));
+  append_raw(v.data(), v.size() * sizeof(std::uint64_t));
+}
+
+void ByteWriter::put_bytes(ByteSpan blob) {
+  put_tagged(wire::kU64, static_cast<std::uint64_t>(blob.size()));
+  if (blob.empty()) return;
+  append_raw(blob.data(), blob.size());
 }
 
 namespace {
@@ -109,35 +85,69 @@ std::string ByteReader::get_string() {
   return s;
 }
 
+std::size_t ByteReader::vec_header(std::uint8_t tag, const char* what,
+                                   std::size_t elem_size) {
+  expect_tag(get_u8(), tag, what);
+  const auto n = static_cast<std::size_t>(raw<std::uint64_t>());
+  need(n * elem_size);
+  return n;
+}
+
 std::vector<float> ByteReader::get_f32_vector() {
-  expect_tag(get_u8(), wire::kF32Vec, "f32vec");
-  const auto n = raw<std::uint64_t>();
-  need(n * sizeof(float));
-  std::vector<float> v(n);
-  if (n != 0) std::memcpy(v.data(), data_ + pos_, n * sizeof(float));
-  pos_ += n * sizeof(float);
+  std::vector<float> v;
+  get_f32_vector_into(v);
   return v;
 }
 
 std::vector<double> ByteReader::get_f64_vector() {
-  expect_tag(get_u8(), wire::kF64Vec, "f64vec");
-  const auto n = raw<std::uint64_t>();
-  need(n * sizeof(double));
-  std::vector<double> v(n);
-  if (n != 0) std::memcpy(v.data(), data_ + pos_, n * sizeof(double));
-  pos_ += n * sizeof(double);
+  std::vector<double> v;
+  get_f64_vector_into(v);
   return v;
 }
 
 std::vector<std::uint64_t> ByteReader::get_u64_vector() {
-  expect_tag(get_u8(), wire::kU64Vec, "u64vec");
-  const auto n = raw<std::uint64_t>();
-  need(n * sizeof(std::uint64_t));
-  std::vector<std::uint64_t> v(n);
-  if (n != 0)
-    std::memcpy(v.data(), data_ + pos_, n * sizeof(std::uint64_t));
-  pos_ += n * sizeof(std::uint64_t);
+  std::vector<std::uint64_t> v;
+  get_u64_vector_into(v);
   return v;
+}
+
+std::vector<std::uint8_t> ByteReader::get_bytes() {
+  std::vector<std::uint8_t> v;
+  get_bytes_into(v);
+  return v;
+}
+
+std::size_t ByteReader::get_f32_vector_into(std::vector<float>& out) {
+  const auto n = vec_header(wire::kF32Vec, "f32vec", sizeof(float));
+  out.resize(n);
+  if (n != 0) std::memcpy(out.data(), data_ + pos_, n * sizeof(float));
+  pos_ += n * sizeof(float);
+  return n;
+}
+
+std::size_t ByteReader::get_f64_vector_into(std::vector<double>& out) {
+  const auto n = vec_header(wire::kF64Vec, "f64vec", sizeof(double));
+  out.resize(n);
+  if (n != 0) std::memcpy(out.data(), data_ + pos_, n * sizeof(double));
+  pos_ += n * sizeof(double);
+  return n;
+}
+
+std::size_t ByteReader::get_u64_vector_into(std::vector<std::uint64_t>& out) {
+  const auto n = vec_header(wire::kU64Vec, "u64vec", sizeof(std::uint64_t));
+  out.resize(n);
+  if (n != 0)
+    std::memcpy(out.data(), data_ + pos_, n * sizeof(std::uint64_t));
+  pos_ += n * sizeof(std::uint64_t);
+  return n;
+}
+
+std::size_t ByteReader::get_bytes_into(std::vector<std::uint8_t>& out) {
+  const auto n = vec_header(wire::kU64, "bytes", 1);
+  out.resize(n);
+  if (n != 0) std::memcpy(out.data(), data_ + pos_, n);
+  pos_ += n;
+  return n;
 }
 
 }  // namespace stellaris

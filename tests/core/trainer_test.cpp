@@ -57,6 +57,28 @@ TEST(Trainer, SameSeedIsFullyDeterministic) {
   EXPECT_DOUBLE_EQ(a.total_cost_usd, b.total_cost_usd);
 }
 
+TEST(Trainer, VersionGatedPullsDecodeOncePerPolicyVersion) {
+  // Functions pull `policy/latest` at container start; the gate decodes the
+  // blob only when the cache entry's version changed, so decode count stays
+  // far below pull count and every repeat pull is a recorded reuse.
+  auto& m = obs::MetricsRegistry::global();
+  const std::uint64_t decodes_before =
+      m.counter("trainer.policy_decodes").value();
+  const std::uint64_t reuses_before =
+      m.counter("trainer.policy_pull_reuses").value();
+  auto result = run_training(tiny_config());
+  const std::uint64_t decodes =
+      m.counter("trainer.policy_decodes").value() - decodes_before;
+  const std::uint64_t reuses =
+      m.counter("trainer.policy_pull_reuses").value() - reuses_before;
+  EXPECT_GT(decodes, 0u);
+  EXPECT_GT(reuses, 0u);
+  // Every learner pulled (actors pull too), yet most pulls hit the gate.
+  EXPECT_GE(decodes + reuses, result.learner_invocations);
+  // At most one decode per policy version published (rounds + initial).
+  EXPECT_LE(decodes, result.rounds.size() + 1);
+}
+
 TEST(Trainer, DifferentSeedsDiverge) {
   auto cfg = tiny_config();
   auto a = run_training(cfg);

@@ -3,6 +3,7 @@
 // injector leaves the timeline bit-identical.
 #include <gtest/gtest.h>
 
+#include "cache/distributed_cache.hpp"
 #include "fault/fault_injector.hpp"
 #include "serverless/platform.hpp"
 
@@ -92,6 +93,32 @@ TEST(PlatformFault, RetryingInvokeReportsStartPerAttempt) {
   f.engine.run();
   ASSERT_EQ(starts.size(), 2u);
   EXPECT_GT(starts[1], starts[0]);
+}
+
+TEST(PlatformFault, RetriedPullsCountOneCacheReadPerAttempt) {
+  // Each attempt's on_start pulls from the cache, so a retried invocation
+  // reads the payload exactly attempts × once — no double-counting in the
+  // crash/retry plumbing and no skipped accounting on the retried attempt.
+  fault::FaultPlan plan;
+  plan.schedule.push_back(
+      {0.0, fault::FaultKind::kCrash, int(FnKind::kLearner), 0.5});
+  Fixture f(plan);
+  cache::DistributedCache cache;
+  cache.put("policy/latest", cache::Bytes(128, 0x7f));
+  auto opts = learner_opts(1.0);
+  opts.on_start = [&](double) {
+    (void)cache.get_blocking("policy/latest", 0, f.engine, 1.0);
+  };
+  ServerlessPlatform::InvokeResult result;
+  f.platform.invoke_retrying(opts, fault::RetryPolicy{},
+                             [&](const auto& r) { result = r; });
+  f.engine.run();
+  ASSERT_TRUE(result.ok);
+  ASSERT_EQ(result.attempts, 2u);
+  const auto s = cache.stats();
+  EXPECT_EQ(s.gets, result.attempts);
+  EXPECT_EQ(s.hits, result.attempts);
+  EXPECT_EQ(s.bytes_read, result.attempts * 128u);
 }
 
 TEST(PlatformFault, ExhaustedRetriesGiveUp) {

@@ -141,5 +141,46 @@ TEST(SampleBatch, RoundTripThroughBytesPreservesAdvantages) {
   EXPECT_EQ(c.advantages.vec(), a.advantages.vec());
 }
 
+TEST(SampleBatch, DeserializeIntoMatchesDeserialize) {
+  SampleBatch a = make_batch(4, 9, 2.0f);
+  a.segments = {{0, 1.0f}, {2, -1.0f}};
+  a.episode_returns = {12.5, -3.0};
+  const auto bytes = a.serialize();
+
+  const SampleBatch fresh = SampleBatch::deserialize(bytes);
+  SampleBatch reused = make_batch(7, 1, 5.0f);  // stale, different shapes
+  SampleBatch::deserialize_into(bytes, reused);
+
+  EXPECT_EQ(reused.obs.vec(), fresh.obs.vec());
+  EXPECT_EQ(reused.rewards.vec(), fresh.rewards.vec());
+  EXPECT_EQ(reused.values.vec(), fresh.values.vec());
+  EXPECT_EQ(reused.policy_version, 9u);
+  EXPECT_EQ(reused.segments.size(), 2u);
+  EXPECT_EQ(reused.segments[1].start, 2u);
+  EXPECT_FLOAT_EQ(reused.segments[1].bootstrap, -1.0f);
+  EXPECT_EQ(reused.episode_returns, fresh.episode_returns);
+  EXPECT_EQ(reused.size(), 4u);  // stale rows from the old batch are gone
+}
+
+TEST(SampleBatch, DeserializeIntoIsAllocationFreeOnceWarm) {
+  SampleBatch a = make_batch(6, 2, 1.0f);
+  const auto bytes = a.serialize();
+  SampleBatch out;
+  SampleBatch::deserialize_into(bytes, out);  // warm-up sizes the buffers
+  const std::uint64_t allocs_before = tensor_buffer_allocs();
+  for (int i = 0; i < 10; ++i) SampleBatch::deserialize_into(bytes, out);
+  EXPECT_EQ(tensor_buffer_allocs(), allocs_before);
+  EXPECT_EQ(out.obs.vec(), a.obs.vec());
+}
+
+TEST(SampleBatch, SerializeIsSingleAllocationSized) {
+  // The encoder precomputes the exact byte count; a second serialize of the
+  // same batch must produce a buffer whose capacity equals its size.
+  SampleBatch a = make_batch(5, 1, 0.5f);
+  a.episode_returns = {1.0};
+  const auto bytes = a.serialize();
+  EXPECT_EQ(bytes.capacity(), bytes.size());
+}
+
 }  // namespace
 }  // namespace stellaris::rl
