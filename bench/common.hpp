@@ -22,11 +22,14 @@
 namespace stellaris::bench {
 
 /// Shared observability flag surface: every figure bench accepts
-///   --trace-out=<file>    Chrome trace-event JSON (open in Perfetto)
-///   --metrics-out=<file>  metrics snapshot (JSON, or CSV if *.csv)
+///   --trace-out=<file>        Chrome trace-event JSON (open in Perfetto)
+///   --metrics-out=<file>      metrics snapshot (JSON, or CSV if *.csv)
+///   --ledger-out=<file>       causal run ledger (JSONL; see DESIGN.md §13)
+///   --timeseries-out=<file>   windowed time series (JSON, or CSV if *.csv)
+///   --timeseries-window=<s>   sampling window width in virtual seconds
 /// and captures the whole bench run in one ObsSession. Unknown arguments
 /// are ignored so the flags compose with whatever else a bench parses.
-/// With neither flag given, tracing stays disabled and the run's results
+/// With no flag given, recording stays disabled and the run's results
 /// are bit-identical to an uninstrumented build.
 inline std::unique_ptr<obs::ObsSession> obs_session_from_args(int argc,
                                                               char** argv) {
@@ -37,6 +40,12 @@ inline std::unique_ptr<obs::ObsSession> obs_session_from_args(int argc,
       opts.trace_path = arg.substr(12);
     else if (arg.rfind("--metrics-out=", 0) == 0)
       opts.metrics_path = arg.substr(14);
+    else if (arg.rfind("--ledger-out=", 0) == 0)
+      opts.ledger_path = arg.substr(13);
+    else if (arg.rfind("--timeseries-out=", 0) == 0)
+      opts.timeseries_path = arg.substr(17);
+    else if (arg.rfind("--timeseries-window=", 0) == 0)
+      opts.timeseries_window_s = std::stod(arg.substr(20));
   }
   return std::make_unique<obs::ObsSession>(std::move(opts));
 }

@@ -353,6 +353,14 @@ std::size_t DistributedCache::resident_bytes() const {
   return n;
 }
 
+void DistributedCache::sample_depth(double t_s) const {
+  auto* ts = obs::timeseries();
+  if (!ts) return;
+  ts->sample("cache.num_keys", t_s, static_cast<double>(num_keys()));
+  ts->sample("cache.resident_bytes", t_s,
+             static_cast<double>(resident_bytes()));
+}
+
 CacheStats DistributedCache::stats() const {
   CacheStats total;
   for (const auto& s : shards_) {  // lint:shard-iter-ok — order-independent sum

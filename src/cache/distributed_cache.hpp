@@ -154,6 +154,13 @@ class DistributedCache {
   /// Total payload bytes currently resident.
   std::size_t resident_bytes() const;
 
+  /// Sample cache occupancy (`cache.num_keys`, `cache.resident_bytes`)
+  /// into the active time-series recorder at virtual time `t_s`. The cache
+  /// has no clock of its own, so callers pass the time. No-op when
+  /// sampling is disabled. Both quantities are order-free shard sums, so
+  /// the samples are identical for any shard count (DESIGN.md §12).
+  void sample_depth(double t_s) const;
+
   CacheStats stats() const;
   void reset_stats();
 

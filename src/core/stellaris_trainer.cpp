@@ -167,6 +167,8 @@ void StellarisTrainer::note_grad_queue_depth() {
   m_grad_queue_depth_->set(depth);
   if (auto* tr = obs::trace())
     tr->counter(trace_tag_ + "/gradient_queue_depth", engine_.now(), depth);
+  if (auto* ts = obs::timeseries())
+    ts->sample("trainer.gradient_queue_depth", engine_.now(), depth);
 }
 
 void StellarisTrainer::note_pending_trajs() {
@@ -174,6 +176,8 @@ void StellarisTrainer::note_pending_trajs() {
   m_pending_trajs_->set(depth);
   if (auto* tr = obs::trace())
     tr->counter(trace_tag_ + "/pending_trajectories", engine_.now(), depth);
+  if (auto* ts = obs::timeseries())
+    ts->sample("trainer.pending_trajectories", engine_.now(), depth);
 }
 
 TrainResult StellarisTrainer::train() {
@@ -184,6 +188,16 @@ TrainResult StellarisTrainer::train() {
       {{"env", cfg_.env_name},
        {"actors", cfg_.num_actors},
        {"rounds", cfg_.rounds}});
+  if (auto* led = obs::ledger())
+    led->append(obs::LedgerEvent("run_begin", engine_.now())
+                    .field("env", cfg_.env_name)
+                    .field("algo", algorithm_name(cfg_.algorithm))
+                    .field("aggregation",
+                           aggregation_mode_name(cfg_.aggregation))
+                    .field("actors", cfg_.num_actors)
+                    .field("rounds", cfg_.rounds)
+                    .field("seed", cfg_.seed)
+                    .finish());
   cache_.put(keys::kPolicyLatest, encode_policy(param_fn_->params(), 0));
   // Seed checkpoint so a parameter-function crash before the first periodic
   // checkpoint still has something to restore from.
@@ -252,6 +266,17 @@ TrainResult StellarisTrainer::train() {
       sum += evaluated[i];
     result_.final_reward = sum / static_cast<double>(tail);
   }
+  if (auto* led = obs::ledger())
+    led->append(obs::LedgerEvent("run_end", engine_.now())
+                    .field("rounds", result_.rounds.size())
+                    .field("total_cost_usd", result_.total_cost_usd)
+                    .field("wasted_cost_usd", result_.faults.wasted_cost_usd)
+                    .field("failed_invocations",
+                           result_.faults.failed_invocations)
+                    .field("retries", result_.faults.retries)
+                    .field("giveups", result_.faults.giveups)
+                    .field("final_reward", result_.final_reward)
+                    .finish());
   return std::move(result_);
 }
 
@@ -261,6 +286,7 @@ void StellarisTrainer::launch_actor(std::size_t actor_idx) {
 
   serverless::ServerlessPlatform::InvokeOptions opts;
   opts.kind = serverless::FnKind::kActor;
+  opts.ledger_id = next_lid_++;
   opts.compute_s =
       cfg_.latency.actor_sample_s(cfg_.horizon, env_spec_.obs.image);
   opts.payload_in_bytes = param_fn_->param_dim() * sizeof(float);
@@ -272,13 +298,14 @@ void StellarisTrainer::launch_actor(std::size_t actor_idx) {
   // retry attempt, so a re-invoked actor samples under a FRESH snapshot.
   opts.on_start = [this, pulled](double) { *pulled = latest_policy(); };
   platform_->invoke_retrying(
-      opts, cfg_.retry, [this, actor_idx, pulled](const auto& r) {
-        on_actor_complete(actor_idx, pulled, r);
+      opts, cfg_.retry,
+      [this, actor_idx, lid = opts.ledger_id, pulled](const auto& r) {
+        on_actor_complete(actor_idx, lid, pulled, r);
       });
 }
 
 void StellarisTrainer::on_actor_complete(
-    std::size_t actor_idx, const PolicyPull& pulled,
+    std::size_t actor_idx, std::uint64_t lid, const PolicyPull& pulled,
     const serverless::ServerlessPlatform::InvokeResult& r) {
   retry_wait_accum_ += r.retry_wait_s;
   if (!r.ok) {
@@ -310,7 +337,17 @@ void StellarisTrainer::on_actor_complete(
                 {{"traj_id", traj_id},
                  {"actor", actor_idx},
                  {"policy_version", snapshot.version}});
+  const std::size_t traj_bytes = bytes.size();
   cache_.put(keys::trajectory(traj_id), std::move(bytes));
+  if (auto* led = obs::ledger())
+    led->append(obs::LedgerEvent("traj", engine_.now())
+                    .field("traj_id", traj_id)
+                    .field("actor", actor_idx)
+                    .field("inv", lid)
+                    .field("policy_version", snapshot.version)
+                    .field("bytes", traj_bytes)
+                    .finish());
+  cache_.sample_depth(engine_.now());
   pending_trajs_.push_back(traj_id);
   note_pending_trajs();
   maybe_launch_learner();
@@ -368,6 +405,13 @@ void StellarisTrainer::maybe_launch_learner() {
 
     serverless::ServerlessPlatform::InvokeOptions opts;
     opts.kind = serverless::FnKind::kLearner;
+    opts.ledger_id = next_lid_++;
+    if (auto* led = obs::ledger())
+      led->append(obs::LedgerEvent("learner_claim", engine_.now())
+                      .field("learner_id", learner_id)
+                      .field("lid", opts.ledger_id)
+                      .raw("trajs", obs::render_id_array(traj_ids))
+                      .finish());
     opts.compute_s = preload_wait_s +
                      cfg_.latency.learner_compute_s(
                          batch_timesteps, param_fn_->param_dim(),
@@ -393,8 +437,9 @@ void StellarisTrainer::maybe_launch_learner() {
     };
     platform_->invoke_retrying(
         opts, cfg_.retry,
-        [this, learner_id, pulled, traj_ids](const auto& r) {
-          on_learner_complete(learner_id, pulled, traj_ids, r);
+        [this, learner_id, lid = opts.ledger_id, pulled,
+         traj_ids](const auto& r) {
+          on_learner_complete(learner_id, lid, pulled, traj_ids, r);
         });
   }
   // Demand resumed: re-invoke backpressured actors.
@@ -408,7 +453,7 @@ void StellarisTrainer::maybe_launch_learner() {
 }
 
 void StellarisTrainer::on_learner_complete(
-    std::uint64_t learner_id, const PolicyPull& pulled,
+    std::uint64_t learner_id, std::uint64_t lid, const PolicyPull& pulled,
     const std::vector<std::uint64_t>& traj_ids,
     const serverless::ServerlessPlatform::InvokeResult& r) {
   retry_wait_accum_ += r.retry_wait_s;
@@ -432,6 +477,12 @@ void StellarisTrainer::on_learner_complete(
       for (auto it = traj_ids.rbegin(); it != traj_ids.rend(); ++it)
         pending_trajs_.push_front(*it);
       note_pending_trajs();
+      if (auto* led = obs::ledger())
+        led->append(obs::LedgerEvent("traj_requeue", engine_.now())
+                        .field("learner_id", learner_id)
+                        .field("lid", lid)
+                        .raw("trajs", obs::render_id_array(traj_ids))
+                        .finish());
     }
     maybe_launch_learner();
     return;
@@ -495,6 +546,17 @@ void StellarisTrainer::on_learner_complete(
     msg.compute_time_s = r.compute_s;
     const std::uint64_t grad_id = next_grad_id_++;
     cache_.put(keys::gradient(grad_id), msg.serialize());
+    if (auto* led = obs::ledger())
+      led->append(
+          obs::LedgerEvent("grad", engine_.now())
+              .field("grad_id", grad_id)
+              .field("learner_id", learner_id)
+              .field("lid", lid)
+              .field("pulled_version", msg.pulled_version)
+              .field("version_now", param_fn_->version())
+              .field("staleness", param_fn_->version() - msg.pulled_version)
+              .finish());
+    cache_.sample_depth(engine_.now());
     on_gradient(std::move(msg));
 
     // Keep a probe set of recent observations for the KL tracking.
@@ -515,6 +577,10 @@ void StellarisTrainer::on_gradient(GradientMsg msg) {
                  {"pulled_version", msg.pulled_version},
                  {"staleness_now",
                   param_fn_->version() - msg.pulled_version}});
+  if (auto* ts = obs::timeseries())
+    ts->sample("trainer.staleness", engine_.now(),
+               static_cast<double>(param_fn_->version() -
+                                   msg.pulled_version));
   queue_.push(std::move(msg), engine_.now());
   note_grad_queue_depth();
   try_aggregate();
@@ -568,6 +634,19 @@ void StellarisTrainer::start_aggregation(
   note_grad_queue_depth();  // queue was just drained into `group`
   serverless::ServerlessPlatform::InvokeOptions opts;
   opts.kind = serverless::FnKind::kParameter;
+  opts.ledger_id = next_lid_++;
+  if (auto* led = obs::ledger()) {
+    std::vector<std::uint64_t> learner_ids;
+    learner_ids.reserve(group.size());
+    for (const auto& item : group) learner_ids.push_back(item.msg.learner_id);
+    obs::LedgerEvent ev("agg_begin", engine_.now());
+    ev.field("agg_id", opts.ledger_id)
+        .field("version_before", param_fn_->version())
+        .raw("group", obs::render_id_array(learner_ids));
+    if (std::isfinite(last_gate_threshold_))
+      ev.field("gate_threshold", last_gate_threshold_);
+    led->append(std::move(ev).finish());
+  }
   opts.compute_s =
       cfg_.latency.aggregate_s(group.size(), param_fn_->param_dim());
   opts.payload_in_bytes =
@@ -577,7 +656,8 @@ void StellarisTrainer::start_aggregation(
   opts.span_name = "gradient_aggregation";
   auto shared_group = std::make_shared<std::vector<GradientQueue::Item>>(
       std::move(group));
-  platform_->invoke_retrying(opts, cfg_.retry, [this, shared_group](
+  platform_->invoke_retrying(opts, cfg_.retry, [this, shared_group,
+                                                agg_lid = opts.ledger_id](
                                                    const auto& r) {
     retry_wait_accum_ += r.retry_wait_s;
     if (!r.ok) {
@@ -591,13 +671,26 @@ void StellarisTrainer::start_aggregation(
     const std::uint64_t version_before = param_fn_->version();
     const std::vector<float> before = param_fn_->params();
     const auto stats = param_fn_->aggregate(*shared_group);
-    for (const auto& item : *shared_group)
-      m_staleness_->observe(static_cast<double>(
+    std::vector<double> staleness;
+    staleness.reserve(shared_group->size());
+    for (const auto& item : *shared_group) {
+      staleness.push_back(static_cast<double>(
           version_before - std::min(item.msg.pulled_version, version_before)));
+      m_staleness_->observe(staleness.back());
+    }
     for (const auto& item : *shared_group)
       cache_.erase(keys::gradient(item.msg.learner_id));
     cache_.put(keys::kPolicyLatest,
                encode_policy(param_fn_->params(), stats.new_version));
+    if (auto* led = obs::ledger())
+      led->append(obs::LedgerEvent("agg_end", engine_.now())
+                      .field("agg_id", agg_lid)
+                      .field("version", stats.new_version)
+                      .field("group_size", shared_group->size())
+                      .field("mean_staleness", stats.mean_staleness)
+                      .raw("staleness", obs::render_number_array(staleness))
+                      .finish());
+    cache_.sample_depth(engine_.now());
     maybe_checkpoint(stats.new_version);
 
     // IMPACT target network refresh.
@@ -644,6 +737,10 @@ void StellarisTrainer::maybe_checkpoint(std::uint64_t new_version) {
   if (auto* tr = obs::trace())
     tr->instant(trainer_track(tr), "checkpoint", "fault", engine_.now(),
                 {{"version", new_version}});
+  if (auto* led = obs::ledger())
+    led->append(obs::LedgerEvent("ckpt", engine_.now())
+                    .field("version", new_version)
+                    .finish());
 }
 
 void StellarisTrainer::recover_param_fn(
@@ -662,6 +759,11 @@ void StellarisTrainer::recover_param_fn(
       tr->instant(trainer_track(tr), "restore", "fault", engine_.now(),
                   {{"version", param_fn_->version()},
                    {"dropped_gradients", group.size()}});
+    if (auto* led = obs::ledger())
+      led->append(obs::LedgerEvent("restore", engine_.now())
+                      .field("version", param_fn_->version())
+                      .field("dropped", group.size())
+                      .finish());
   }
   cache_.put(keys::kPolicyLatest,
              encode_policy(param_fn_->params(), param_fn_->version()));
@@ -717,6 +819,16 @@ void StellarisTrainer::finish_round(
     if (rec.evaluated) args.emplace_back("reward", rec.reward);
     tr->complete(tr->track(trace_tag_ + "/trainer/rounds"), "round", "round",
                  last_round_end_s_, rec.time_s, std::move(args));
+  }
+  if (auto* led = obs::ledger()) {
+    obs::LedgerEvent ev("round", rec.time_s);
+    ev.field("round", rec.round)
+        .field("group_size", rec.group_size)
+        .field("mean_staleness", rec.mean_staleness)
+        .field("kl", rec.kl)
+        .field("cost_so_far_usd", rec.cost_so_far_usd);
+    if (rec.evaluated) ev.field("reward", rec.reward);
+    led->append(std::move(ev).finish());
   }
   last_round_end_s_ = rec.time_s;
   result_.rounds.push_back(rec);

@@ -62,12 +62,13 @@ class StellarisTrainer {
   using PolicyPull = std::shared_ptr<PolicyRef>;
 
   void launch_actor(std::size_t actor_idx);
-  void on_actor_complete(std::size_t actor_idx, const PolicyPull& pulled,
+  void on_actor_complete(std::size_t actor_idx, std::uint64_t lid,
+                         const PolicyPull& pulled,
                          const serverless::ServerlessPlatform::InvokeResult& r);
   void maybe_launch_learner();
   bool ssp_blocks_launch() const;
   void on_learner_complete(
-      std::uint64_t learner_id, const PolicyPull& pulled,
+      std::uint64_t learner_id, std::uint64_t lid, const PolicyPull& pulled,
       const std::vector<std::uint64_t>& traj_ids,
       const serverless::ServerlessPlatform::InvokeResult& r);
   void on_gradient(GradientMsg msg);
@@ -126,6 +127,10 @@ class StellarisTrainer {
   std::uint64_t next_traj_id_ = 0;
   std::uint64_t next_grad_id_ = 0;
   std::uint64_t next_learner_id_ = 0;
+  /// Ledger ids for invocations (actors, learners, parameter fn): one
+  /// monotone counter so every `invoke` ledger event is uniquely
+  /// addressable by downstream lifecycle events. 0 means "unassigned".
+  std::uint64_t next_lid_ = 1;
   std::size_t active_learners_ = 0;
   std::deque<std::uint64_t> pending_trajs_;
   std::vector<std::size_t> paused_actors_;  // backpressured actor indices

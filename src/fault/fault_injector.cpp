@@ -99,6 +99,24 @@ InvocationFault FaultInjector::on_invocation(int fn_kind) {
     ++cache_delays_;
     m_cache_delays_->add();
   }
+  if (fault.fail != ErrorKind::kNone || fault.straggler_mult > 1.0 ||
+      fault.cache_delay_s > 0.0) {
+    if (auto* led = obs::ledger()) {
+      obs::LedgerEvent ev("fault_injected", now);
+      ev.field("fn_kind", fn_kind);
+      if (fault.fail != ErrorKind::kNone)
+        ev.field("error", error_kind_name(fault.fail));
+      if (fault.straggler_mult > 1.0)
+        ev.field("straggler_mult", fault.straggler_mult);
+      if (fault.cache_delay_s > 0.0)
+        ev.field("cache_delay_s", fault.cache_delay_s);
+      led->append(std::move(ev).finish());
+    }
+    if (auto* ts = obs::timeseries())
+      ts->sample("fault.injected", now,
+                 static_cast<double>(crashes_ + cache_faults_ + stragglers_ +
+                                     cache_delays_));
+  }
   return fault;
 }
 

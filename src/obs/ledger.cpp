@@ -1,0 +1,135 @@
+#include "obs/ledger.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+
+#include "obs/obs.hpp"
+
+namespace stellaris::obs {
+
+std::string LedgerEvent::render_number(double v) {
+  if (!std::isfinite(v)) return "null";  // JSON has no NaN/Inf
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+std::string LedgerEvent::quote(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out.push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+LedgerEvent::LedgerEvent(const char* ev, double t_s) {
+  line_.reserve(128);
+  line_ += "{\"ev\":";
+  line_ += quote(ev ? ev : "");
+  line_ += ",\"run\":";
+  line_ += std::to_string(current_run());
+  line_ += ",\"t\":";
+  line_ += render_number(t_s);
+}
+
+void LedgerEvent::append_raw(std::string_view key, std::string_view json) {
+  line_.push_back(',');
+  line_ += quote(key);
+  line_.push_back(':');
+  line_ += json;
+}
+
+LedgerEvent& LedgerEvent::field(std::string_view key, const std::string& v) {
+  append_raw(key, quote(v));
+  return *this;
+}
+
+LedgerEvent& LedgerEvent::field(std::string_view key, const char* v) {
+  append_raw(key, quote(v ? v : ""));
+  return *this;
+}
+
+LedgerEvent& LedgerEvent::field(std::string_view key, bool v) {
+  append_raw(key, v ? "true" : "false");
+  return *this;
+}
+
+LedgerEvent& LedgerEvent::raw(std::string_view key, std::string_view json) {
+  append_raw(key, json);
+  return *this;
+}
+
+std::string LedgerEvent::finish() {
+  line_.push_back('}');
+  return std::move(line_);
+}
+
+std::string render_number_array(const std::vector<double>& xs) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    if (i) out.push_back(',');
+    out += LedgerEvent::render_number(xs[i]);
+  }
+  out.push_back(']');
+  return out;
+}
+
+std::string render_id_array(const std::vector<std::uint64_t>& ids) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    if (i) out.push_back(',');
+    out += std::to_string(ids[i]);
+  }
+  out.push_back(']');
+  return out;
+}
+
+LedgerRecorder::LedgerRecorder() { lines_.reserve(1024); }
+
+void LedgerRecorder::append(std::string line) {
+  MutexLock lock(mu_);
+  lines_.push_back(std::move(line));
+}
+
+std::size_t LedgerRecorder::size() const {
+  MutexLock lock(mu_);
+  return lines_.size();
+}
+
+std::vector<std::string> LedgerRecorder::lines() const {
+  MutexLock lock(mu_);
+  return lines_;
+}
+
+void LedgerRecorder::write(std::ostream& os) const {
+  MutexLock lock(mu_);
+  for (const auto& line : lines_) os << line << '\n';
+}
+
+bool LedgerRecorder::write_file(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  write(out);
+  return static_cast<bool>(out);
+}
+
+}  // namespace stellaris::obs

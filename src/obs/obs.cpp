@@ -6,6 +6,8 @@ namespace stellaris::obs {
 
 namespace detail {
 std::atomic<TraceRecorder*> g_trace{nullptr};
+std::atomic<LedgerRecorder*> g_ledger{nullptr};
+std::atomic<TimeSeriesRecorder*> g_timeseries{nullptr};
 std::atomic<std::uint64_t> g_run_counter{0};
 }  // namespace detail
 
@@ -13,8 +15,20 @@ void install_trace(TraceRecorder* recorder) {
   detail::g_trace.store(recorder, std::memory_order_release);
 }
 
+void install_ledger(LedgerRecorder* recorder) {
+  detail::g_ledger.store(recorder, std::memory_order_release);
+}
+
+void install_timeseries(TimeSeriesRecorder* recorder) {
+  detail::g_timeseries.store(recorder, std::memory_order_release);
+}
+
 std::uint64_t begin_run() {
   return detail::g_run_counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+std::uint64_t current_run() {
+  return detail::g_run_counter.load(std::memory_order_relaxed);
 }
 
 std::string run_tag() {
@@ -32,6 +46,15 @@ ObsSession::ObsSession(ObsOptions opts) : opts_(std::move(opts)) {
     trace_ = std::make_unique<TraceRecorder>();
     install_trace(trace_.get());
   }
+  if (!opts_.ledger_path.empty()) {
+    ledger_ = std::make_unique<LedgerRecorder>();
+    install_ledger(ledger_.get());
+  }
+  if (!opts_.timeseries_path.empty()) {
+    timeseries_ =
+        std::make_unique<TimeSeriesRecorder>(opts_.timeseries_window_s);
+    install_timeseries(timeseries_.get());
+  }
 }
 
 ObsSession::~ObsSession() {
@@ -42,6 +65,22 @@ ObsSession::~ObsSession() {
                << trace_->size() << " events)";
     else
       LOG_ERROR << "failed to write trace to " << opts_.trace_path;
+  }
+  if (ledger_) {
+    install_ledger(nullptr);
+    if (ledger_->write_file(opts_.ledger_path))
+      LOG_INFO << "run ledger written to " << opts_.ledger_path << " ("
+               << ledger_->size() << " events)";
+    else
+      LOG_ERROR << "failed to write ledger to " << opts_.ledger_path;
+  }
+  if (timeseries_) {
+    install_timeseries(nullptr);
+    if (timeseries_->write_file(opts_.timeseries_path))
+      LOG_INFO << "time series written to " << opts_.timeseries_path;
+    else
+      LOG_ERROR << "failed to write time series to "
+                << opts_.timeseries_path;
   }
   if (!opts_.metrics_path.empty()) {
     if (metrics().write_file(opts_.metrics_path))

@@ -1,0 +1,131 @@
+#include "obs/timeseries.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <fstream>
+#include <ostream>
+
+#include "obs/ledger.hpp"
+
+namespace stellaris::obs {
+
+TimeSeriesRecorder::TimeSeriesRecorder(double window_s) : window_s_(window_s) {
+  assert(window_s_ > 0.0);
+}
+
+std::int64_t TimeSeriesRecorder::window_index(double t_s) const {
+  return static_cast<std::int64_t>(std::floor(t_s / window_s_));
+}
+
+void TimeSeriesRecorder::sample(std::string_view series, double t_s,
+                                double value) {
+  const std::int64_t idx = window_index(t_s);
+  MutexLock lock(mu_);
+  auto it = series_.find(series);
+  if (it == series_.end())
+    it = series_.emplace(std::string(series),
+                         std::map<std::int64_t, TimeSeriesWindow>{})
+             .first;
+  auto [wit, fresh] = it->second.try_emplace(idx);
+  TimeSeriesWindow& w = wit->second;
+  if (fresh) {
+    w.index = idx;
+    w.min = w.max = value;
+  } else {
+    if (value < w.min) w.min = value;
+    if (value > w.max) w.max = value;
+  }
+  ++w.count;
+  w.sum += value;
+  w.last = value;
+}
+
+std::vector<std::string> TimeSeriesRecorder::series_names() const {
+  MutexLock lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(series_.size());
+  for (const auto& [name, _] : series_) names.push_back(name);
+  return names;
+}
+
+std::vector<TimeSeriesWindow> TimeSeriesRecorder::windows(
+    std::string_view series) const {
+  MutexLock lock(mu_);
+  auto it = series_.find(series);
+  if (it == series_.end()) return {};
+  std::vector<TimeSeriesWindow> out;
+  out.reserve(it->second.size());
+  for (const auto& [_, w] : it->second) out.push_back(w);
+  return out;
+}
+
+std::vector<TimeSeriesExport> TimeSeriesRecorder::export_all() const {
+  MutexLock lock(mu_);
+  std::vector<TimeSeriesExport> out;
+  out.reserve(series_.size());
+  for (const auto& [name, windows] : series_) {
+    TimeSeriesExport e;
+    e.name = name;
+    e.windows.reserve(windows.size());
+    for (const auto& [_, w] : windows) e.windows.push_back(w);
+    out.push_back(std::move(e));
+  }
+  return out;
+}
+
+void TimeSeriesRecorder::write_csv(std::ostream& os) const {
+  os << "series,window,t_lo,t_hi,count,min,max,mean,last\n";
+  for (const auto& e : export_all()) {
+    for (const auto& w : e.windows) {
+      const double lo = static_cast<double>(w.index) * window_s_;
+      os << e.name << ',' << w.index << ','
+         << LedgerEvent::render_number(lo) << ','
+         << LedgerEvent::render_number(lo + window_s_) << ',' << w.count
+         << ',' << LedgerEvent::render_number(w.min) << ','
+         << LedgerEvent::render_number(w.max) << ','
+         << LedgerEvent::render_number(w.mean()) << ','
+         << LedgerEvent::render_number(w.last) << '\n';
+    }
+  }
+}
+
+void TimeSeriesRecorder::write_json(std::ostream& os) const {
+  os << "{\"window_s\":" << LedgerEvent::render_number(window_s_)
+     << ",\"series\":{";
+  bool first_series = true;
+  for (const auto& e : export_all()) {
+    if (!first_series) os << ',';
+    first_series = false;
+    os << LedgerEvent::quote(e.name) << ":[";
+    bool first_window = true;
+    for (const auto& w : e.windows) {
+      if (!first_window) os << ',';
+      first_window = false;
+      os << "{\"window\":" << w.index
+         << ",\"t_lo\":"
+         << LedgerEvent::render_number(static_cast<double>(w.index) *
+                                       window_s_)
+         << ",\"count\":" << w.count
+         << ",\"min\":" << LedgerEvent::render_number(w.min)
+         << ",\"max\":" << LedgerEvent::render_number(w.max)
+         << ",\"mean\":" << LedgerEvent::render_number(w.mean())
+         << ",\"last\":" << LedgerEvent::render_number(w.last) << '}';
+    }
+    os << ']';
+  }
+  os << "}}\n";
+}
+
+bool TimeSeriesRecorder::write_file(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  const bool json =
+      path.size() >= 5 && path.compare(path.size() - 5, 5, ".json") == 0;
+  if (json)
+    write_json(out);
+  else
+    write_csv(out);
+  return static_cast<bool>(out);
+}
+
+}  // namespace stellaris::obs

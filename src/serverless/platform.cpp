@@ -89,6 +89,18 @@ void ServerlessPlatform::note_queue_depth(FnKind kind) const {
   if (auto* tr = obs::trace())
     tr->counter(trace_tag_ + "/queue_depth/" + (actor ? "actor" : "gpu"),
                 engine_.now(), static_cast<double>(depth));
+  if (auto* ts = obs::timeseries())
+    ts->sample(actor ? "platform.queue_depth.actor"
+                     : "platform.queue_depth.gpu",
+               engine_.now(), static_cast<double>(depth));
+}
+
+void ServerlessPlatform::note_inflight(FnKind kind) const {
+  auto* ts = obs::timeseries();
+  if (!ts) return;
+  ts->sample(std::string("platform.inflight.") + fn_kind_name(kind),
+             engine_.now(),
+             static_cast<double>(inflight_by_kind_[static_cast<int>(kind)]));
 }
 
 void ServerlessPlatform::invoke(const InvokeOptions& options, Callback cb) {
@@ -131,10 +143,21 @@ void ServerlessPlatform::invoke_retrying(const InvokeOptions& options,
         chain->cb(final);
         return;
       }
-      const std::size_t next_attempt = chain->retries_done + 1;
-      if (!chain->policy.attempt_allowed(next_attempt)) {
+      const auto note_giveup = [&](const InvokeResult& res) {
         ++giveups_;
         m_giveups_->add();
+        if (auto* led = obs::ledger())
+          led->append(
+              obs::LedgerEvent("giveup", engine_.now())
+                  .field("kind", fn_kind_name(chain->options.kind))
+                  .field("lid", chain->options.ledger_id)
+                  .field("error", fault::error_kind_name(res.error))
+                  .field("attempts", res.attempts)
+                  .finish());
+      };
+      const std::size_t next_attempt = chain->retries_done + 1;
+      if (!chain->policy.attempt_allowed(next_attempt)) {
+        note_giveup(final);
         *submit = nullptr;
         chain->cb(final);
         return;
@@ -144,8 +167,7 @@ void ServerlessPlatform::invoke_retrying(const InvokeOptions& options,
           engine_.now() + backoff - chain->first_submit >
               chain->policy.deadline_s) {
         final.error = fault::ErrorKind::kDeadline;
-        ++giveups_;
-        m_giveups_->add();
+        note_giveup(final);
         *submit = nullptr;
         chain->cb(final);
         return;
@@ -161,6 +183,17 @@ void ServerlessPlatform::invoke_retrying(const InvokeOptions& options,
                      {"error", fault::error_kind_name(r.error)},
                      {"retry", chain->retries_done},
                      {"backoff_s", backoff}});
+      if (auto* led = obs::ledger())
+        led->append(obs::LedgerEvent("retry", engine_.now())
+                        .field("kind", fn_kind_name(chain->options.kind))
+                        .field("lid", chain->options.ledger_id)
+                        .field("error", fault::error_kind_name(r.error))
+                        .field("attempt", chain->retries_done)
+                        .field("backoff_s", backoff)
+                        .finish());
+      if (auto* ts = obs::timeseries())
+        ts->sample("platform.retries", engine_.now(),
+                   static_cast<double>(retries_));
       engine_.schedule_after(backoff, [submit] { (*submit)(); });
     });
   };
@@ -179,33 +212,31 @@ void ServerlessPlatform::try_dispatch(FnKind kind) {
   if (queue.size() != before) note_queue_depth(kind);
 }
 
-void ServerlessPlatform::trace_invocation(const Pending& pending,
-                                          const InvokeResult& result,
-                                          std::size_t container,
-                                          double transfer_in_s,
-                                          double transfer_out_s) const {
+void ServerlessPlatform::trace_invocation(const InFlight& inflight) const {
   auto* tr = obs::trace();
   if (!tr) return;
-  const FnKind kind = pending.options.kind;
-  const bool cache_tier = pending.options.tier == DataTier::kCache;
-  const std::string track =
-      trace_tag_ + "/" + pool_for_name(kind) + std::to_string(container);
+  const InvokeResult& result = inflight.result;
+  const FnKind kind = inflight.kind;
+  const bool cache_tier = inflight.tier == DataTier::kCache;
+  const std::string track = trace_tag_ + "/" + pool_for_name(kind) +
+                            std::to_string(inflight.container);
   const obs::TrackId tid = tr->track(track);
-  const char* name = pending.options.span_name ? pending.options.span_name
-                                               : fn_kind_name(kind);
+  const char* name =
+      inflight.span_name ? inflight.span_name : fn_kind_name(kind);
   obs::TraceArgs args{{"cold", result.cold},
                       {"queue_wait_s", result.start_time_s - result.submit_time_s},
                       {"billed_s", result.billed_s},
                       {"cost_usd", result.cost_usd},
-                      {"payload_in_bytes", pending.options.payload_in_bytes},
-                      {"payload_out_bytes", pending.options.payload_out_bytes}};
+                      {"payload_in_bytes", inflight.payload_in_bytes},
+                      {"payload_out_bytes", inflight.payload_out_bytes}};
   if (!result.ok)
     args.emplace_back("error", fault::error_kind_name(result.error));
   tr->complete(tid, name, fn_kind_name(kind), result.start_time_s,
                result.end_time_s, std::move(args));
   // Nested phase spans: container start, input fetch, compute, output write.
-  // For a crashed invocation the phases past the crash point never ran; the
-  // parent span's `error` arg marks it, and phases are clipped to the end.
+  // For a crashed or reclaimed invocation the phases past the kill point
+  // never ran; the parent span's `error` arg marks it, and phases are
+  // clipped to the end so no child extends past its parent.
   double t = result.start_time_s + latency_.invoke_overhead_s;
   auto child = [&](const char* cname, double dur) {
     const double end = std::min(t + dur, result.end_time_s);
@@ -213,12 +244,39 @@ void ServerlessPlatform::trace_invocation(const Pending& pending,
     t += dur;
   };
   child(result.cold ? "cold_start" : "warm_start", result.start_latency_s);
-  child(cache_tier ? "cache_read" : "data_in", transfer_in_s);
+  child(cache_tier ? "cache_read" : "data_in", inflight.transfer_in_s);
   child("compute", result.compute_s);
   child(kind == FnKind::kParameter ? "policy_broadcast"
         : cache_tier               ? "cache_write"
                                    : "data_out",
-        transfer_out_s);
+        inflight.transfer_out_s);
+}
+
+void ServerlessPlatform::ledger_invocation(const InFlight& inflight) const {
+  auto* led = obs::ledger();
+  if (!led) return;
+  const InvokeResult& result = inflight.result;
+  obs::LedgerEvent ev("invoke", result.end_time_s);
+  ev.field("kind", fn_kind_name(inflight.kind))
+      .field("lid", inflight.ledger_id)
+      .field("container", inflight.container)
+      .field("pool", inflight.kind == FnKind::kActor ? "actor" : "gpu")
+      .field("submit", result.submit_time_s)
+      .field("start", result.start_time_s)
+      .field("queue_s", result.start_time_s - result.submit_time_s)
+      .field("cold", result.cold)
+      .field("start_latency_s", result.start_latency_s)
+      .field("transfer_s", result.transfer_s)
+      .field("compute_s", result.compute_s)
+      .field("billed_s", result.billed_s)
+      .field("cost_usd", result.cost_usd)
+      .field("ok", result.ok);
+  if (!result.ok) ev.field("error", fault::error_kind_name(result.error));
+  if (inflight.straggler_mult > 1.0)
+    ev.field("straggler_mult", inflight.straggler_mult);
+  if (inflight.cache_delay_s > 0.0)
+    ev.field("cache_delay_s", inflight.cache_delay_s);
+  led->append(std::move(ev).finish());
 }
 
 const char* ServerlessPlatform::pool_for_name(FnKind kind) {
@@ -274,12 +332,25 @@ void ServerlessPlatform::dispatch(Pending pending) {
 
   m_invocations_[static_cast<int>(kind)]->add();
   m_queue_wait_s_->observe(result.start_time_s - result.submit_time_s);
-  trace_invocation(pending, result, acq->container_id, transfer_in,
-                   transfer_out);
 
   const std::uint64_t token = next_token_++;
-  inflight_.emplace(token, InFlight{kind, acq->container_id, result,
-                                    std::move(pending.cb)});
+  InFlight inflight;
+  inflight.kind = kind;
+  inflight.container = acq->container_id;
+  inflight.result = result;
+  inflight.cb = std::move(pending.cb);
+  inflight.span_name = pending.options.span_name;
+  inflight.tier = pending.options.tier;
+  inflight.payload_in_bytes = pending.options.payload_in_bytes;
+  inflight.payload_out_bytes = pending.options.payload_out_bytes;
+  inflight.transfer_in_s = transfer_in;
+  inflight.transfer_out_s = transfer_out;
+  inflight.straggler_mult = fate.straggler_mult;
+  inflight.cache_delay_s = fate.cache_delay_s;
+  inflight.ledger_id = pending.options.ledger_id;
+  inflight_.emplace(token, std::move(inflight));
+  ++inflight_by_kind_[static_cast<int>(kind)];
+  note_inflight(kind);
   engine_.schedule_after(duration, [this, token] { complete(token); });
 }
 
@@ -303,6 +374,20 @@ void ServerlessPlatform::settle_inflight(InFlight& inflight) {
                 !inflight.result.ok);
   if (kind != FnKind::kActor) learner_busy_s_ += inflight.result.billed_s;
   if (!inflight.result.ok) m_failed_invocations_->add();
+  --inflight_by_kind_[static_cast<int>(kind)];
+  note_inflight(kind);
+  // Spans and ledger events are emitted here — at the invocation's actual
+  // end (completion or kill) — never at dispatch with a predicted end, so
+  // reclaimed invocations close exactly at the reclaim time.
+  trace_invocation(inflight);
+  ledger_invocation(inflight);
+  if (auto* ts = obs::timeseries()) {
+    ts->sample("platform.cost_usd", inflight.result.end_time_s,
+               costs_.total_cost());
+    if (!inflight.result.ok)
+      ts->sample("platform.wasted_cost_usd", inflight.result.end_time_s,
+                 costs_.total_wasted_cost());
+  }
   if (inflight.cb) inflight.cb(inflight.result);
 }
 
@@ -341,6 +426,12 @@ void ServerlessPlatform::reclaim_random_vm(Rng& fault_rng) {
                 {{"vm", host.vm_name},
                  {"pool", host.gpu_pool ? "gpu" : "actor"},
                  {"killed_invocations", failed.size()}});
+  if (auto* led = obs::ledger())
+    led->append(obs::LedgerEvent("reclaim", now)
+                    .field("vm", host.vm_name)
+                    .field("pool", host.gpu_pool ? "gpu" : "actor")
+                    .field("killed", failed.size())
+                    .finish());
 
   // The host is fully dead; fail the victims, billed for the time consumed.
   for (InFlight& inflight : failed) {

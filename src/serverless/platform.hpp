@@ -54,6 +54,11 @@ class ServerlessPlatform {
     /// Label for this invocation's trace span (static string); falls back
     /// to the function-kind name when unset.
     const char* span_name = nullptr;
+    /// Caller-assigned ledger id: stamps this invocation's `invoke` ledger
+    /// event so downstream events (trajectories, gradients, aggregations)
+    /// can reference the invocation that produced them. 0 = unassigned.
+    /// Shared by every attempt of an invoke_retrying chain.
+    std::uint64_t ledger_id = 0;
   };
 
   struct InvokeResult {
@@ -127,12 +132,25 @@ class ServerlessPlatform {
     double submit_time;
   };
   /// A dispatched, not-yet-completed invocation — the handle a VM
-  /// reclamation uses to fail work mid-flight.
+  /// reclamation uses to fail work mid-flight. Carries the telemetry
+  /// context needed at settle time: trace spans and ledger events are
+  /// emitted only once the outcome is final (normal completion OR a
+  /// reclamation), so a killed invocation's span ends at the kill and a
+  /// ledger never contains a span extending past it.
   struct InFlight {
     FnKind kind = FnKind::kLearner;
     std::size_t container = 0;
     InvokeResult result;
     Callback cb;
+    const char* span_name = nullptr;
+    DataTier tier = DataTier::kCache;
+    std::size_t payload_in_bytes = 0;
+    std::size_t payload_out_bytes = 0;
+    double transfer_in_s = 0.0;
+    double transfer_out_s = 0.0;
+    double straggler_mult = 1.0;
+    double cache_delay_s = 0.0;
+    std::uint64_t ledger_id = 0;
   };
   /// One reclaimable host: a contiguous container-id range in one pool.
   struct VmHost {
@@ -154,10 +172,12 @@ class ServerlessPlatform {
   /// teardown is done.
   void settle_inflight(InFlight& inflight);
   void reclaim_random_vm(Rng& fault_rng);
-  void trace_invocation(const Pending& pending, const InvokeResult& result,
-                        std::size_t container, double transfer_in_s,
-                        double transfer_out_s) const;
+  /// Trace span + ledger `invoke` event for a settled invocation (called
+  /// from settle_inflight, never at dispatch — see InFlight).
+  void trace_invocation(const InFlight& inflight) const;
+  void ledger_invocation(const InFlight& inflight) const;
   void note_queue_depth(FnKind kind) const;
+  void note_inflight(FnKind kind) const;
   static const char* pool_for_name(FnKind kind);
 
   sim::Engine& engine_;
@@ -176,6 +196,7 @@ class ServerlessPlatform {
   std::vector<VmHost> vm_hosts_;
   std::uint64_t next_token_ = 0;
   std::map<std::uint64_t, InFlight> inflight_;
+  std::size_t inflight_by_kind_[3] = {0, 0, 0};  // indexed by FnKind
   std::uint64_t retries_ = 0;
   std::uint64_t giveups_ = 0;
 

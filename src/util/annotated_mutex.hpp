@@ -110,6 +110,11 @@ inline constexpr int kThreadPool = 200;
 inline constexpr int kParallelForErrors = 250;
 inline constexpr int kMetricsRegistry = 300;
 inline constexpr int kTraceRecorder = 350;
+// Telemetry sinks (run ledger, time-series recorder): terminal like the
+// trace recorder — emitters may hold subsystem locks while appending, but
+// the recorders never call out while holding their own.
+inline constexpr int kLedger = 360;
+inline constexpr int kTimeSeries = 370;
 inline constexpr int kLogger = 900;
 }  // namespace lock_rank
 

@@ -9,7 +9,7 @@
 
 namespace stellaris {
 
-LogLevel parse_log_level(std::string_view s, LogLevel fallback) {
+std::optional<LogLevel> try_parse_log_level(std::string_view s) {
   std::string lower;
   lower.reserve(s.size());
   for (char c : s)
@@ -21,7 +21,11 @@ LogLevel parse_log_level(std::string_view s, LogLevel fallback) {
     return LogLevel::kWarn;
   if (lower == "error" || lower == "3") return LogLevel::kError;
   if (lower == "off" || lower == "none" || lower == "4") return LogLevel::kOff;
-  return fallback;
+  return std::nullopt;
+}
+
+LogLevel parse_log_level(std::string_view s, LogLevel fallback) {
+  return try_parse_log_level(s).value_or(fallback);
 }
 
 std::string log_timestamp() {
@@ -43,8 +47,21 @@ std::string log_timestamp() {
 }
 
 Logger::Logger() {
-  if (const char* env = std::getenv("STELLARIS_LOG_LEVEL"))
-    level_ = parse_log_level(env, level_);
+  if (const char* env = std::getenv("STELLARIS_LOG_LEVEL")) {
+    if (const auto parsed = try_parse_log_level(env)) {
+      level_ = *parsed;
+    } else {
+      // The logger itself is mid-construction, so warn on the sink
+      // directly rather than through a LOG_WARN (which would re-enter
+      // instance()). An unknown level is rejected loudly instead of
+      // silently defaulting — a typo like "info " or "verbose" would
+      // otherwise change logging behaviour with no breadcrumb.
+      std::cerr << "[" << log_timestamp() << "] [WARN] STELLARIS_LOG_LEVEL=\""
+                << env
+                << "\" is not a recognized level (debug|info|warn|error|off "
+                   "or 0-4); keeping default \"info\"\n";
+    }
+  }
 }
 
 Logger& Logger::instance() {

@@ -11,6 +11,7 @@
 // at first use; set_level() overrides it afterwards.
 #pragma once
 
+#include <optional>
 #include <sstream>
 #include <string>
 #include <string_view>
@@ -22,8 +23,11 @@ namespace stellaris {
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 
 /// Parse a level name ("debug", "info", "warn"/"warning", "error",
-/// "off"/"none", case-insensitive, or a digit 0-4); `fallback` on anything
+/// "off"/"none", case-insensitive, or a digit 0-4); nullopt on anything
 /// else.
+std::optional<LogLevel> try_parse_log_level(std::string_view s);
+
+/// As try_parse_log_level, but `fallback` on unrecognized input.
 LogLevel parse_log_level(std::string_view s, LogLevel fallback);
 
 /// Current wall clock as "2026-08-06T12:34:56.789Z".

@@ -41,6 +41,19 @@ TEST(Logging, ParseLevelFallsBackOnGarbage) {
   EXPECT_EQ(parse_log_level("42", LogLevel::kError), LogLevel::kError);
 }
 
+TEST(Logging, TryParseDistinguishesUnknownFromKnown) {
+  // try_parse is what the logger uses at startup to decide whether to warn
+  // about a misspelled STELLARIS_LOG_LEVEL instead of silently defaulting.
+  EXPECT_EQ(try_parse_log_level("WARNING"), LogLevel::kWarn);
+  EXPECT_EQ(try_parse_log_level("Off"), LogLevel::kOff);
+  EXPECT_EQ(try_parse_log_level("3"), LogLevel::kError);
+  EXPECT_FALSE(try_parse_log_level("").has_value());
+  EXPECT_FALSE(try_parse_log_level("verbose").has_value());
+  EXPECT_FALSE(try_parse_log_level("infos").has_value());
+  EXPECT_FALSE(try_parse_log_level("5").has_value());
+  EXPECT_FALSE(try_parse_log_level(" info").has_value());
+}
+
 TEST(Logging, TimestampIsIso8601Utc) {
   const std::string ts = log_timestamp();
   // "2026-08-06T12:34:56.789Z" — fixed-width fields, T and Z markers.

@@ -1,0 +1,417 @@
+#include "tools/report/ledger_analysis.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "obs/ledger.hpp"
+#include "util/mini_json.hpp"
+
+namespace stellaris::report {
+
+namespace {
+
+using minijson::Value;
+
+double num_or(const Value& obj, const std::string& key, double fallback) {
+  if (!obj.has(key)) return fallback;
+  const Value& v = obj.at(key);
+  return v.kind == Value::Kind::kNumber ? v.num : fallback;
+}
+
+std::string str_or(const Value& obj, const std::string& key,
+                   const std::string& fallback) {
+  if (!obj.has(key)) return fallback;
+  const Value& v = obj.at(key);
+  return v.kind == Value::Kind::kString ? v.str : fallback;
+}
+
+/// Nearest-rank quantile of an ascending-sorted sample (q in (0,1]).
+double nearest_rank(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const std::size_t rank = static_cast<std::size_t>(
+      std::ceil(q * static_cast<double>(sorted.size())));
+  return sorted[std::min(std::max<std::size_t>(rank, 1), sorted.size()) - 1];
+}
+
+struct InvokeRecord {
+  std::uint64_t lid = 0;
+  std::string kind;
+  double submit = 0.0;
+  double end = 0.0;
+  double compute_s = 0.0;
+  double billed_s = 0.0;
+  double cost_usd = 0.0;
+  bool ok = true;
+  std::string error;
+  double straggler_mult = 1.0;
+};
+
+/// Per-run event accumulator, filled on the single pass over the lines.
+struct RunAccumulator {
+  std::size_t events = 0;
+  double max_t = 0.0;
+  double run_end_t = -1.0;
+  std::vector<InvokeRecord> invokes;
+  // Sweep deltas: time -> count change, merged per timestamp. std::map
+  // keeps boundaries sorted.
+  std::map<double, long> pending_traj_delta;
+  std::map<double, long> grad_queue_delta;
+  std::map<std::uint64_t, std::vector<double>> staleness_by_version;
+  std::uint64_t retries = 0;
+  std::uint64_t giveups = 0;
+  std::uint64_t reclaims = 0;
+  std::uint64_t rounds = 0;
+};
+
+StageBreakdown sweep_stages(const RunAccumulator& acc, double t_end) {
+  // Interval deltas per in-flight category, then one priority sweep over
+  // the union of all boundaries in [0, t_end].
+  std::map<double, long> actor_d, learner_d, param_d;
+  for (const auto& inv : acc.invokes) {
+    std::map<double, long>* d = nullptr;
+    if (inv.kind == "actor")
+      d = &actor_d;
+    else if (inv.kind == "learner")
+      d = &learner_d;
+    else if (inv.kind == "parameter")
+      d = &param_d;
+    if (!d) continue;
+    // In-flight from submission (queue time is part of the stage: a queued
+    // learner is still "learning" on the critical path) to settle.
+    if (inv.end <= inv.submit) continue;
+    (*d)[inv.submit] += 1;
+    (*d)[inv.end] -= 1;
+  }
+
+  std::vector<double> bounds;
+  bounds.push_back(0.0);
+  bounds.push_back(t_end);
+  auto add_bounds = [&](const std::map<double, long>& d) {
+    for (const auto& [t, _] : d) bounds.push_back(t);
+  };
+  add_bounds(actor_d);
+  add_bounds(learner_d);
+  add_bounds(param_d);
+  add_bounds(acc.pending_traj_delta);
+  add_bounds(acc.grad_queue_delta);
+  std::sort(bounds.begin(), bounds.end());
+  bounds.erase(std::unique(bounds.begin(), bounds.end()), bounds.end());
+
+  StageBreakdown out;
+  out.total = t_end;
+  long actors = 0, learners = 0, params = 0, trajs = 0, grads = 0;
+  auto apply = [](std::map<double, long>& d, double t, long& count) {
+    auto it = d.find(t);
+    if (it != d.end()) count += it->second;
+  };
+  // Mutable copies for find() — the maps are small relative to the sweep.
+  std::map<double, long> traj_d = acc.pending_traj_delta;
+  std::map<double, long> grad_d = acc.grad_queue_delta;
+  for (std::size_t i = 0; i < bounds.size(); ++i) {
+    const double t = bounds[i];
+    apply(actor_d, t, actors);
+    apply(learner_d, t, learners);
+    apply(param_d, t, params);
+    apply(traj_d, t, trajs);
+    apply(grad_d, t, grads);
+    if (t >= t_end || i + 1 >= bounds.size()) break;
+    const double hi = std::min(bounds[i + 1], t_end);
+    const double lo = std::max(t, 0.0);
+    const double len = hi - lo;
+    if (len <= 0.0) continue;
+    // Priority classification — exactly one stage per elementary interval.
+    if (params > 0)
+      out.aggregate += len;
+    else if (grads > 0)
+      out.aggregate_wait += len;
+    else if (learners > 0)
+      out.learn += len;
+    else if (trajs > 0)
+      out.cache_wait += len;
+    else if (actors > 0)
+      out.rollout += len;
+    else
+      out.idle += len;
+  }
+  return out;
+}
+
+RunReport finalize(std::uint64_t run, const RunAccumulator& acc,
+                   const AnalysisOptions& opts) {
+  RunReport rep;
+  rep.run = run;
+  rep.events = acc.events;
+  rep.t_end = acc.run_end_t >= 0.0 ? acc.run_end_t : acc.max_t;
+  rep.retries = acc.retries;
+  rep.giveups = acc.giveups;
+  rep.reclaims = acc.reclaims;
+  rep.rounds = acc.rounds;
+
+  rep.stages = sweep_stages(acc, rep.t_end);
+
+  for (const auto& [version, samples] : acc.staleness_by_version) {
+    std::vector<double> sorted = samples;
+    std::sort(sorted.begin(), sorted.end());
+    StalenessByVersion s;
+    s.version = version;
+    s.count = sorted.size();
+    s.p50 = nearest_rank(sorted, 0.50);
+    s.p99 = nearest_rank(sorted, 0.99);
+    s.max = sorted.empty() ? 0.0 : sorted.back();
+    double sum = 0.0;
+    for (double v : sorted) sum += v;
+    s.mean = sorted.empty() ? 0.0 : sum / static_cast<double>(sorted.size());
+    rep.staleness.push_back(s);
+  }
+
+  // Stragglers: per-kind median compute time over all invocations, then
+  // flag injected (straggler_mult) and statistical (> factor × median).
+  std::map<std::string, std::vector<double>> compute_by_kind;
+  for (const auto& inv : acc.invokes)
+    compute_by_kind[inv.kind].push_back(inv.compute_s);
+  std::map<std::string, double> median_by_kind;
+  for (auto& [kind, xs] : compute_by_kind) {
+    std::sort(xs.begin(), xs.end());
+    median_by_kind[kind] = nearest_rank(xs, 0.50);
+  }
+  for (const auto& inv : acc.invokes) {
+    const double median = median_by_kind[inv.kind];
+    const double ratio = median > 0.0 ? inv.compute_s / median : 0.0;
+    const bool injected = inv.straggler_mult > 1.0;
+    const bool statistical =
+        median > 0.0 && inv.compute_s > opts.straggler_factor * median;
+    if (!injected && !statistical) continue;
+    Straggler s;
+    s.lid = inv.lid;
+    s.kind = inv.kind;
+    s.compute_s = inv.compute_s;
+    s.ratio = ratio;
+    s.injected = injected;
+    rep.stragglers.push_back(s);
+  }
+  std::sort(rep.stragglers.begin(), rep.stragglers.end(),
+            [](const Straggler& a, const Straggler& b) {
+              if (a.ratio != b.ratio) return a.ratio > b.ratio;
+              return a.lid < b.lid;
+            });
+
+  std::map<std::string, WastedCost> wasted;
+  for (const auto& inv : acc.invokes) {
+    ++rep.invocations;
+    rep.total_cost_usd += inv.cost_usd;
+    if (inv.ok) continue;
+    ++rep.failed_invocations;
+    rep.wasted_cost_usd += inv.cost_usd;
+    rep.wasted_seconds += inv.billed_s;
+    WastedCost& w = wasted[inv.error];
+    w.error = inv.error;
+    ++w.count;
+    w.billed_s += inv.billed_s;
+    w.cost_usd += inv.cost_usd;
+  }
+  for (const auto& [_, w] : wasted) rep.wasted.push_back(w);
+  return rep;
+}
+
+std::string fmt(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.6f", v);
+  return buf;
+}
+
+std::string pct(double part, double total) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%5.1f%%",
+                total > 0.0 ? 100.0 * part / total : 0.0);
+  return buf;
+}
+
+}  // namespace
+
+std::vector<RunReport> analyze_ledger(const std::vector<std::string>& lines,
+                                      const AnalysisOptions& opts) {
+  std::map<std::uint64_t, RunAccumulator> runs;
+  std::size_t lineno = 0;
+  for (const auto& line : lines) {
+    ++lineno;
+    if (line.empty() ||
+        line.find_first_not_of(" \t\r\n") == std::string::npos)
+      continue;
+    Value ev;
+    try {
+      ev = minijson::parse(line);
+    } catch (const std::exception& e) {
+      throw std::runtime_error("ledger line " + std::to_string(lineno) +
+                               ": " + e.what());
+    }
+    if (!ev.is_object() || !ev.has("ev")) continue;
+    const std::string type = str_or(ev, "ev", "");
+    const auto run = static_cast<std::uint64_t>(num_or(ev, "run", 0));
+    const double t = num_or(ev, "t", 0.0);
+    RunAccumulator& acc = runs[run];
+    ++acc.events;
+    acc.max_t = std::max(acc.max_t, t);
+
+    if (type == "run_end") {
+      acc.run_end_t = t;
+    } else if (type == "invoke") {
+      InvokeRecord inv;
+      inv.lid = static_cast<std::uint64_t>(num_or(ev, "lid", 0));
+      inv.kind = str_or(ev, "kind", "");
+      inv.submit = num_or(ev, "submit", t);
+      inv.end = t;
+      inv.compute_s = num_or(ev, "compute_s", 0.0);
+      inv.billed_s = num_or(ev, "billed_s", 0.0);
+      inv.cost_usd = num_or(ev, "cost_usd", 0.0);
+      inv.ok = !ev.has("ok") || ev.at("ok").b;
+      inv.error = str_or(ev, "error", "");
+      inv.straggler_mult = num_or(ev, "straggler_mult", 1.0);
+      acc.invokes.push_back(std::move(inv));
+    } else if (type == "traj") {
+      acc.pending_traj_delta[t] += 1;
+    } else if (type == "learner_claim") {
+      if (ev.has("trajs"))
+        acc.pending_traj_delta[t] -=
+            static_cast<long>(ev.at("trajs").arr.size());
+    } else if (type == "traj_requeue") {
+      if (ev.has("trajs"))
+        acc.pending_traj_delta[t] +=
+            static_cast<long>(ev.at("trajs").arr.size());
+    } else if (type == "grad") {
+      acc.grad_queue_delta[t] += 1;
+    } else if (type == "agg_begin") {
+      if (ev.has("group"))
+        acc.grad_queue_delta[t] -=
+            static_cast<long>(ev.at("group").arr.size());
+    } else if (type == "agg_end") {
+      const auto version =
+          static_cast<std::uint64_t>(num_or(ev, "version", 0));
+      auto& samples = acc.staleness_by_version[version];
+      if (ev.has("staleness"))
+        for (const auto& v : ev.at("staleness").arr)
+          samples.push_back(v.number());
+    } else if (type == "retry") {
+      ++acc.retries;
+    } else if (type == "giveup") {
+      ++acc.giveups;
+    } else if (type == "reclaim") {
+      ++acc.reclaims;
+    } else if (type == "round") {
+      ++acc.rounds;
+    }
+  }
+
+  std::vector<RunReport> reports;
+  reports.reserve(runs.size());
+  for (const auto& [run, acc] : runs)
+    reports.push_back(finalize(run, acc, opts));
+  return reports;
+}
+
+std::vector<RunReport> analyze_ledger_file(const std::string& path,
+                                           const AnalysisOptions& opts) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open ledger: " + path);
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return analyze_ledger(lines, opts);
+}
+
+void print_report(std::ostream& os, const RunReport& r) {
+  os << "=== run " << r.run << " ===\n";
+  os << "events: " << r.events << "   rounds: " << r.rounds
+     << "   virtual run time: " << fmt(r.t_end) << " s\n";
+
+  os << "\ncritical-path breakdown (priority: aggregate > aggregate_wait > "
+        "learn > cache_wait > rollout > idle):\n";
+  const StageBreakdown& s = r.stages;
+  auto stage = [&](const char* name, double v) {
+    os << "  " << name << std::string(16 - std::min<std::size_t>(
+                                               16, std::string(name).size()),
+                                      ' ')
+       << fmt(v) << " s  " << pct(v, s.total) << "\n";
+  };
+  stage("rollout", s.rollout);
+  stage("cache_wait", s.cache_wait);
+  stage("learn", s.learn);
+  stage("aggregate_wait", s.aggregate_wait);
+  stage("aggregate", s.aggregate);
+  stage("idle", s.idle);
+  stage("total", s.sum());
+
+  os << "\nstaleness per policy version (nearest-rank quantiles):\n";
+  if (r.staleness.empty()) os << "  (no aggregations recorded)\n";
+  for (const auto& v : r.staleness)
+    os << "  v" << v.version << ": n=" << v.count << " p50=" << v.p50
+       << " p99=" << v.p99 << " mean=" << fmt(v.mean) << " max=" << v.max
+       << "\n";
+
+  os << "\nstragglers (injected, or compute_s above the kind median):\n";
+  if (r.stragglers.empty()) os << "  (none)\n";
+  for (const auto& st : r.stragglers)
+    os << "  lid=" << st.lid << " kind=" << st.kind
+       << " compute_s=" << fmt(st.compute_s) << " ratio=" << fmt(st.ratio)
+       << (st.injected ? " [injected]" : "") << "\n";
+
+  os << "\nwasted-cost attribution (failed invocations):\n";
+  if (r.wasted.empty()) os << "  (none)\n";
+  for (const auto& w : r.wasted)
+    os << "  " << w.error << ": " << w.count << " invocations, "
+       << fmt(w.billed_s) << " s billed, $" << fmt(w.cost_usd) << "\n";
+  os << "  total: " << r.failed_invocations << "/" << r.invocations
+     << " invocations failed, $" << fmt(r.wasted_cost_usd) << " of $"
+     << fmt(r.total_cost_usd) << " wasted (" << r.retries << " retries, "
+     << r.giveups << " giveups, " << r.reclaims << " reclaims)\n";
+}
+
+void write_report_json(std::ostream& os, const RunReport& r) {
+  using obs::LedgerEvent;
+  const auto n = [](double v) { return LedgerEvent::render_number(v); };
+  os << "{\"run\":" << r.run << ",\"events\":" << r.events
+     << ",\"rounds\":" << r.rounds << ",\"t_end\":" << n(r.t_end)
+     << ",\"stages\":{\"rollout\":" << n(r.stages.rollout)
+     << ",\"cache_wait\":" << n(r.stages.cache_wait)
+     << ",\"learn\":" << n(r.stages.learn)
+     << ",\"aggregate_wait\":" << n(r.stages.aggregate_wait)
+     << ",\"aggregate\":" << n(r.stages.aggregate)
+     << ",\"idle\":" << n(r.stages.idle) << "}";
+  os << ",\"staleness\":[";
+  for (std::size_t i = 0; i < r.staleness.size(); ++i) {
+    const auto& v = r.staleness[i];
+    os << (i ? "," : "") << "{\"version\":" << v.version
+       << ",\"count\":" << v.count << ",\"p50\":" << n(v.p50)
+       << ",\"p99\":" << n(v.p99) << ",\"mean\":" << n(v.mean)
+       << ",\"max\":" << n(v.max) << "}";
+  }
+  os << "],\"stragglers\":[";
+  for (std::size_t i = 0; i < r.stragglers.size(); ++i) {
+    const auto& st = r.stragglers[i];
+    os << (i ? "," : "") << "{\"lid\":" << st.lid
+       << ",\"kind\":" << LedgerEvent::quote(st.kind)
+       << ",\"compute_s\":" << n(st.compute_s) << ",\"ratio\":" << n(st.ratio)
+       << ",\"injected\":" << (st.injected ? "true" : "false") << "}";
+  }
+  os << "],\"wasted\":[";
+  for (std::size_t i = 0; i < r.wasted.size(); ++i) {
+    const auto& w = r.wasted[i];
+    os << (i ? "," : "") << "{\"error\":" << LedgerEvent::quote(w.error)
+       << ",\"count\":" << w.count << ",\"billed_s\":" << n(w.billed_s)
+       << ",\"cost_usd\":" << n(w.cost_usd) << "}";
+  }
+  os << "],\"invocations\":" << r.invocations
+     << ",\"failed_invocations\":" << r.failed_invocations
+     << ",\"total_cost_usd\":" << n(r.total_cost_usd)
+     << ",\"wasted_cost_usd\":" << n(r.wasted_cost_usd)
+     << ",\"wasted_seconds\":" << n(r.wasted_seconds)
+     << ",\"retries\":" << r.retries << ",\"giveups\":" << r.giveups
+     << ",\"reclaims\":" << r.reclaims << "}\n";
+}
+
+}  // namespace stellaris::report

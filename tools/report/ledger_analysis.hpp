@@ -1,0 +1,118 @@
+// Offline analysis of a Stellaris run ledger (obs/ledger.hpp JSONL).
+//
+// Consumes the event stream a training run emitted under --ledger-out= and
+// reconstructs, per run:
+//
+//  - the **critical-path breakdown**: every instant of virtual run time
+//    [0, t_end] is attributed to exactly one stage by a priority sweep
+//    (aggregate > aggregate_wait > learn > cache_wait > rollout > idle),
+//    so the per-stage times sum to the total virtual run time (±float
+//    rounding from the telescoped interval sum);
+//  - **p50/p99 staleness per policy version** from the aggregation events'
+//    per-gradient staleness lists (exact nearest-rank quantiles);
+//  - **straggler identification**: invocations flagged by the fault plane
+//    (straggler_mult) plus statistical outliers whose compute time exceeds
+//    `straggler_factor` × the median of their function kind;
+//  - **wasted-cost attribution**: spend and billed seconds of failed
+//    invocations grouped by error kind, matching the fault subsystem's
+//    CostMeter counters.
+//
+// The stage priority mirrors the pipeline's dependency order: while an
+// aggregation runs nothing downstream can proceed (aggregate); gradients
+// waiting in the queue mean learning finished but the gate holds the
+// update back (aggregate_wait); a learner in flight is learning (learn);
+// published-but-unclaimed trajectories are waiting for a learner slot
+// (cache_wait); otherwise in-flight actors are rolling out (rollout).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace stellaris::report {
+
+/// Virtual-time occupancy per pipeline stage; fields sum to `total`.
+struct StageBreakdown {
+  double rollout = 0.0;
+  double cache_wait = 0.0;
+  double learn = 0.0;
+  double aggregate_wait = 0.0;
+  double aggregate = 0.0;
+  double idle = 0.0;
+  double total = 0.0;
+
+  double sum() const {
+    return rollout + cache_wait + learn + aggregate_wait + aggregate + idle;
+  }
+};
+
+/// Staleness distribution of the gradient group that produced `version`.
+struct StalenessByVersion {
+  std::uint64_t version = 0;
+  std::size_t count = 0;
+  double p50 = 0.0;  ///< nearest-rank
+  double p99 = 0.0;  ///< nearest-rank
+  double mean = 0.0;
+  double max = 0.0;
+};
+
+struct Straggler {
+  std::uint64_t lid = 0;  ///< invocation ledger id (0 if unassigned)
+  std::string kind;
+  double compute_s = 0.0;
+  double ratio = 0.0;    ///< compute_s / median compute_s of this kind
+  bool injected = false;  ///< flagged by the fault plane (straggler_mult)
+};
+
+/// Failed-invocation spend grouped by error kind.
+struct WastedCost {
+  std::string error;
+  std::uint64_t count = 0;
+  double billed_s = 0.0;
+  double cost_usd = 0.0;
+};
+
+struct RunReport {
+  std::uint64_t run = 0;
+  std::size_t events = 0;
+  double t_end = 0.0;  ///< total virtual run time
+  StageBreakdown stages;
+  std::vector<StalenessByVersion> staleness;  ///< by ascending version
+  std::vector<Straggler> stragglers;          ///< by descending ratio
+  std::vector<WastedCost> wasted;             ///< by error name
+
+  // Run totals from the invoke stream.
+  std::uint64_t invocations = 0;
+  std::uint64_t failed_invocations = 0;
+  double total_cost_usd = 0.0;
+  double wasted_cost_usd = 0.0;
+  double wasted_seconds = 0.0;
+  std::uint64_t retries = 0;
+  std::uint64_t giveups = 0;
+  std::uint64_t reclaims = 0;
+  std::uint64_t rounds = 0;
+};
+
+struct AnalysisOptions {
+  /// Statistical straggler threshold: compute_s > factor × kind median.
+  double straggler_factor = 2.0;
+};
+
+/// Analyze ledger lines (one JSON object per line; blank lines ignored).
+/// Returns one report per distinct `run` id, in ascending run order.
+/// Throws std::runtime_error on malformed JSON.
+std::vector<RunReport> analyze_ledger(const std::vector<std::string>& lines,
+                                      const AnalysisOptions& opts = {});
+
+/// Read a JSONL ledger file and analyze it. Throws on I/O or parse errors.
+std::vector<RunReport> analyze_ledger_file(const std::string& path,
+                                           const AnalysisOptions& opts = {});
+
+/// Human-readable report (the stellaris_report CLI output).
+void print_report(std::ostream& os, const RunReport& report);
+
+/// Machine-readable single-object JSON for one run.
+void write_report_json(std::ostream& os, const RunReport& report);
+
+}  // namespace stellaris::report
