@@ -9,6 +9,8 @@
 #pragma once
 
 #include <algorithm>
+#include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <string>
 #include <vector>
@@ -48,6 +50,30 @@ inline std::unique_ptr<obs::ObsSession> obs_session_from_args(int argc,
       opts.timeseries_window_s = std::stod(arg.substr(20));
   }
   return std::make_unique<obs::ObsSession>(std::move(opts));
+}
+
+/// Execution-driver flag surface (DESIGN.md §14), shared like the obs flags:
+///   --driver=virtual|concurrent   execution driver (default: virtual)
+///   --driver-threads=<n>          concurrent worker cap (0 = one per
+///                                 hardware thread)
+/// Results are byte-identical across drivers by construction; the flags
+/// only trade wall-clock for threads. Unknown arguments are ignored.
+inline void apply_driver_args(core::TrainConfig& cfg, int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--driver=", 0) == 0) {
+      const auto kind = sim::parse_driver_kind(arg.substr(9));
+      if (!kind) {
+        std::fprintf(stderr, "unknown --driver=%s (virtual|concurrent)\n",
+                     arg.substr(9).c_str());
+        std::exit(2);
+      }
+      cfg.driver = *kind;
+    } else if (arg.rfind("--driver-threads=", 0) == 0) {
+      cfg.driver_threads = static_cast<std::size_t>(
+          std::stoul(arg.substr(17)));
+    }
+  }
 }
 
 /// Reduced-scale base config shared by the figure benches.

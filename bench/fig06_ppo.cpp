@@ -39,6 +39,7 @@ int main(int argc, char** argv) {
     const std::size_t rounds = bench::default_rounds(env);
     const std::size_t seeds = bench::default_seeds(env);
     auto cfg = bench::base_config(env, rounds, 1);
+    bench::apply_driver_args(cfg, argc, argv);
 
     baselines::SyncConfig sync_cfg;
     sync_cfg.base = cfg;

@@ -67,6 +67,7 @@ int main(int argc, char** argv) {
   // final reward, measured first so every row uses the same bar.
   auto make_cfg = [&](double rate) {
     auto cfg = bench::base_config(env, rounds, 1);
+    bench::apply_driver_args(cfg, argc, argv);
     cfg.faults.config.crash_prob = rate;
     cfg.faults.config.straggler_prob = rate / 2.0;
     cfg.faults.config.straggler_mult = 4.0;

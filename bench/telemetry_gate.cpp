@@ -181,24 +181,31 @@ int main(int argc, char** argv) {
     else if (arg.rfind("--ledger-out=", 0) == 0) ledger_path = arg.substr(13);
   }
 
+  // Driver flags (--driver=, --driver-threads=): the gate's identity checks
+  // must hold under either execution driver, so CI runs it both ways.
+  auto clean_cfg = small_config();
+  bench::apply_driver_args(clean_cfg, argc, argv);
+  auto faulty_cfg = faulty_config();
+  bench::apply_driver_args(faulty_cfg, argc, argv);
+
   // 1. Clean run, capture off vs fully on.
-  const auto clean_off = core::run_training(small_config());
+  const auto clean_off = core::run_training(clean_cfg);
   obs::TraceRecorder clean_tr;
   obs::LedgerRecorder clean_led;
   obs::TimeSeriesRecorder clean_ts(1.0);
   const auto clean_on =
-      run_instrumented(small_config(), clean_tr, clean_led, clean_ts);
+      run_instrumented(clean_cfg, clean_tr, clean_led, clean_ts);
   expect_identical(clean_off, clean_on, "clean");
   check(clean_led.size() > 0, "clean: ledger captured events");
   check(!clean_ts.series_names().empty(), "clean: time series captured");
 
   // 2. Faulty run (exercises crash/straggler/reclaim settle paths).
-  const auto faulty_off = core::run_training(faulty_config());
+  const auto faulty_off = core::run_training(faulty_cfg);
   obs::TraceRecorder faulty_tr;
   obs::LedgerRecorder faulty_led;
   obs::TimeSeriesRecorder faulty_ts(1.0);
   const auto faulty_on =
-      run_instrumented(faulty_config(), faulty_tr, faulty_led, faulty_ts);
+      run_instrumented(faulty_cfg, faulty_tr, faulty_led, faulty_ts);
   expect_identical(faulty_off, faulty_on, "faulty");
   check(faulty_on.faults.failed_invocations > 0,
         "faulty: faults were injected");

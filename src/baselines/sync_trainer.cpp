@@ -5,10 +5,13 @@
 
 #include "core/kl_probe.hpp"
 #include "core/learner_update.hpp"
+#include "core/worker_context.hpp"
 #include "fault/fault_injector.hpp"
 #include "nn/optimizer.hpp"
 #include "obs/obs.hpp"
 #include "rl/actor.hpp"
+#include "sim/driver.hpp"
+#include "tensor/kernel_config.hpp"
 #include "util/error.hpp"
 
 namespace stellaris::baselines {
@@ -65,8 +68,6 @@ core::TrainResult run_sync_training(const SyncConfig& sync_cfg) {
                                              cfg.seed ^ salt);
   };
   auto canonical = build_model(0x11);
-  auto learner_model = build_model(0x33);
-  auto target_model = build_model(0x44);
   auto probe_model = build_model(0x55);
   std::vector<float> params = canonical->flat_params();
   std::vector<float> target_params = params;
@@ -78,6 +79,16 @@ core::TrainResult run_sync_training(const SyncConfig& sync_cfg) {
                                                  cfg.seed * 7919 + i));
   auto eval_env = envs::make_env(cfg.env_name);
   Rng rng(cfg.seed ^ 0x517cULL);
+
+  // Execution driver (DESIGN.md §14): barrier phases fan their per-worker
+  // numerics out as driver bodies. Results are identical at any thread
+  // count because bodies are joined in worker order BEFORE any phase-level
+  // RNG draw, so every stream sees the serial draw sequence.
+  auto driver = sim::make_driver(cfg.driver,
+                                 sim::resolve_driver_threads(cfg.driver_threads));
+  if (driver->worker_threads() > 0)
+    ops::apply_driver_thread_budget(driver->worker_threads());
+  core::WorkerContextPool ctx_pool(env_spec, net_spec, cfg.seed ^ 0x66ULL);
 
   // Fault model for the barrier baselines: no event loop here, so the same
   // probabilistic failure environment is replayed analytically. Every
@@ -126,11 +137,19 @@ core::TrainResult run_sync_training(const SyncConfig& sync_cfg) {
   Tensor probe_obs;
   for (std::size_t round = 1; round <= cfg.rounds; ++round) {
     // ---- actor phase (barrier): waves of parallel sampling -----------------
-    std::vector<rl::SampleBatch> batches;
-    batches.reserve(cfg.num_actors);
-    for (std::size_t i = 0; i < cfg.num_actors; ++i) {
-      canonical->set_flat_params(params);
-      batches.push_back(actors[i]->sample(*canonical, cfg.horizon, round));
+    // Each actor owns its env + RNG stream, so the bodies are independent;
+    // joining in actor order keeps everything downstream serial-identical.
+    std::vector<rl::SampleBatch> batches(cfg.num_actors);
+    {
+      std::vector<sim::Driver::Job> jobs;
+      jobs.reserve(cfg.num_actors);
+      for (std::size_t i = 0; i < cfg.num_actors; ++i)
+        jobs.push_back(driver->submit([&, i] {
+          auto ctx = ctx_pool.lease();
+          ctx->model.set_flat_params(params);
+          batches[i] = actors[i]->sample(ctx->model, cfg.horizon, round);
+        }));
+      for (const auto& job : jobs) sim::Driver::join(job);
     }
     const std::size_t waves =
         (cfg.num_actors + actor_slots - 1) / actor_slots;
@@ -151,31 +170,49 @@ core::TrainResult run_sync_training(const SyncConfig& sync_cfg) {
     wasted_actor_s += fstats.wasted_seconds - actor_wasted_before;
 
     // ---- learner phase: shard batches across sync learners ------------------
+    // Bodies fill per-learner slots; the duration draws (rng / fault_rng)
+    // run strictly after ALL joins, in learner order — the exact draw
+    // sequence of the serial loop.
+    std::vector<core::LearnerUpdate> updates(n_learners);
+    std::vector<std::size_t> shard_steps(n_learners, 0);
+    {
+      std::vector<sim::Driver::Job> jobs(n_learners);
+      for (std::size_t l = 0; l < n_learners; ++l) {
+        const bool has_work = l < batches.size();
+        if (!has_work) continue;
+        jobs[l] = driver->submit([&, l] {
+          auto ctx = ctx_pool.lease();
+          std::vector<rl::SampleBatch> shard;
+          for (std::size_t i = l; i < batches.size(); i += n_learners)
+            shard.push_back(batches[i]);
+          rl::SampleBatch merged = shard.size() == 1
+                                       ? std::move(shard.front())
+                                       : rl::SampleBatch::concat(shard);
+          shard_steps[l] = merged.size();
+          if (cfg.algorithm == core::Algorithm::kImpact)
+            ctx->target.set_flat_params(target_params);
+          updates[l] = core::compute_learner_update(cfg, ctx->model,
+                                                    ctx->target, params,
+                                                    merged);
+        });
+      }
+      for (const auto& job : jobs)
+        if (job) sim::Driver::join(job);
+    }
     std::vector<std::vector<float>> deltas;
     rl::LossStats last_stats;
     double learner_phase_s = 0.0;
-    if (cfg.algorithm == core::Algorithm::kImpact)
-      target_model->set_flat_params(target_params);
     for (std::size_t l = 0; l < n_learners; ++l) {
-      std::vector<rl::SampleBatch> shard;
-      for (std::size_t i = l; i < batches.size(); i += n_learners)
-        shard.push_back(batches[i]);
-      if (shard.empty()) continue;
-      rl::SampleBatch merged = shard.size() == 1
-                                   ? std::move(shard.front())
-                                   : rl::SampleBatch::concat(shard);
-      const std::size_t batch_steps = merged.size();
-      core::LearnerUpdate update = core::compute_learner_update(
-          cfg, *learner_model, *target_model, params, merged);
-      last_stats = update.stats;
-      deltas.push_back(std::move(update.delta));
+      if (shard_steps[l] == 0) continue;
+      last_stats = updates[l].stats;
+      deltas.push_back(std::move(updates[l].delta));
       learner_phase_s = std::max(
           learner_phase_s,
           faulted_duration(cfg.latency.jittered(
               cfg.latency.learner_compute_s(
-                  batch_steps, params.size(),
+                  shard_steps[l], params.size(),
                   cfg.cluster.per_slot_tflops()) *
-                  static_cast<double>(update.epochs_run),
+                  static_cast<double>(updates[l].epochs_run),
               rng)));
     }
     // Synchronous allreduce of the deltas.

@@ -14,6 +14,7 @@
 #include "rl/ppo.hpp"
 #include "serverless/cluster.hpp"
 #include "serverless/latency_model.hpp"
+#include "sim/driver.hpp"
 #include "util/error.hpp"
 
 namespace stellaris::core {
@@ -80,6 +81,16 @@ struct TrainConfig {
   serverless::ClusterSpec cluster = serverless::ClusterSpec::regular();
   serverless::LatencyModel latency;
   bool prewarm = true;
+
+  // -- execution driver (DESIGN.md §14) -----------------------------------------
+  /// Where invocation bodies execute: inline on the engine thread
+  /// (kVirtual) or on a worker pool (kConcurrent). Results are
+  /// byte-identical across drivers by construction; only wall-clock
+  /// changes. `--driver=` in the benches.
+  sim::DriverKind driver = sim::DriverKind::kVirtual;
+  /// Worker-thread cap for the concurrent driver; 0 = one per hardware
+  /// thread. `--driver-threads=` in the benches.
+  std::size_t driver_threads = 0;
 
   // -- fault tolerance (src/fault) ------------------------------------------------
   /// Fault plan: probabilities/rates + optional scripted schedule. The

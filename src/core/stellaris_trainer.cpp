@@ -9,6 +9,7 @@
 #include "rl/impact.hpp"
 #include "rl/ppo.hpp"
 #include "rl/sample_batch.hpp"
+#include "tensor/kernel_config.hpp"
 #include "util/error.hpp"
 #include "util/logging.hpp"
 
@@ -105,16 +106,26 @@ StellarisTrainer::StellarisTrainer(TrainConfig cfg)
   param_fn_ = std::make_unique<ParameterFunction>(canonical->flat_params(),
                                                   pf_cfg);
   actor_model_ = build_model(0x22);
-  learner_model_ = build_model(0x33);
-  target_model_ = build_model(0x44);
   probe_model_ = build_model(0x55);
-  target_params_ = param_fn_->params();
+  ctx_pool_ = std::make_unique<WorkerContextPool>(env_spec_, net_spec_,
+                                                  cfg_.seed ^ 0x66ULL);
+  target_params_ =
+      std::make_shared<const std::vector<float>>(param_fn_->params());
 
   actors_.reserve(cfg_.num_actors);
   for (std::size_t i = 0; i < cfg_.num_actors; ++i)
     actors_.push_back(std::make_unique<rl::Actor>(
         envs::make_env(cfg_.env_name), cfg_.seed * 7919 + i));
   eval_env_ = envs::make_env(cfg_.env_name);
+
+  // Execution driver (DESIGN.md §14): the event engine keeps sole authority
+  // over ordering; the driver only decides WHERE invocation bodies compute.
+  actor_chain_.resize(cfg_.num_actors);
+  driver_ = sim::make_driver(cfg_.driver,
+                             sim::resolve_driver_threads(cfg_.driver_threads));
+  engine_.set_driver(driver_.get());
+  if (driver_->worker_threads() > 0)
+    ops::apply_driver_thread_budget(driver_->worker_threads());
 
   // Round-0 calibration window: one gradient from (roughly) each actor wave
   // aggregated unconditionally to measure δ_max (§V-C).
@@ -213,6 +224,9 @@ TrainResult StellarisTrainer::train() {
   }
   for (std::size_t i = 0; i < cfg_.num_actors; ++i) launch_actor(i);
   engine_.run();
+  // Reap any bodies abandoned by the fault plane (killed attempts whose
+  // results were discarded) before tearing state down.
+  driver_->drain();
 
   // ---- finalize telemetry ----------------------------------------------------
   result_.total_time_s = engine_.now();
@@ -283,6 +297,7 @@ TrainResult StellarisTrainer::train() {
 void StellarisTrainer::launch_actor(std::size_t actor_idx) {
   if (done_) return;
   auto pulled = std::make_shared<PolicyRef>();
+  auto body_out = std::make_shared<std::shared_ptr<ActorBodyResult>>();
 
   serverless::ServerlessPlatform::InvokeOptions opts;
   opts.kind = serverless::FnKind::kActor;
@@ -297,15 +312,43 @@ void StellarisTrainer::launch_actor(std::size_t actor_idx) {
   // Step ①: pull the latest policy when the actor starts. Fires once per
   // retry attempt, so a re-invoked actor samples under a FRESH snapshot.
   opts.on_start = [this, pulled](double) { *pulled = latest_policy(); };
+  // Body: real sampling under the snapshot policy, on whichever thread the
+  // driver provides. Inputs (policy snapshot, RNG key) are captured here on
+  // the engine thread; the body touches only its leased context, the
+  // stateful Actor (serialized by the per-actor `after` chain), and its own
+  // result box — never the engine, cache, or ledger (DESIGN.md §14).
+  opts.spawn_body = [this, actor_idx, pulled, body_out,
+                     lid = opts.ledger_id](std::size_t attempt)
+      -> sim::Driver::Job {
+    const PolicyRef snapshot = *pulled;
+    auto out = std::make_shared<ActorBodyResult>();
+    *body_out = out;
+    const std::uint64_t stream =
+        sim::invocation_stream(cfg_.seed, lid, attempt);
+    auto job = engine_.driver().submit(
+        [this, actor_idx, snapshot, out, stream] {
+          auto ctx = ctx_pool_->lease();
+          ctx->model.set_flat_params(snapshot->params);
+          Rng inv_rng(stream);
+          out->batch = actors_[actor_idx]->sample(ctx->model, cfg_.horizon,
+                                                  snapshot->version, inv_rng);
+          out->bytes = out->batch.serialize();
+        },
+        actor_chain_[actor_idx]);
+    actor_chain_[actor_idx] = job;
+    return job;
+  };
   platform_->invoke_retrying(
       opts, cfg_.retry,
-      [this, actor_idx, lid = opts.ledger_id, pulled](const auto& r) {
-        on_actor_complete(actor_idx, lid, pulled, r);
+      [this, actor_idx, lid = opts.ledger_id, pulled,
+       body_out](const auto& r) {
+        on_actor_complete(actor_idx, lid, pulled, body_out, r);
       });
 }
 
 void StellarisTrainer::on_actor_complete(
     std::size_t actor_idx, std::uint64_t lid, const PolicyPull& pulled,
+    const BodyBox<ActorBodyResult>& body_out,
     const serverless::ServerlessPlatform::InvokeResult& r) {
   retry_wait_accum_ += r.retry_wait_s;
   if (!r.ok) {
@@ -320,14 +363,12 @@ void StellarisTrainer::on_actor_complete(
   result_.breakdown.actor_sample_s += r.compute_s + r.start_latency_s;
   result_.breakdown.data_load_s += r.transfer_s;
 
-  // Real sampling under the snapshot policy (shared immutable decode —
-  // never written through).
+  // Merge section: the platform joined the body before this callback, so
+  // the settling attempt's outputs are ready in its box.
   const PolicySnapshot& snapshot = **pulled;
-  actor_model_->set_flat_params(snapshot.params);
-  rl::SampleBatch batch = actors_[actor_idx]->sample(
-      *actor_model_, cfg_.horizon, snapshot.version);
+  ActorBodyResult& body = **body_out;
   const std::uint64_t traj_id = next_traj_id_++;
-  auto bytes = batch.serialize();
+  std::vector<std::uint8_t> bytes = std::move(body.bytes);
   // GPU data loader (§V-B): start the cache→GPU pre-load immediately so the
   // transfer overlaps learner queueing and startup.
   traj_loader_ids_[traj_id] =
@@ -435,11 +476,55 @@ void StellarisTrainer::maybe_launch_learner() {
       inflight_pulled_versions_.insert((*pulled)->version);
       *inserted = (*pulled)->version;
     };
+    // Body: the real gradient computation. Captured on the engine thread at
+    // dispatch (= container start): the pulled policy, the IMPACT target
+    // published at that instant, and refcounted views of the trajectory
+    // payloads (the views outlive the cache erase at merge time). The body
+    // itself touches only its leased context and its result box.
+    auto body_out = std::make_shared<std::shared_ptr<LearnerBodyResult>>();
+    opts.spawn_body = [this, pulled, body_out,
+                       traj_ids](std::size_t) -> sim::Driver::Job {
+      const PolicyRef snapshot = *pulled;
+      auto target = target_params_;
+      std::vector<cache::CacheValue> payloads;
+      payloads.reserve(traj_ids.size());
+      for (std::uint64_t id : traj_ids)
+        payloads.push_back(cache_.get_or_throw(keys::trajectory(id)));
+      auto out = std::make_shared<LearnerBodyResult>();
+      *body_out = out;
+      return engine_.driver().submit([this, snapshot, target, out,
+                                      payloads = std::move(payloads)] {
+        auto ctx = ctx_pool_->lease();
+        if (ctx->parts.size() < payloads.size())
+          ctx->parts.resize(payloads.size());
+        for (std::size_t i = 0; i < payloads.size(); ++i)
+          rl::SampleBatch::deserialize_into(payloads[i].bytes(),
+                                            ctx->parts[i]);
+        if (payloads.size() > 1)
+          ctx->concat = rl::SampleBatch::concat(
+              std::span(ctx->parts.data(), payloads.size()));
+        rl::SampleBatch& batch =
+            payloads.size() == 1 ? ctx->parts.front() : ctx->concat;
+        if (cfg_.algorithm == Algorithm::kImpact)
+          ctx->target.set_flat_params(*target);
+        out->update = compute_learner_update(cfg_, ctx->model, ctx->target,
+                                             snapshot->params, batch);
+        out->batch_size = batch.size();
+        const std::size_t probe_rows =
+            std::min<std::size_t>(batch.obs.dim(0), 32);
+        std::vector<float> probe(
+            batch.obs.vec().begin(),
+            batch.obs.vec().begin() +
+                static_cast<std::ptrdiff_t>(probe_rows * batch.obs.dim(1)));
+        out->probe_obs =
+            Tensor({probe_rows, batch.obs.dim(1)}, std::move(probe));
+      });
+    };
     platform_->invoke_retrying(
         opts, cfg_.retry,
-        [this, learner_id, lid = opts.ledger_id, pulled,
+        [this, learner_id, lid = opts.ledger_id, pulled, body_out,
          traj_ids](const auto& r) {
-          on_learner_complete(learner_id, lid, pulled, traj_ids, r);
+          on_learner_complete(learner_id, lid, pulled, body_out, traj_ids, r);
         });
   }
   // Demand resumed: re-invoke backpressured actors.
@@ -454,6 +539,7 @@ void StellarisTrainer::maybe_launch_learner() {
 
 void StellarisTrainer::on_learner_complete(
     std::uint64_t learner_id, std::uint64_t lid, const PolicyPull& pulled,
+    const BodyBox<LearnerBodyResult>& body_out,
     const std::vector<std::uint64_t>& traj_ids,
     const serverless::ServerlessPlatform::InvokeResult& r) {
   retry_wait_accum_ += r.retry_wait_s;
@@ -494,40 +580,16 @@ void StellarisTrainer::on_learner_complete(
   result_.breakdown.data_load_s += r.transfer_s / 2.0;
 
   if (!done_) {
-    // Real gradient computation under the pulled policy. Trajectory ingest
-    // is zero-copy + zero-alloc once warm: the read hands back a refcounted
-    // view of the cached bytes (still valid after the erase below), and
-    // deserialize_into reuses the scratch batches' tensor buffers.
-    if (traj_parts_scratch_.size() < traj_ids.size())
-      traj_parts_scratch_.resize(traj_ids.size());
-    for (std::size_t i = 0; i < traj_ids.size(); ++i) {
-      const std::uint64_t id = traj_ids[i];
-      const auto value = cache_.get_blocking(keys::trajectory(id), 0, engine_,
-                                             kCacheReadDeadlineS);
-      if (!value)
-        throw CacheError("trajectory " + std::to_string(id) +
-                         " missing past its virtual deadline");
-      rl::SampleBatch::deserialize_into(value->bytes(),
-                                        traj_parts_scratch_[i]);
-      cache_.erase(keys::trajectory(id));
-    }
-    if (traj_ids.size() > 1)
-      concat_scratch_ = rl::SampleBatch::concat(
-          std::span(traj_parts_scratch_.data(), traj_ids.size()));
-    // Mutable: compute_learner_update fills advantages in place; the next
-    // deserialize_into fully overwrites the scratch from the wire.
-    rl::SampleBatch& batch =
-        traj_ids.size() == 1 ? traj_parts_scratch_.front() : concat_scratch_;
-
-    // Learner function body (shared with the sync baselines): bounded local
-    // Adam epochs; the submitted "gradient" is the cumulative parameter
-    // delta θ_pulled − θ_local, which the parameter function aggregates
-    // under the staleness and truncation weights.
-    if (cfg_.algorithm == Algorithm::kImpact)
-      target_model_->set_flat_params(target_params_);
+    // Merge section: the body already computed the learner update (bounded
+    // local Adam epochs; the submitted "gradient" is the cumulative
+    // parameter delta θ_pulled − θ_local). The platform joined the body
+    // before this callback; here we only publish its outputs. The cached
+    // trajectory payloads were consumed by the body's captured views, so
+    // the entries can be dropped now.
+    for (std::uint64_t id : traj_ids) cache_.erase(keys::trajectory(id));
     const PolicySnapshot& snapshot = **pulled;
-    LearnerUpdate update = compute_learner_update(
-        cfg_, *learner_model_, *target_model_, snapshot.params, batch);
+    LearnerBodyResult& body = **body_out;
+    LearnerUpdate& update = body.update;
     const rl::LossStats& stats = update.stats;
 
     acc_learner_kl_ += stats.kl;
@@ -541,7 +603,7 @@ void StellarisTrainer::on_learner_complete(
     msg.learner_id = learner_id;
     msg.pulled_version = snapshot.version;
     msg.mean_ratio = stats.mean_ratio;
-    msg.batch_size = batch.size();
+    msg.batch_size = body.batch_size;
     msg.kl = stats.kl;
     msg.compute_time_s = r.compute_s;
     const std::uint64_t grad_id = next_grad_id_++;
@@ -560,12 +622,7 @@ void StellarisTrainer::on_learner_complete(
     on_gradient(std::move(msg));
 
     // Keep a probe set of recent observations for the KL tracking.
-    const std::size_t probe_rows = std::min<std::size_t>(batch.obs.dim(0), 32);
-    std::vector<float> probe(batch.obs.vec().begin(),
-                             batch.obs.vec().begin() +
-                                 static_cast<std::ptrdiff_t>(
-                                     probe_rows * batch.obs.dim(1)));
-    probe_obs_ = Tensor({probe_rows, batch.obs.dim(1)}, std::move(probe));
+    probe_obs_ = std::move(body.probe_obs);
   }
   maybe_launch_learner();
 }
@@ -693,10 +750,12 @@ void StellarisTrainer::start_aggregation(
     cache_.sample_depth(engine_.now());
     maybe_checkpoint(stats.new_version);
 
-    // IMPACT target network refresh.
+    // IMPACT target network refresh (published as a fresh immutable
+    // snapshot; in-flight bodies keep the one they captured at dispatch).
     if (cfg_.algorithm == Algorithm::kImpact) {
       if (++updates_since_target_ >= cfg_.impact.target_update_freq) {
-        target_params_ = param_fn_->params();
+        target_params_ =
+            std::make_shared<const std::vector<float>>(param_fn_->params());
         updates_since_target_ = 0;
       }
     }

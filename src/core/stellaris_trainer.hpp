@@ -28,14 +28,17 @@
 
 #include "cache/distributed_cache.hpp"
 #include "core/config.hpp"
+#include "core/learner_update.hpp"
 #include "core/metrics.hpp"
 #include "fault/fault_injector.hpp"
 #include "obs/obs.hpp"
 #include "core/parameter_function.hpp"
 #include "core/policy_io.hpp"
+#include "core/worker_context.hpp"
 #include "rl/actor.hpp"
 #include "serverless/data_loader.hpp"
 #include "serverless/platform.hpp"
+#include "sim/driver.hpp"
 #include "sim/engine.hpp"
 
 namespace stellaris::core {
@@ -61,14 +64,34 @@ class StellarisTrainer {
   /// Each retry attempt re-points it at the then-latest policy.
   using PolicyPull = std::shared_ptr<PolicyRef>;
 
+  /// Outputs an actor invocation body computes on its worker thread,
+  /// published into shared state by the merge section (DESIGN.md §14).
+  struct ActorBodyResult {
+    rl::SampleBatch batch;
+    std::vector<std::uint8_t> bytes;  ///< serialized trajectory payload
+  };
+  /// Outputs of a learner invocation body.
+  struct LearnerBodyResult {
+    LearnerUpdate update;
+    std::size_t batch_size = 0;
+    Tensor probe_obs;  ///< first rows of the batch, for the KL probe
+  };
+  /// A retry chain's output slot: each attempt's spawn re-points the outer
+  /// pointer at a fresh result box, so the merge (which runs for the final,
+  /// settling attempt) always reads that attempt's outputs.
+  template <typename T>
+  using BodyBox = std::shared_ptr<std::shared_ptr<T>>;
+
   void launch_actor(std::size_t actor_idx);
   void on_actor_complete(std::size_t actor_idx, std::uint64_t lid,
                          const PolicyPull& pulled,
+                         const BodyBox<ActorBodyResult>& body_out,
                          const serverless::ServerlessPlatform::InvokeResult& r);
   void maybe_launch_learner();
   bool ssp_blocks_launch() const;
   void on_learner_complete(
       std::uint64_t learner_id, std::uint64_t lid, const PolicyPull& pulled,
+      const BodyBox<LearnerBodyResult>& body_out,
       const std::vector<std::uint64_t>& traj_ids,
       const serverless::ServerlessPlatform::InvokeResult& r);
   void on_gradient(GradientMsg msg);
@@ -106,12 +129,12 @@ class StellarisTrainer {
   StalenessSchedule schedule_;
   GradientQueue queue_;
 
-  // Scratch models (virtual time is single-threaded, so these are reused
-  // across events instead of re-allocated per function invocation).
+  // Engine-thread scratch models (evaluation and the KL probe only; the
+  // invocation bodies lease per-execution WorkerContexts instead).
   std::unique_ptr<nn::ActorCritic> actor_model_;
-  std::unique_ptr<nn::ActorCritic> learner_model_;
-  std::unique_ptr<nn::ActorCritic> target_model_;  // IMPACT
   std::unique_ptr<nn::ActorCritic> probe_model_;
+  /// Scratch pool for invocation bodies (models + batch-ingest buffers).
+  std::unique_ptr<WorkerContextPool> ctx_pool_;
 
   std::vector<std::unique_ptr<rl::Actor>> actors_;
   std::unique_ptr<envs::Env> eval_env_;
@@ -140,12 +163,13 @@ class StellarisTrainer {
   // entry version (put counter) it was decoded from.
   PolicyRef decoded_policy_;
   std::uint64_t decoded_policy_entry_version_ = 0;
-  // Trajectory-ingest scratch: deserialize_into reuses these batches'
-  // tensor buffers across learner completions (zero-alloc once warm).
-  std::vector<rl::SampleBatch> traj_parts_scratch_;
-  rl::SampleBatch concat_scratch_;
   std::multiset<std::uint64_t> inflight_pulled_versions_;  // SSP gating
-  std::vector<float> target_params_;  // IMPACT target network
+  /// IMPACT target network, as an immutable shared snapshot: learner
+  /// bodies capture the pointer at dispatch, so the target a learner sees
+  /// is the one published when its container STARTED — the same virtual
+  /// instant under either driver — not whatever is current when the body
+  /// happens to execute.
+  std::shared_ptr<const std::vector<float>> target_params_;
   std::size_t updates_since_target_ = 0;
   Tensor probe_obs_;
   double last_round_kl_ = 0.0;
@@ -178,6 +202,16 @@ class StellarisTrainer {
   double last_round_end_s_ = 0.0;
 
   TrainResult result_;
+
+  /// Per-actor chain slot: the last submitted body for each actor. A new
+  /// actor body names it as its `after` predecessor, serializing bodies
+  /// that mutate the same stateful Actor/env in dispatch order even when a
+  /// reclaim-killed attempt's abandoned body is still running.
+  std::vector<sim::Driver::Job> actor_chain_;
+  /// The run's execution driver. Declared LAST so destruction drains it
+  /// FIRST: any abandoned body still running must finish before the
+  /// actors/models/pool it references are torn down.
+  std::unique_ptr<sim::Driver> driver_;
 };
 
 /// Convenience wrapper: configure + train + return.

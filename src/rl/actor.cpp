@@ -7,9 +7,9 @@ namespace stellaris::rl {
 Actor::Actor(std::unique_ptr<envs::Env> env, std::uint64_t seed)
     : env_(std::move(env)), rng_(seed) {}
 
-void Actor::ensure_episode() {
+void Actor::ensure_episode(Rng& rng) {
   if (!episode_active_) {
-    current_obs_ = env_->reset(rng_.next());
+    current_obs_ = env_->reset(rng.next());
     episode_active_ = true;
     episode_return_ = 0.0;
     ++episode_counter_;
@@ -18,6 +18,11 @@ void Actor::ensure_episode() {
 
 SampleBatch Actor::sample(nn::ActorCritic& policy, std::size_t horizon,
                           std::uint64_t policy_version) {
+  return sample(policy, horizon, policy_version, rng_);
+}
+
+SampleBatch Actor::sample(nn::ActorCritic& policy, std::size_t horizon,
+                          std::uint64_t policy_version, Rng& rng) {
   STELLARIS_CHECK_MSG(horizon > 0, "sample horizon must be positive");
   const auto& spec = env_->spec();
   const std::size_t obs_dim = spec.obs.flat_dim;
@@ -34,7 +39,7 @@ SampleBatch Actor::sample(nn::ActorCritic& policy, std::size_t horizon,
   batch.values = Tensor({horizon});
 
   for (std::size_t t = 0; t < horizon; ++t) {
-    ensure_episode();
+    ensure_episode(rng);
     // Single-row forward; learner-side batching happens over whole batches.
     Tensor obs_row({1, obs_dim},
                    std::vector<float>(current_obs_.begin(),
@@ -48,7 +53,7 @@ SampleBatch Actor::sample(nn::ActorCritic& policy, std::size_t horizon,
 
     envs::StepResult result;
     if (continuous) {
-      Tensor action = nn::gaussian_sample(pol_out, *policy.log_std(), rng_);
+      Tensor action = nn::gaussian_sample(pol_out, *policy.log_std(), rng);
       const Tensor logp =
           nn::gaussian_log_prob(pol_out, *policy.log_std(), action);
       batch.behaviour_log_probs[t] = logp[0];
@@ -56,7 +61,7 @@ SampleBatch Actor::sample(nn::ActorCritic& policy, std::size_t horizon,
                 batch.actions_cont.row(t).begin());
       result = env_->step(action.row(0));
     } else {
-      const auto actions = nn::categorical_sample(pol_out, rng_);
+      const auto actions = nn::categorical_sample(pol_out, rng);
       const Tensor logp = nn::categorical_log_prob(pol_out, actions);
       batch.behaviour_log_probs[t] = logp[0];
       batch.actions_disc.push_back(actions[0]);

@@ -22,9 +22,18 @@ class Actor {
 
   /// Roll the environment `horizon` steps under `policy` (stochastic
   /// actions), continuing across episode boundaries. `policy_version` is
-  /// recorded for the staleness bookkeeping.
+  /// recorded for the staleness bookkeeping. Draws from the actor's own
+  /// stream (seeded at construction).
   SampleBatch sample(nn::ActorCritic& policy, std::size_t horizon,
                      std::uint64_t policy_version);
+
+  /// As above, but every draw (episode reset seeds, action sampling) comes
+  /// from `rng` — the caller's per-invocation keyed stream (sim::
+  /// invocation_stream). Used by the execution drivers so a trajectory is a
+  /// pure function of (policy, env state, invocation key), independent of
+  /// which thread runs the body or how invocations interleave.
+  SampleBatch sample(nn::ActorCritic& policy, std::size_t horizon,
+                     std::uint64_t policy_version, Rng& rng);
 
   /// Run one full episode under the policy and return the episode reward
   /// (used by evaluation; stochastic actions as in the paper's episodic
@@ -35,7 +44,7 @@ class Actor {
 
  private:
   /// Act in the current state; fills per-step records.
-  void ensure_episode();
+  void ensure_episode(Rng& rng);
 
   std::unique_ptr<envs::Env> env_;
   Rng rng_;

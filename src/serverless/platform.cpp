@@ -173,6 +173,7 @@ void ServerlessPlatform::invoke_retrying(const InvokeOptions& options,
         return;
       }
       ++chain->retries_done;
+      chain->options.attempt = chain->retries_done + 1;
       chain->wait_total += backoff;
       ++retries_;
       m_retries_->add();
@@ -330,6 +331,17 @@ void ServerlessPlatform::dispatch(Pending pending) {
   result.billed_s = duration;
   result.cost_usd = unit_price(kind) * result.billed_s;
 
+  // Real-execution handoff: the body starts computing (inline or on a
+  // worker thread) while virtual time advances toward the completion
+  // event. Only attempts the fault plane lets SUCCEED spawn a body — a
+  // crashed or cache-failed attempt never publishes results, so skipping
+  // its compute keeps the work set identical across drivers. (Reclaims are
+  // decided later; those attempts spawn, and their jobs are abandoned at
+  // the kill.)
+  sim::Driver::Job job;
+  if (pending.options.spawn_body && fate.fail == fault::ErrorKind::kNone)
+    job = pending.options.spawn_body(pending.options.attempt);
+
   m_invocations_[static_cast<int>(kind)]->add();
   m_queue_wait_s_->observe(result.start_time_s - result.submit_time_s);
 
@@ -348,6 +360,7 @@ void ServerlessPlatform::dispatch(Pending pending) {
   inflight.straggler_mult = fate.straggler_mult;
   inflight.cache_delay_s = fate.cache_delay_s;
   inflight.ledger_id = pending.options.ledger_id;
+  inflight.job = std::move(job);
   inflight_.emplace(token, std::move(inflight));
   ++inflight_by_kind_[static_cast<int>(kind)];
   note_inflight(kind);
@@ -387,6 +400,14 @@ void ServerlessPlatform::settle_inflight(InFlight& inflight) {
     if (!inflight.result.ok)
       ts->sample("platform.wasted_cost_usd", inflight.result.end_time_s,
                  costs_.total_wasted_cost());
+  }
+  // Merge point: a successful invocation's body must have finished before
+  // the completion callback publishes its outputs. A failed one (reclaim)
+  // abandons its job — the body self-completes on its worker and the
+  // results are discarded, exactly as the killed container's output is.
+  if (inflight.job) {
+    if (inflight.result.ok) sim::Driver::join(inflight.job);
+    inflight.job.reset();
   }
   if (inflight.cb) inflight.cb(inflight.result);
 }

@@ -30,6 +30,7 @@
 #include "serverless/container_pool.hpp"
 #include "serverless/cost_meter.hpp"
 #include "serverless/latency_model.hpp"
+#include "sim/driver.hpp"
 #include "sim/engine.hpp"
 
 namespace stellaris::serverless {
@@ -59,6 +60,18 @@ class ServerlessPlatform {
     /// can reference the invocation that produced them. 0 = unassigned.
     /// Shared by every attempt of an invoke_retrying chain.
     std::uint64_t ledger_id = 0;
+    /// Attempt number within an invoke_retrying chain (1 = first try).
+    /// Stamped by invoke_retrying before each resubmit; part of the
+    /// per-invocation RNG stream key (sim::invocation_stream).
+    std::size_t attempt = 1;
+    /// Real-execution handoff (DESIGN.md §14). When set, dispatch() calls
+    /// it — on the engine thread, after `on_start` and only when the fault
+    /// verdict lets this attempt run to completion — to capture the body's
+    /// inputs and hand the body to the engine's driver. The platform joins
+    /// the returned job at settle time, just before `cb`, when the attempt
+    /// succeeded; a failed attempt's job is abandoned (the container's
+    /// output died with it). Fires once per attempt, like on_start.
+    std::function<sim::Driver::Job(std::size_t attempt)> spawn_body;
   };
 
   struct InvokeResult {
@@ -151,6 +164,9 @@ class ServerlessPlatform {
     double straggler_mult = 1.0;
     double cache_delay_s = 0.0;
     std::uint64_t ledger_id = 0;
+    /// Driver job running this invocation's body (null when the caller set
+    /// no spawn_body or the fault verdict failed the attempt at dispatch).
+    sim::Driver::Job job;
   };
   /// One reclaimable host: a contiguous container-id range in one pool.
   struct VmHost {

@@ -1,8 +1,13 @@
 #include "sim/engine.hpp"
 
+#include "sim/driver.hpp"
 #include "util/error.hpp"
 
 namespace stellaris::sim {
+
+Driver& Engine::driver() const {
+  return driver_ ? *driver_ : inline_driver();
+}
 
 void Engine::schedule_at(SimTime t, std::function<void()> fn) {
   STELLARIS_CHECK_MSG(t >= now_, "scheduling into the past: t=" << t
@@ -21,7 +26,7 @@ Engine::CancelHandle Engine::schedule_cancellable_at(SimTime t,
   STELLARIS_CHECK_MSG(t >= now_, "scheduling into the past: t=" << t
                                                                 << " now="
                                                                 << now_);
-  auto handle = std::make_shared<bool>(false);
+  auto handle = std::make_shared<std::atomic<bool>>(false);
   queue_.push(Event{t, next_seq_++, std::move(fn), handle});
   return handle;
 }

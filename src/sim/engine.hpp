@@ -9,6 +9,7 @@
 // exactly the source of staleness the paper studies.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -20,6 +21,8 @@ namespace stellaris::sim {
 /// Virtual time in seconds.
 using SimTime = double;
 
+class Driver;
+
 class Engine {
  public:
   /// Cancellation handle for events scheduled via the *_cancellable
@@ -27,8 +30,10 @@ class Engine {
   /// the engine discard it WITHOUT advancing virtual time to it. This is
   /// how periodic timers (fault reclamation arrivals, retry deadlines) are
   /// torn down when a run finishes — a dead timer far in the future must
-  /// not stretch the run's measured makespan.
-  using CancelHandle = std::shared_ptr<bool>;
+  /// not stretch the run's measured makespan. Atomic so a cancellation can
+  /// be requested from outside the engine thread when a concurrent
+  /// execution driver is active (sim/driver.hpp).
+  using CancelHandle = std::shared_ptr<std::atomic<bool>>;
 
   SimTime now() const { return now_; }
 
@@ -56,6 +61,14 @@ class Engine {
   std::size_t pending_events() const { return queue_.size(); }
   std::uint64_t executed_events() const { return executed_; }
 
+  /// Install the execution driver invocation bodies run on (non-owning;
+  /// nullptr restores the process-wide inline fallback). The engine itself
+  /// never calls the driver — it only carries the reference so subsystems
+  /// reached through the engine (the serverless platform, the trainer's
+  /// body factories) agree on one driver per run.
+  void set_driver(Driver* driver) { driver_ = driver; }
+  Driver& driver() const;
+
  private:
   struct Event {
     SimTime t;
@@ -70,6 +83,7 @@ class Engine {
     }
   };
 
+  Driver* driver_ = nullptr;
   SimTime now_ = 0.0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;

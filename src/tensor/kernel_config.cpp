@@ -1,5 +1,6 @@
 #include "tensor/kernel_config.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <cstdlib>
 #include <memory>
@@ -7,6 +8,7 @@
 #include <thread>
 
 #include "util/annotated_mutex.hpp"
+#include "util/logging.hpp"
 #include "util/thread_pool.hpp"
 
 namespace stellaris::ops {
@@ -43,6 +45,30 @@ std::size_t kernel_threads() {
 
 void set_kernel_threads(std::size_t n) {
   thread_count().store(n == 0 ? 1 : n, std::memory_order_relaxed);
+}
+
+std::size_t apply_driver_thread_budget(std::size_t driver_threads,
+                                       std::size_t hardware) {
+  if (driver_threads <= 1) return kernel_threads();
+  if (hardware == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    hardware = hw == 0 ? 1 : static_cast<std::size_t>(hw);
+  }
+  const std::size_t k = kernel_threads();
+  if (driver_threads * k <= hardware) return k;
+  const std::size_t clamped =
+      std::max<std::size_t>(1, hardware / driver_threads);
+  if (clamped < k) {
+    set_kernel_threads(clamped);
+    static std::atomic<bool> warned{false};
+    if (!warned.exchange(true))
+      LOG_WARN << "kernel threads clamped " << k << " -> " << clamped << ": "
+               << driver_threads << " driver threads x " << k
+               << " kernel threads oversubscribes " << hardware
+               << " hardware threads (results unchanged; kernels are "
+               << "bit-identical at any thread count)";
+  }
+  return kernel_threads();
 }
 
 std::uint64_t kernel_parallel_min_flops() {

@@ -26,6 +26,18 @@ namespace ops {
 std::size_t kernel_threads();
 void set_kernel_threads(std::size_t n);
 
+/// Clamp the kernel thread count so `driver_threads` concurrent invocation
+/// bodies (sim/driver.hpp) each running `kernel_threads()`-wide kernels do
+/// not oversubscribe the machine: when driver_threads × kernel_threads
+/// exceeds the hardware thread count, kernel_threads is reduced to
+/// max(1, hardware / driver_threads), with a one-time warning through the
+/// leveled logger. `hardware` = 0 queries std::thread::hardware_concurrency
+/// (a nonzero value is injectable for tests). Returns the effective kernel
+/// thread count. Kernel results are bit-identical at any thread count, so
+/// the clamp changes wall-clock only, never values.
+std::size_t apply_driver_thread_budget(std::size_t driver_threads,
+                                       std::size_t hardware = 0);
+
 /// Minimum GEMM cost (2·m·n·k FLOPs) before a kernel goes parallel — tiny
 /// products are cheaper than the fork/join handshake.
 std::uint64_t kernel_parallel_min_flops();

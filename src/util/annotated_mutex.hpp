@@ -33,6 +33,9 @@
 //   120  serverless/container-pool leaf (metrics atomics + RNG only)
 //   150  tensor/kernel-pool        constructs the kernel ThreadPool
 //   200  util/thread-pool          work-queue mutex
+//   210  sim/driver-queue          execution-driver job queue
+//   220  sim/driver-job            per-job done flag + error slot
+//   230  core/worker-contexts      worker-context free list
 //   250  util/parallel-for-errors  error capture inside pool tasks
 //   300  obs/metrics-registry      instrument registration + export
 //   350  obs/trace-recorder        trace event buffer
@@ -107,6 +110,14 @@ inline constexpr int kCache = 100;
 inline constexpr int kContainerPool = 120;
 inline constexpr int kKernelPool = 150;
 inline constexpr int kThreadPool = 200;
+// Execution-driver locks (sim/driver): a worker holds the queue lock only
+// around dequeue bookkeeping, and a job lock only around its done flag; a
+// body waiting on its predecessor holds NOTHING (sequential, never nested).
+inline constexpr int kDriverQueue = 210;
+inline constexpr int kDriverJob = 220;
+// Worker-context free-list (core/worker_context): leased at body start,
+// returned at body end, never held across the lease.
+inline constexpr int kWorkerContexts = 230;
 inline constexpr int kParallelForErrors = 250;
 inline constexpr int kMetricsRegistry = 300;
 inline constexpr int kTraceRecorder = 350;
