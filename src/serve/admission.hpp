@@ -1,0 +1,40 @@
+// Admission control at the tenant's front door (DESIGN.md §15).
+//
+// Under overload the cheapest place to shed work is before it queues: a
+// rejected request costs one comparison; an admitted one costs queue slots,
+// a batch seat, and worker time that pushes every later request's latency
+// past its SLO. The controller is a plain threshold on the tenant's queue
+// depth — deliberately stateless beyond counters, so admission never adds a
+// random draw or clock read to the arrival path.
+#pragma once
+
+#include <cstdint>
+
+#include "serve/serve_config.hpp"
+
+namespace stellaris::serve {
+
+class AdmissionController {
+ public:
+  explicit AdmissionController(AdmissionConfig cfg) : cfg_(cfg) {}
+
+  /// Decide one arrival given the tenant's current queued-request count.
+  bool admit(std::size_t queued_now) {
+    if (queued_now >= cfg_.max_queue) {
+      ++rejected_;
+      return false;
+    }
+    ++admitted_;
+    return true;
+  }
+
+  std::uint64_t admitted() const { return admitted_; }
+  std::uint64_t rejected() const { return rejected_; }
+
+ private:
+  AdmissionConfig cfg_;
+  std::uint64_t admitted_ = 0;
+  std::uint64_t rejected_ = 0;
+};
+
+}  // namespace stellaris::serve

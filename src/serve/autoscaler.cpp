@@ -1,0 +1,45 @@
+#include "serve/autoscaler.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace stellaris::serve {
+
+Autoscaler::Autoscaler(AutoscaleConfig cfg)
+    : cfg_(cfg), active_(cfg.min_workers), peak_(cfg.min_workers) {
+  STELLARIS_CHECK_MSG(
+      cfg_.min_workers >= 1 && cfg_.min_workers <= cfg_.max_workers,
+      "autoscale bounds must satisfy 1 <= min_workers <= max_workers");
+  STELLARIS_CHECK_MSG(cfg_.queue_per_worker > 0.0,
+                      "queue_per_worker must be positive");
+}
+
+Autoscaler::Decision Autoscaler::evaluate(std::size_t queued,
+                                          std::size_t busy) {
+  const double load = static_cast<double>(queued + busy);
+  const auto desired = std::clamp<std::size_t>(
+      static_cast<std::size_t>(std::ceil(load / cfg_.queue_per_worker)),
+      cfg_.min_workers, cfg_.max_workers);
+
+  Decision d{active_, active_};
+  if (desired > active_) {
+    active_ = desired;
+    low_evals_ = 0;
+    ++ups_;
+  } else if (desired < active_) {
+    if (++low_evals_ >= cfg_.scale_down_idle_evals) {
+      --active_;
+      low_evals_ = 0;
+      ++downs_;
+    }
+  } else {
+    low_evals_ = 0;
+  }
+  d.to = active_;
+  peak_ = std::max(peak_, active_);
+  return d;
+}
+
+}  // namespace stellaris::serve

@@ -1,0 +1,52 @@
+// Queue-depth autoscaler for the serving worker pool (DESIGN.md §15).
+//
+// Pure decision logic over sampled load — no engine, no clock. ServeEngine
+// calls evaluate() on a periodic virtual timer with the current queue depth
+// and in-flight count; the policy is:
+//
+//   desired = clamp(ceil((queued + busy) / queue_per_worker),
+//                   min_workers, max_workers)
+//   up:   active jumps to desired immediately (the caller prewarms the new
+//         containers, which the cost model bills at $0, as in the paper);
+//   down: one worker at a time, only after `scale_down_idle_evals`
+//         consecutive evaluations wanted fewer — hysteresis so the trailing
+//         edge of a burst does not thrash the pool cold.
+#pragma once
+
+#include <cstdint>
+
+#include "serve/serve_config.hpp"
+
+namespace stellaris::serve {
+
+class Autoscaler {
+ public:
+  explicit Autoscaler(AutoscaleConfig cfg);
+
+  /// Workers the engine may run batches on right now.
+  std::size_t active() const { return active_; }
+
+  struct Decision {
+    std::size_t from = 0;
+    std::size_t to = 0;
+    bool changed() const { return from != to; }
+  };
+
+  /// One evaluation tick. `queued` = requests waiting across all tenants,
+  /// `busy` = batches in flight.
+  Decision evaluate(std::size_t queued, std::size_t busy);
+
+  std::uint64_t scale_ups() const { return ups_; }
+  std::uint64_t scale_downs() const { return downs_; }
+  std::size_t peak() const { return peak_; }
+
+ private:
+  AutoscaleConfig cfg_;
+  std::size_t active_;
+  std::size_t peak_;
+  std::size_t low_evals_ = 0;
+  std::uint64_t ups_ = 0;
+  std::uint64_t downs_ = 0;
+};
+
+}  // namespace stellaris::serve

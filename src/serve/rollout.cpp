@@ -1,0 +1,105 @@
+#include "serve/rollout.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/percentile.hpp"
+
+namespace stellaris::serve {
+
+void RolloutController::start(std::uint64_t version, double fraction) {
+  STELLARIS_CHECK_MSG(!active_, "canary already active for this tenant");
+  STELLARIS_CHECK_MSG(fraction > 0.0 && fraction < 1.0,
+                      "canary fraction must be in (0, 1)");
+  STELLARIS_CHECK_MSG(version != stable_,
+                      "canary version must differ from the stable version");
+  canary_ = version;
+  fraction_ = fraction;
+  active_ = true;
+  healthy_windows_ = 0;
+  reset_windows();
+}
+
+std::uint64_t RolloutController::assign(Rng& rng) {
+  if (!active_) return stable_;
+  return rng.bernoulli(fraction_) ? canary_ : stable_;
+}
+
+void RolloutController::observe(std::uint64_t version, double latency_s,
+                                double value) {
+  if (!active_) return;
+  Window* win = nullptr;
+  if (version == canary_) {
+    win = &canary_win_;
+  } else if (version == stable_) {
+    win = &stable_win_;
+  } else {
+    return;  // a just-retired version settling late; not part of this window
+  }
+  win->latencies.push_back(latency_s);
+  win->value_sum += value;
+  ++win->n;
+}
+
+RolloutController::Outcome RolloutController::evaluate() {
+  Outcome out;
+  if (!active_) return out;
+  if (canary_win_.n < cfg_.min_window_requests) {
+    // Too little evidence to judge; let the window keep accumulating.
+    out.action = Action::kContinue;
+    out.canary_n = canary_win_.n;
+    out.reason = "window_small";
+    return out;
+  }
+
+  std::sort(canary_win_.latencies.begin(), canary_win_.latencies.end());
+  std::sort(stable_win_.latencies.begin(), stable_win_.latencies.end());
+  out.canary_p99 = nearest_rank_sorted(canary_win_.latencies, 0.99);
+  out.stable_p99 = nearest_rank_sorted(stable_win_.latencies, 0.99);
+  out.canary_n = canary_win_.n;
+
+  const double canary_val =
+      canary_win_.value_sum / static_cast<double>(canary_win_.n);
+  const double stable_val =
+      stable_win_.n > 0
+          ? stable_win_.value_sum / static_cast<double>(stable_win_.n)
+          : canary_val;
+  // Relative drift with a unit floor so near-zero stable values do not
+  // manufacture infinite drift out of noise.
+  out.drift =
+      std::abs(canary_val - stable_val) / std::max(std::abs(stable_val), 1.0);
+
+  if (out.canary_p99 > cfg_.slo_p99_s) {
+    out.action = Action::kRollback;
+    out.reason = "slo_breach";
+    active_ = false;
+    canary_ = 0;
+    ++rollbacks_;
+  } else if (out.drift > cfg_.max_value_drift) {
+    out.action = Action::kRollback;
+    out.reason = "value_drift";
+    active_ = false;
+    canary_ = 0;
+    ++rollbacks_;
+  } else if (++healthy_windows_ >= cfg_.healthy_windows_to_promote) {
+    out.action = Action::kPromote;
+    out.reason = "healthy";
+    stable_ = canary_;
+    active_ = false;
+    canary_ = 0;
+    ++promotions_;
+  } else {
+    out.action = Action::kContinue;
+    out.reason = "healthy";
+  }
+  reset_windows();
+  return out;
+}
+
+void RolloutController::reset_windows() {
+  stable_win_ = Window{};
+  canary_win_ = Window{};
+}
+
+}  // namespace stellaris::serve

@@ -1,0 +1,80 @@
+#include "serve/traffic_gen.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace stellaris::serve {
+
+TrafficGen::TrafficGen(sim::Engine& engine, TrafficConfig cfg,
+                       std::uint64_t seed)
+    : engine_(engine), cfg_(cfg), rng_(seed) {
+  STELLARIS_CHECK_MSG(cfg_.duration_s > 0.0, "traffic duration must be > 0");
+  if (cfg_.mode == TrafficMode::kOpenPoisson) {
+    STELLARIS_CHECK_MSG(cfg_.rate_per_s > 0.0, "open-loop rate must be > 0");
+    total_clients_ = 1;
+  } else {
+    STELLARIS_CHECK_MSG(cfg_.concurrency > 0,
+                        "closed-loop concurrency must be > 0");
+    total_clients_ = cfg_.concurrency;
+  }
+}
+
+double TrafficGen::rate_at(double t) const {
+  if (cfg_.burst_rate_per_s > 0.0 && t >= cfg_.burst_start_s &&
+      t < cfg_.burst_end_s) {
+    return cfg_.burst_rate_per_s;
+  }
+  return cfg_.rate_per_s;
+}
+
+double TrafficGen::exp_sample(double rate) {
+  // Inverse-CDF with 1-u so the argument to log is never zero.
+  return -std::log(1.0 - rng_.uniform()) / rate;
+}
+
+void TrafficGen::start(Arrival cb) {
+  cb_ = std::move(cb);
+  if (cfg_.mode == TrafficMode::kOpenPoisson) {
+    schedule_open_arrival();
+  } else {
+    for (std::uint64_t c = 0; c < cfg_.concurrency; ++c) issue_closed(c);
+  }
+}
+
+void TrafficGen::schedule_open_arrival() {
+  // Sampling at the current rate (not the rate at the arrival instant) is a
+  // standard step-rate approximation; the burst edge error is one gap.
+  const double gap = exp_sample(rate_at(engine_.now()));
+  const double t = engine_.now() + gap;
+  if (t > cfg_.duration_s) {
+    ++done_clients_;
+    return;
+  }
+  engine_.schedule_after(gap, [this] {
+    ++issued_;
+    cb_(0);
+    schedule_open_arrival();
+  });
+}
+
+void TrafficGen::issue_closed(std::uint64_t client) {
+  if (engine_.now() > cfg_.duration_s) {
+    ++done_clients_;
+    return;
+  }
+  ++issued_;
+  cb_(client);
+}
+
+void TrafficGen::on_complete(std::uint64_t client) {
+  if (cfg_.mode != TrafficMode::kClosedLoop) return;
+  const double think = exp_sample(1.0 / std::max(cfg_.think_time_s, 1e-9));
+  if (engine_.now() + think > cfg_.duration_s) {
+    ++done_clients_;
+    return;
+  }
+  engine_.schedule_after(think, [this, client] { issue_closed(client); });
+}
+
+}  // namespace stellaris::serve

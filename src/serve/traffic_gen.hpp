@@ -1,0 +1,68 @@
+// Seeded traffic generator for the serving tier (DESIGN.md §15).
+//
+// Two modes, both over the virtual clock so a run is a pure function of
+// (config, seed):
+//
+//   open loop (Poisson): exponential interarrivals at `rate_per_s`; if
+//     `burst_rate_per_s > 0` the rate switches to it inside
+//     [burst_start_s, burst_end_s) — arrivals keep coming regardless of how
+//     the service is doing, so overload shows up as queueing (and, past the
+//     admission limit, rejections).
+//
+//   closed loop: `concurrency` clients each keep exactly one request in
+//     flight; ServeEngine calls on_complete(client) when the response (or a
+//     rejection) lands, and the client thinks for an exponential
+//     `think_time_s` before the next issue — throughput self-limits to what
+//     the service sustains.
+//
+// Generation stops once virtual time passes `duration_s`; in-flight work
+// drains naturally. One Rng stream per generator, advanced only by arrival
+// sampling, so request timelines are bit-identical across drivers.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "serve/serve_config.hpp"
+#include "sim/engine.hpp"
+#include "util/rng.hpp"
+
+namespace stellaris::serve {
+
+class TrafficGen {
+ public:
+  /// `cb(client)` is invoked on the engine thread at each arrival instant.
+  using Arrival = std::function<void(std::uint64_t client)>;
+
+  TrafficGen(sim::Engine& engine, TrafficConfig cfg, std::uint64_t seed);
+
+  /// Begin generating. Open loop schedules the first arrival; closed loop
+  /// issues one request per client immediately.
+  void start(Arrival cb);
+
+  /// Closed loop: client finished (response or rejection) — schedule its
+  /// next issue after think time. No-op in open-loop mode.
+  void on_complete(std::uint64_t client);
+
+  /// True once no further arrivals will ever be generated.
+  bool done() const { return done_clients_ == total_clients_; }
+
+  std::uint64_t issued() const { return issued_; }
+
+ private:
+  double rate_at(double t) const;
+  double exp_sample(double rate);
+  void schedule_open_arrival();
+  void issue_closed(std::uint64_t client);
+
+  sim::Engine& engine_;
+  TrafficConfig cfg_;
+  Rng rng_;
+  Arrival cb_;
+  std::uint64_t issued_ = 0;
+  // Open loop counts as one "client"; closed loop has cfg.concurrency.
+  std::uint64_t total_clients_ = 1;
+  std::uint64_t done_clients_ = 0;
+};
+
+}  // namespace stellaris::serve

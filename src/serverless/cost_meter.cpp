@@ -9,6 +9,7 @@ const char* fn_kind_name(FnKind kind) {
     case FnKind::kLearner: return "learner";
     case FnKind::kParameter: return "parameter";
     case FnKind::kActor: return "actor";
+    case FnKind::kServe: return "serve";
   }
   return "?";
 }
@@ -18,6 +19,7 @@ CostMeter::PerKind& CostMeter::bucket(FnKind kind) {
     case FnKind::kLearner: return learner_;
     case FnKind::kParameter: return parameter_;
     case FnKind::kActor: return actor_;
+    case FnKind::kServe: return serve_;
   }
   throw Error("bad FnKind");
 }
@@ -44,7 +46,7 @@ void CostMeter::record(FnKind kind, double unit_price_per_s,
 double CostMeter::cost(FnKind kind) const { return bucket(kind).cost; }
 
 double CostMeter::total_cost() const {
-  return learner_.cost + parameter_.cost + actor_.cost;
+  return learner_.cost + parameter_.cost + actor_.cost + serve_.cost;
 }
 
 double CostMeter::busy_seconds(FnKind kind) const {
@@ -60,7 +62,8 @@ double CostMeter::wasted_cost(FnKind kind) const {
 }
 
 double CostMeter::total_wasted_cost() const {
-  return learner_.wasted_cost + parameter_.wasted_cost + actor_.wasted_cost;
+  return learner_.wasted_cost + parameter_.wasted_cost + actor_.wasted_cost +
+         serve_.wasted_cost;
 }
 
 double CostMeter::wasted_seconds(FnKind kind) const {
@@ -72,13 +75,14 @@ std::uint64_t CostMeter::failed_invocations(FnKind kind) const {
 }
 
 std::uint64_t CostMeter::total_failed_invocations() const {
-  return learner_.failed + parameter_.failed + actor_.failed;
+  return learner_.failed + parameter_.failed + actor_.failed + serve_.failed;
 }
 
 void CostMeter::reset() {
   learner_ = PerKind{};
   parameter_ = PerKind{};
   actor_ = PerKind{};
+  serve_ = PerKind{};
 }
 
 }  // namespace stellaris::serverless

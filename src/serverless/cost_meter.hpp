@@ -10,7 +10,7 @@
 
 namespace stellaris::serverless {
 
-enum class FnKind { kLearner, kParameter, kActor };
+enum class FnKind { kLearner, kParameter, kActor, kServe };
 
 const char* fn_kind_name(FnKind kind);
 
@@ -52,7 +52,7 @@ class CostMeter {
   PerKind& bucket(FnKind kind);
   const PerKind& bucket(FnKind kind) const;
 
-  PerKind learner_, parameter_, actor_;
+  PerKind learner_, parameter_, actor_, serve_;
 };
 
 }  // namespace stellaris::serverless

@@ -48,6 +48,18 @@ double LatencyModel::actor_sample_s(std::size_t steps, bool image_env) const {
          (image_env ? atari_step_s : mujoco_step_s);
 }
 
+double LatencyModel::serve_compute_s(std::size_t batch_size,
+                                     std::size_t param_count) const {
+  // Forward only (no backward): ~2 FLOPs per parameter per sample, against
+  // a CPU-core compute budget in the actor-container class (~25 GFLOP/s
+  // sustained — the serving fleet runs on the CPU VMs, not the GPUs).
+  const double flops = 2.0 * static_cast<double>(param_count) * param_scale *
+                       static_cast<double>(batch_size);
+  return serve_base_s +
+         serve_per_sample_s * static_cast<double>(batch_size) +
+         flops / 25e9;
+}
+
 double LatencyModel::jittered(double base, Rng& rng) const {
   const double factor =
       std::max(0.2, 1.0 + jitter_frac * rng.normal());

@@ -47,6 +47,12 @@ struct LatencyModel {
   double aggregate_bw_Bps = 5e9;    ///< gradient reduction throughput
   double mujoco_step_s = 0.0008;    ///< env step + policy inference on CPU
   double atari_step_s = 0.0025;
+  /// Serving-tier inference: per-batch dispatch floor plus per-sample and
+  /// per-FLOP terms. The floor is what dynamic batching amortizes — N
+  /// requests in one forward pay it once instead of N times (the
+  /// TorchBeast batched-inference lever).
+  double serve_base_s = 0.002;
+  double serve_per_sample_s = 2e-5;
   /// Effective parameter multiplier: the paper trains Table II-sized
   /// networks; this repo's are ~scale× smaller, so virtual compute times
   /// scale the real parameter count back up to land in the paper's regime.
@@ -66,6 +72,11 @@ struct LatencyModel {
 
   /// Actor sampling time for `steps` environment steps.
   double actor_sample_s(std::size_t steps, bool image_env) const;
+
+  /// Policy-inference time for one served batch (forward only: 2 FLOPs per
+  /// parameter per sample), on the serving containers' CPU budget.
+  double serve_compute_s(std::size_t batch_size,
+                         std::size_t param_count) const;
 
   /// Apply multiplicative jitter (clamped to stay positive).
   double jittered(double base, Rng& rng) const;

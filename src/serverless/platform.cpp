@@ -104,6 +104,11 @@ void ServerlessPlatform::note_inflight(FnKind kind) const {
 }
 
 void ServerlessPlatform::invoke(const InvokeOptions& options, Callback cb) {
+  // The training platform hosts learner/parameter/actor functions only; the
+  // serving tier (src/serve) runs its own data plane on its own pool and
+  // meter, and its per-kind arrays here are sized for the training kinds.
+  STELLARIS_CHECK_MSG(options.kind != FnKind::kServe,
+                      "kServe invocations go through serve::ServeEngine");
   queue_for(options.kind).push_back(
       Pending{options, std::move(cb), engine_.now()});
   note_queue_depth(options.kind);

@@ -212,14 +212,16 @@ class ServerlessPlatform {
   std::vector<VmHost> vm_hosts_;
   std::uint64_t next_token_ = 0;
   std::map<std::uint64_t, InFlight> inflight_;
-  std::size_t inflight_by_kind_[3] = {0, 0, 0};  // indexed by FnKind
+  // Indexed by training FnKind; kServe never enters this platform (checked
+  // at invoke() — the serving tier runs its own data plane, src/serve).
+  std::size_t inflight_by_kind_[3] = {0, 0, 0};
   std::uint64_t retries_ = 0;
   std::uint64_t giveups_ = 0;
 
   // Observability: run-scoped trace tag (captured at construction so all of
   // this platform's tracks group under the owning run) and metric handles.
   std::string trace_tag_;
-  obs::Counter* m_invocations_[3];      // indexed by FnKind
+  obs::Counter* m_invocations_[3];      // indexed by training FnKind
   obs::Counter* m_failed_invocations_;
   obs::Counter* m_retries_;
   obs::Counter* m_giveups_;

@@ -118,6 +118,11 @@ inline constexpr int kDriverJob = 220;
 // Worker-context free-list (core/worker_context): leased at body start,
 // returned at body end, never held across the lease.
 inline constexpr int kWorkerContexts = 230;
+// Serving-tier per-tenant scratch contexts (serve/serve_context): same
+// lease-at-body-start discipline as kWorkerContexts, a distinct rank so a
+// serve body may legally lease while a training context is held (mixed
+// train+serve processes).
+inline constexpr int kServeContexts = 240;
 inline constexpr int kParallelForErrors = 250;
 inline constexpr int kMetricsRegistry = 300;
 inline constexpr int kTraceRecorder = 350;

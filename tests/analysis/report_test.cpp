@@ -13,6 +13,7 @@
 
 #include "core/stellaris_trainer.hpp"
 #include "obs/obs.hpp"
+#include "serve/serve_engine.hpp"
 
 namespace stellaris::report {
 namespace {
@@ -204,6 +205,68 @@ TEST(Report, MalformedLedgerThrowsWithLineNumber) {
 TEST(Report, EmptyAndBlankLedgersProduceNoReports) {
   EXPECT_TRUE(analyze_ledger({}).empty());
   EXPECT_TRUE(analyze_ledger({"", "  "}).empty());
+}
+
+TEST(Report, ServeSummaryMatchesEngineCounters) {
+  // A serving run's ledger analyzes into a serve section whose per-tenant
+  // counts and quantiles reproduce the engine's own result struct.
+  serve::ServeConfig cfg;
+  serve::TenantConfig t;
+  t.name = "walker";
+  t.obs_dim = 8;
+  t.act_dim = 3;
+  t.hidden = 16;
+  t.batch.max_batch = 16;
+  t.batch.max_wait_s = 0.002;
+  t.traffic.rate_per_s = 400.0;
+  t.traffic.duration_s = 5.0;
+  cfg.tenants = {t};
+  cfg.worker_capacity = 8;
+  cfg.autoscale.max_workers = 4;
+  cfg.seed = 42;
+
+  obs::LedgerRecorder led;
+  obs::install_ledger(&led);
+  serve::ServeEngine eng(cfg);
+  eng.publish_policy(0, serve::make_policy_params(t, 1), 1);
+  const auto res = eng.run();
+  obs::install_ledger(nullptr);
+
+  const auto reports = analyze_ledger(led.lines());
+  ASSERT_EQ(reports.size(), 1u);
+  const auto& rep = reports.front();
+  ASSERT_EQ(rep.serve.tenants.size(), 1u);
+  const auto& st = rep.serve.tenants[0];
+  const auto& tr = res.tenants[0];
+  EXPECT_EQ(st.tenant, "walker");
+  EXPECT_EQ(st.completed, tr.completed);
+  EXPECT_EQ(st.failed, tr.failed);
+  EXPECT_EQ(st.rejected, tr.rejected);
+  EXPECT_EQ(st.batches, tr.batches);
+  EXPECT_DOUBLE_EQ(st.mean_batch, tr.mean_batch);
+  // Same latency samples, same nearest-rank definition → exact equality.
+  EXPECT_EQ(st.p50_s, tr.p50_s);
+  EXPECT_EQ(st.p99_s, tr.p99_s);
+  EXPECT_EQ(st.p999_s, tr.p999_s);
+  EXPECT_EQ(rep.serve.peak_workers, res.peak_workers);
+  EXPECT_EQ(rep.serve.scale_ups, res.scale_ups);
+  EXPECT_EQ(rep.serve.scale_downs, res.scale_downs);
+
+  std::ostringstream text;
+  print_report(text, rep);
+  EXPECT_NE(text.str().find("serving tier"), std::string::npos);
+  std::ostringstream json;
+  write_report_json(json, rep);
+  EXPECT_NE(json.str().find("\"serve\":{\"tenants\":["), std::string::npos);
+
+  // Training-only reports skip the section entirely.
+  std::vector<std::string> train_lines;
+  run_with_ledger(tiny_config(), train_lines);
+  const auto train_rep = analyze_ledger(train_lines).front();
+  EXPECT_TRUE(train_rep.serve.tenants.empty());
+  std::ostringstream train_text;
+  print_report(train_text, train_rep);
+  EXPECT_EQ(train_text.str().find("serving tier"), std::string::npos);
 }
 
 TEST(Report, MultiRunLedgersSplitPerRun) {

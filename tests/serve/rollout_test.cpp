@@ -1,0 +1,116 @@
+// RolloutController: canary assignment, SLO-breach and value-drift
+// rollbacks, promotion after consecutive healthy windows, and the
+// zero-draw determinism contract while no canary is active.
+#include "serve/rollout.hpp"
+
+#include <gtest/gtest.h>
+
+namespace stellaris::serve {
+namespace {
+
+RolloutConfig small_windows() {
+  RolloutConfig cfg;
+  cfg.min_window_requests = 4;
+  cfg.healthy_windows_to_promote = 2;
+  cfg.slo_p99_s = 0.100;
+  cfg.max_value_drift = 0.5;
+  return cfg;
+}
+
+void fill_window(RolloutController& rc, std::uint64_t stable,
+                 std::uint64_t canary, double canary_lat, double canary_val) {
+  for (int i = 0; i < 8; ++i) {
+    rc.observe(stable, 0.010, 1.0);
+    rc.observe(canary, canary_lat, canary_val);
+  }
+}
+
+TEST(Rollout, AssignDrawsNothingWithoutCanary) {
+  RolloutController rc(small_windows(), 1);
+  Rng a(7), b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rc.assign(a), 1u);
+  // The RNG was never advanced: it still produces the same stream as a twin.
+  EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rollout, AssignSplitsTrafficWhileCanaryActive) {
+  RolloutController rc(small_windows(), 1);
+  rc.start(2, 0.5);
+  Rng rng(7);
+  int canary = 0;
+  for (int i = 0; i < 1000; ++i)
+    if (rc.assign(rng) == 2u) ++canary;
+  EXPECT_GT(canary, 400);
+  EXPECT_LT(canary, 600);
+}
+
+TEST(Rollout, SmallWindowCarriesOver) {
+  RolloutController rc(small_windows(), 1);
+  rc.start(2, 0.5);
+  rc.observe(2, 0.010, 1.0);  // 1 < min_window_requests
+  const auto out = rc.evaluate();
+  EXPECT_EQ(out.action, RolloutController::Action::kContinue);
+  EXPECT_EQ(out.reason, "window_small");
+  EXPECT_TRUE(rc.canary_active());
+}
+
+TEST(Rollout, SloBreachRollsBack) {
+  RolloutController rc(small_windows(), 1);
+  rc.start(2, 0.5);
+  fill_window(rc, 1, 2, /*canary_lat=*/0.200, /*canary_val=*/1.0);
+  const auto out = rc.evaluate();
+  EXPECT_EQ(out.action, RolloutController::Action::kRollback);
+  EXPECT_EQ(out.reason, "slo_breach");
+  EXPECT_GT(out.canary_p99, 0.100);
+  EXPECT_FALSE(rc.canary_active());
+  EXPECT_EQ(rc.stable_version(), 1u);
+  EXPECT_EQ(rc.rollbacks(), 1u);
+}
+
+TEST(Rollout, ValueDriftRollsBack) {
+  RolloutController rc(small_windows(), 1);
+  rc.start(2, 0.5);
+  // Healthy latency, but the canary predicts wildly different values.
+  fill_window(rc, 1, 2, /*canary_lat=*/0.010, /*canary_val=*/5.0);
+  const auto out = rc.evaluate();
+  EXPECT_EQ(out.action, RolloutController::Action::kRollback);
+  EXPECT_EQ(out.reason, "value_drift");
+  EXPECT_GT(out.drift, 0.5);
+  EXPECT_EQ(rc.stable_version(), 1u);
+}
+
+TEST(Rollout, ConsecutiveHealthyWindowsPromote) {
+  RolloutController rc(small_windows(), 1);
+  rc.start(2, 0.5);
+  fill_window(rc, 1, 2, 0.010, 1.0);
+  auto out = rc.evaluate();
+  EXPECT_EQ(out.action, RolloutController::Action::kContinue);
+  EXPECT_EQ(out.reason, "healthy");
+  EXPECT_TRUE(rc.canary_active());
+  fill_window(rc, 1, 2, 0.010, 1.0);
+  out = rc.evaluate();
+  EXPECT_EQ(out.action, RolloutController::Action::kPromote);
+  EXPECT_FALSE(rc.canary_active());
+  EXPECT_EQ(rc.stable_version(), 2u);
+  EXPECT_EQ(rc.promotions(), 1u);
+}
+
+TEST(Rollout, BreachResetsHealthyStreak) {
+  RolloutConfig cfg = small_windows();
+  cfg.healthy_windows_to_promote = 2;
+  RolloutController rc(cfg, 1);
+  rc.start(2, 0.5);
+  fill_window(rc, 1, 2, 0.010, 1.0);
+  EXPECT_EQ(rc.evaluate().action, RolloutController::Action::kContinue);
+  fill_window(rc, 1, 2, 0.200, 1.0);  // breach on the second window
+  EXPECT_EQ(rc.evaluate().action, RolloutController::Action::kRollback);
+  EXPECT_EQ(rc.stable_version(), 1u);
+}
+
+TEST(Rollout, EvaluateWithoutCanaryIsNone) {
+  RolloutController rc(small_windows(), 1);
+  EXPECT_EQ(rc.evaluate().action, RolloutController::Action::kNone);
+}
+
+}  // namespace
+}  // namespace stellaris::serve

@@ -1,0 +1,151 @@
+// Fault plane × serving tier: a serving-container crash kills the
+// in-flight requests of THAT container only; queued requests re-dispatch on
+// a fresh container, and billing charges the crashed batch for the seconds
+// it consumed (wasted spend), per the paper's cost model.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/obs.hpp"
+#include "serve/serve_engine.hpp"
+#include "serverless/cost_meter.hpp"
+
+namespace stellaris::serve {
+namespace {
+
+ServeConfig crash_config() {
+  ServeConfig cfg;
+  TenantConfig t;
+  t.name = "walker";
+  t.obs_dim = 8;
+  t.act_dim = 3;
+  t.hidden = 16;
+  t.batch.max_batch = 16;
+  t.batch.max_wait_s = 0.002;
+  t.traffic.rate_per_s = 400.0;
+  t.traffic.duration_s = 5.0;
+  cfg.tenants = {t};
+  cfg.worker_capacity = 8;
+  cfg.autoscale.max_workers = 4;
+  cfg.seed = 42;
+  return cfg;
+}
+
+ServeResult run_with_publish(ServeEngine& eng, const ServeConfig& cfg) {
+  eng.publish_policy(0, make_policy_params(cfg.tenants[0], 1), 1);
+  return eng.run();
+}
+
+TEST(ServeFault, CrashKillsOnlyThatContainersBatch) {
+  auto cfg = crash_config();
+  // One scripted crash trap armed at t=1.0 for serve invocations only
+  // (fn_kind 3 = FnKind::kServe), dying halfway through the work.
+  cfg.faults.schedule.push_back(
+      {1.0, fault::FaultKind::kCrash,
+       static_cast<int>(serverless::FnKind::kServe), 0.5});
+
+  obs::LedgerRecorder ledger;
+  obs::install_ledger(&ledger);
+  ServeEngine eng(cfg);
+  const auto res = run_with_publish(eng, cfg);
+  obs::install_ledger(nullptr);
+
+  const auto& tr = res.tenants[0];
+  EXPECT_EQ(res.crashes_injected, 1u);
+  // Exactly one batch died; its requests (and only they) failed.
+  EXPECT_GT(tr.failed, 0u);
+  EXPECT_LE(tr.failed, cfg.tenants[0].batch.max_batch);
+  EXPECT_EQ(tr.completed + tr.failed, tr.admitted);
+  // Traffic kept flowing afterwards: far more completed than one batch.
+  EXPECT_GT(tr.completed, 10 * tr.failed);
+  // The crashed container was killed outright (no keep-alive reuse).
+  EXPECT_EQ(eng.pool().kills(), 1u);
+
+  // Exactly one serve_batch settled not-ok, with the crash error tag.
+  std::size_t failed_batches = 0;
+  for (const auto& line : ledger.lines())
+    if (line.find("\"ev\":\"serve_batch\"") != std::string::npos &&
+        line.find("\"ok\":false") != std::string::npos) {
+      ++failed_batches;
+      EXPECT_NE(line.find("\"error\":\"crash\""), std::string::npos) << line;
+    }
+  EXPECT_EQ(failed_batches, 1u);
+}
+
+TEST(ServeFault, CrashedBatchIsBilledAsWastedSpend) {
+  auto cfg = crash_config();
+  cfg.faults.schedule.push_back(
+      {1.0, fault::FaultKind::kCrash,
+       static_cast<int>(serverless::FnKind::kServe), 0.5});
+  ServeEngine eng(cfg);
+  const auto res = run_with_publish(eng, cfg);
+
+  const auto& costs = eng.costs();
+  using serverless::FnKind;
+  EXPECT_EQ(costs.failed_invocations(FnKind::kServe), 1u);
+  // The provider bills the partial execution: wasted spend is positive but
+  // strictly less than the total bill.
+  EXPECT_GT(res.wasted_cost_usd, 0.0);
+  EXPECT_LT(res.wasted_cost_usd, res.cost_usd);
+  EXPECT_DOUBLE_EQ(res.wasted_cost_usd, costs.wasted_cost(FnKind::kServe));
+  // Wasted seconds = fail_frac × the batch's full duration: a 0.5-fraction
+  // crash of a ~ms-scale batch cannot exceed one full batch duration.
+  EXPECT_LT(costs.wasted_seconds(FnKind::kServe), 1.0);
+}
+
+TEST(ServeFault, QueuedRequestsRedispatchAfterCrash) {
+  auto cfg = crash_config();
+  // Pin one worker so requests queued behind the doomed batch demonstrably
+  // drain through a replacement container afterwards.
+  cfg.autoscale.min_workers = 1;
+  cfg.autoscale.max_workers = 1;
+  cfg.faults.schedule.push_back(
+      {1.0, fault::FaultKind::kCrash,
+       static_cast<int>(serverless::FnKind::kServe), 0.5});
+  ServeEngine eng(cfg);
+  const auto res = run_with_publish(eng, cfg);
+  const auto& tr = res.tenants[0];
+  EXPECT_EQ(res.crashes_injected, 1u);
+  EXPECT_EQ(tr.completed + tr.failed, tr.admitted);
+  EXPECT_GT(tr.completed, 0u);
+  // The kill forced a cold replacement start (the killed slot lost its
+  // warmth); queued work still drained to completion.
+  EXPECT_EQ(eng.pool().kills(), 1u);
+}
+
+TEST(ServeFault, ZeroFaultPlanMatchesFaultlessRun) {
+  // The injector's zero-fault plan draws nothing: results are bit-identical
+  // with the (default) empty plan — the serve tier preserves the fault
+  // plane's determinism contract.
+  const auto a = [&] {
+    auto cfg = crash_config();
+    ServeEngine eng(cfg);
+    return run_with_publish(eng, cfg);
+  }();
+  const auto b = [&] {
+    auto cfg = crash_config();
+    cfg.faults.config = fault::FaultConfig{};  // explicit zero-fault model
+    ServeEngine eng(cfg);
+    return run_with_publish(eng, cfg);
+  }();
+  EXPECT_EQ(a.tenants[0].value_checksum, b.tenants[0].value_checksum);
+  EXPECT_EQ(a.duration_s, b.duration_s);
+  EXPECT_EQ(a.cost_usd, b.cost_usd);
+}
+
+TEST(ServeFault, StragglerSlowsOneBatchOnly) {
+  auto cfg = crash_config();
+  cfg.faults.schedule.push_back(
+      {1.0, fault::FaultKind::kStraggler,
+       static_cast<int>(serverless::FnKind::kServe), 20.0});
+  ServeEngine eng(cfg);
+  const auto res = run_with_publish(eng, cfg);
+  const auto& tr = res.tenants[0];
+  // Stragglers do not fail work — everything completes, slower.
+  EXPECT_EQ(tr.failed, 0u);
+  EXPECT_EQ(tr.completed, tr.admitted);
+  EXPECT_EQ(res.wasted_cost_usd, 0.0);
+}
+
+}  // namespace
+}  // namespace stellaris::serve

@@ -11,6 +11,7 @@
 
 #include "obs/ledger.hpp"
 #include "util/mini_json.hpp"
+#include "util/percentile.hpp"
 
 namespace stellaris::report {
 
@@ -31,13 +32,11 @@ std::string str_or(const Value& obj, const std::string& key,
   return v.kind == Value::Kind::kString ? v.str : fallback;
 }
 
-/// Nearest-rank quantile of an ascending-sorted sample (q in (0,1]).
-double nearest_rank(const std::vector<double>& sorted, double q) {
-  if (sorted.empty()) return 0.0;
-  const std::size_t rank = static_cast<std::size_t>(
-      std::ceil(q * static_cast<double>(sorted.size())));
-  return sorted[std::min(std::max<std::size_t>(rank, 1), sorted.size()) - 1];
-}
+// Nearest-rank quantiles come from the shared util/percentile.hpp helper
+// (the same definition the serving tier's SLO monitor uses), so offline
+// reports and the in-process serve metrics can never disagree on what a
+// "p99" means.
+using stellaris::nearest_rank_sorted;
 
 struct InvokeRecord {
   std::uint64_t lid = 0;
@@ -50,6 +49,19 @@ struct InvokeRecord {
   bool ok = true;
   std::string error;
   double straggler_mult = 1.0;
+};
+
+/// Serving-tier per-tenant accumulator (serve_* events).
+struct ServeTenantAcc {
+  std::uint64_t completed = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t batches = 0;
+  double cost_usd = 0.0;
+  std::uint64_t canary_starts = 0;
+  std::uint64_t promotions = 0;
+  std::uint64_t rollbacks = 0;
+  std::vector<double> latencies;
 };
 
 /// Per-run event accumulator, filled on the single pass over the lines.
@@ -67,6 +79,11 @@ struct RunAccumulator {
   std::uint64_t giveups = 0;
   std::uint64_t reclaims = 0;
   std::uint64_t rounds = 0;
+  // std::map keeps tenants in ascending-name order for the report.
+  std::map<std::string, ServeTenantAcc> serve_tenants;
+  std::uint64_t serve_scale_ups = 0;
+  std::uint64_t serve_scale_downs = 0;
+  std::uint64_t serve_peak_workers = 0;
 };
 
 StageBreakdown sweep_stages(const RunAccumulator& acc, double t_end) {
@@ -161,8 +178,8 @@ RunReport finalize(std::uint64_t run, const RunAccumulator& acc,
     StalenessByVersion s;
     s.version = version;
     s.count = sorted.size();
-    s.p50 = nearest_rank(sorted, 0.50);
-    s.p99 = nearest_rank(sorted, 0.99);
+    s.p50 = nearest_rank_sorted(sorted, 0.50);
+    s.p99 = nearest_rank_sorted(sorted, 0.99);
     s.max = sorted.empty() ? 0.0 : sorted.back();
     double sum = 0.0;
     for (double v : sorted) sum += v;
@@ -178,7 +195,7 @@ RunReport finalize(std::uint64_t run, const RunAccumulator& acc,
   std::map<std::string, double> median_by_kind;
   for (auto& [kind, xs] : compute_by_kind) {
     std::sort(xs.begin(), xs.end());
-    median_by_kind[kind] = nearest_rank(xs, 0.50);
+    median_by_kind[kind] = nearest_rank_sorted(xs, 0.50);
   }
   for (const auto& inv : acc.invokes) {
     const double median = median_by_kind[inv.kind];
@@ -216,6 +233,33 @@ RunReport finalize(std::uint64_t run, const RunAccumulator& acc,
     w.cost_usd += inv.cost_usd;
   }
   for (const auto& [_, w] : wasted) rep.wasted.push_back(w);
+
+  for (const auto& [name, st] : acc.serve_tenants) {
+    ServeTenantSummary s;
+    s.tenant = name;
+    s.completed = st.completed;
+    s.failed = st.failed;
+    s.rejected = st.rejected;
+    s.batches = st.batches;
+    s.mean_batch =
+        st.batches > 0
+            ? static_cast<double>(st.completed + st.failed) /
+                  static_cast<double>(st.batches)
+            : 0.0;
+    std::vector<double> sorted = st.latencies;
+    std::sort(sorted.begin(), sorted.end());
+    s.p50_s = nearest_rank_sorted(sorted, 0.50);
+    s.p99_s = nearest_rank_sorted(sorted, 0.99);
+    s.p999_s = nearest_rank_sorted(sorted, 0.999);
+    s.cost_usd = st.cost_usd;
+    s.canary_starts = st.canary_starts;
+    s.promotions = st.promotions;
+    s.rollbacks = st.rollbacks;
+    rep.serve.tenants.push_back(std::move(s));
+  }
+  rep.serve.scale_ups = acc.serve_scale_ups;
+  rep.serve.scale_downs = acc.serve_scale_downs;
+  rep.serve.peak_workers = acc.serve_peak_workers;
   return rep;
 }
 
@@ -296,6 +340,44 @@ std::vector<RunReport> analyze_ledger(const std::vector<std::string>& lines,
       if (ev.has("staleness"))
         for (const auto& v : ev.at("staleness").arr)
           samples.push_back(v.number());
+    } else if (type == "serve_batch") {
+      ServeTenantAcc& st = acc.serve_tenants[str_or(ev, "tenant", "")];
+      ++st.batches;
+      st.cost_usd += num_or(ev, "cost_usd", 0.0);
+      const auto n = static_cast<std::uint64_t>(num_or(ev, "n", 0));
+      const bool ok = !ev.has("ok") || ev.at("ok").b;
+      if (ok) {
+        st.completed += n;
+        if (ev.has("lat"))
+          for (const auto& v : ev.at("lat").arr)
+            st.latencies.push_back(v.number());
+      } else {
+        st.failed += n;
+      }
+    } else if (type == "serve_reject") {
+      ++acc.serve_tenants[str_or(ev, "tenant", "")].rejected;
+    } else if (type == "serve_start") {
+      acc.serve_peak_workers =
+          std::max(acc.serve_peak_workers,
+                   static_cast<std::uint64_t>(num_or(ev, "workers", 0)));
+    } else if (type == "serve_scale") {
+      const double from = num_or(ev, "from", 0.0);
+      const double to = num_or(ev, "to", 0.0);
+      if (to > from)
+        ++acc.serve_scale_ups;
+      else if (to < from)
+        ++acc.serve_scale_downs;
+      acc.serve_peak_workers = std::max(
+          acc.serve_peak_workers, static_cast<std::uint64_t>(to));
+    } else if (type == "serve_rollout") {
+      ServeTenantAcc& st = acc.serve_tenants[str_or(ev, "tenant", "")];
+      const std::string action = str_or(ev, "action", "");
+      if (action == "start")
+        ++st.canary_starts;
+      else if (action == "promote")
+        ++st.promotions;
+      else if (action == "rollback")
+        ++st.rollbacks;
     } else if (type == "retry") {
       ++acc.retries;
     } else if (type == "giveup") {
@@ -360,6 +442,25 @@ void print_report(std::ostream& os, const RunReport& r) {
        << " compute_s=" << fmt(st.compute_s) << " ratio=" << fmt(st.ratio)
        << (st.injected ? " [injected]" : "") << "\n";
 
+  if (!r.serve.tenants.empty()) {
+    os << "\nserving tier (per tenant; nearest-rank latency quantiles):\n";
+    for (const auto& t : r.serve.tenants) {
+      os << "  " << t.tenant << ": completed=" << t.completed
+         << " failed=" << t.failed << " rejected=" << t.rejected
+         << " batches=" << t.batches << " mean_batch=" << fmt(t.mean_batch)
+         << "\n    p50=" << fmt(t.p50_s) << " s p99=" << fmt(t.p99_s)
+         << " s p999=" << fmt(t.p999_s) << " s cost=$" << fmt(t.cost_usd);
+      if (t.canary_starts > 0)
+        os << " canaries=" << t.canary_starts
+           << " promotions=" << t.promotions
+           << " rollbacks=" << t.rollbacks;
+      os << "\n";
+    }
+    os << "  autoscaler: peak_workers=" << r.serve.peak_workers
+       << " scale_ups=" << r.serve.scale_ups
+       << " scale_downs=" << r.serve.scale_downs << "\n";
+  }
+
   os << "\nwasted-cost attribution (failed invocations):\n";
   if (r.wasted.empty()) os << "  (none)\n";
   for (const auto& w : r.wasted)
@@ -405,7 +506,23 @@ void write_report_json(std::ostream& os, const RunReport& r) {
        << ",\"count\":" << w.count << ",\"billed_s\":" << n(w.billed_s)
        << ",\"cost_usd\":" << n(w.cost_usd) << "}";
   }
-  os << "],\"invocations\":" << r.invocations
+  os << "],\"serve\":{\"tenants\":[";
+  for (std::size_t i = 0; i < r.serve.tenants.size(); ++i) {
+    const auto& t = r.serve.tenants[i];
+    os << (i ? "," : "") << "{\"tenant\":" << LedgerEvent::quote(t.tenant)
+       << ",\"completed\":" << t.completed << ",\"failed\":" << t.failed
+       << ",\"rejected\":" << t.rejected << ",\"batches\":" << t.batches
+       << ",\"mean_batch\":" << n(t.mean_batch)
+       << ",\"p50_s\":" << n(t.p50_s) << ",\"p99_s\":" << n(t.p99_s)
+       << ",\"p999_s\":" << n(t.p999_s) << ",\"cost_usd\":" << n(t.cost_usd)
+       << ",\"canary_starts\":" << t.canary_starts
+       << ",\"promotions\":" << t.promotions
+       << ",\"rollbacks\":" << t.rollbacks << "}";
+  }
+  os << "],\"scale_ups\":" << r.serve.scale_ups
+     << ",\"scale_downs\":" << r.serve.scale_downs
+     << ",\"peak_workers\":" << r.serve.peak_workers << "}";
+  os << ",\"invocations\":" << r.invocations
      << ",\"failed_invocations\":" << r.failed_invocations
      << ",\"total_cost_usd\":" << n(r.total_cost_usd)
      << ",\"wasted_cost_usd\":" << n(r.wasted_cost_usd)

@@ -73,6 +73,34 @@ struct WastedCost {
   double cost_usd = 0.0;
 };
 
+/// Per-tenant serving-tier rollup from the `serve_*` event stream
+/// (DESIGN.md §15). Latency quantiles are nearest-rank over the per-request
+/// latencies recorded in each batch's `lat` array.
+struct ServeTenantSummary {
+  std::string tenant;
+  std::uint64_t completed = 0;  ///< requests in batches that settled ok
+  std::uint64_t failed = 0;     ///< requests in crashed batches
+  std::uint64_t rejected = 0;   ///< shed by admission control
+  std::uint64_t batches = 0;
+  double mean_batch = 0.0;
+  double p50_s = 0.0;
+  double p99_s = 0.0;
+  double p999_s = 0.0;
+  double cost_usd = 0.0;
+  std::uint64_t canary_starts = 0;
+  std::uint64_t promotions = 0;
+  std::uint64_t rollbacks = 0;
+};
+
+/// Serving-tier section of a run report; `tenants` empty means the run
+/// emitted no serve events (pure training runs skip the section).
+struct ServeSummary {
+  std::vector<ServeTenantSummary> tenants;  ///< by ascending tenant name
+  std::uint64_t scale_ups = 0;
+  std::uint64_t scale_downs = 0;
+  std::uint64_t peak_workers = 0;
+};
+
 struct RunReport {
   std::uint64_t run = 0;
   std::size_t events = 0;
@@ -81,6 +109,7 @@ struct RunReport {
   std::vector<StalenessByVersion> staleness;  ///< by ascending version
   std::vector<Straggler> stragglers;          ///< by descending ratio
   std::vector<WastedCost> wasted;             ///< by error name
+  ServeSummary serve;                         ///< empty for training runs
 
   // Run totals from the invoke stream.
   std::uint64_t invocations = 0;
