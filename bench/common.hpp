@@ -98,7 +98,7 @@ inline std::size_t default_rounds(const std::string& env) {
   return envs::env_spec(env).obs.image ? 16 : 40;
 }
 
-inline std::size_t default_seeds(const std::string& env) {
+inline std::size_t default_seeds(const std::string& /*env*/) {
   return 2;
 }
 

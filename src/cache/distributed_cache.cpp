@@ -184,9 +184,10 @@ std::optional<CacheValue> DistributedCache::get_blocking(
       m_blocked_timeouts_->add();
     }
   }
-  if (!result)
+  if (!result) {
     LOG_DEBUG << "blocking read timed out after " << waited_ms
               << "ms: key=" << key << " min_version=" << min_version;
+  }
   return result;
 }
 
@@ -330,8 +331,9 @@ std::size_t DistributedCache::erase_prefix(const std::string& prefix) {
     s->resident_bytes -= freed;
     m_resident_bytes_->add(-static_cast<double>(freed));
   }
-  if (removed > 0)
+  if (removed > 0) {
     LOG_DEBUG << "erased " << removed << " keys with prefix " << prefix;
+  }
   return removed;
 }
 
@@ -395,7 +397,9 @@ void DistributedCache::clear() {
     s->waiters.clear();
   }
   m_resident_bytes_->set(0.0);
-  if (dropped > 0) LOG_DEBUG << "cache cleared (" << dropped << " keys)";
+  if (dropped > 0) {
+    LOG_DEBUG << "cache cleared (" << dropped << " keys)";
+  }
 }
 
 }  // namespace stellaris::cache

@@ -25,6 +25,8 @@ FunctionProfiler::PerKind& FunctionProfiler::bucket(FnKind kind) {
     case FnKind::kLearner: return learner_;
     case FnKind::kParameter: return parameter_;
     case FnKind::kActor: return actor_;
+    case FnKind::kServe:
+      break;  // never enters the training platform (platform.cpp checks)
   }
   throw Error("bad FnKind");
 }

@@ -61,12 +61,13 @@ std::size_t apply_driver_thread_budget(std::size_t driver_threads,
   if (clamped < k) {
     set_kernel_threads(clamped);
     static std::atomic<bool> warned{false};
-    if (!warned.exchange(true))
+    if (!warned.exchange(true)) {
       LOG_WARN << "kernel threads clamped " << k << " -> " << clamped << ": "
                << driver_threads << " driver threads x " << k
                << " kernel threads oversubscribes " << hardware
                << " hardware threads (results unchanged; kernels are "
                << "bit-identical at any thread count)";
+    }
   }
   return kernel_threads();
 }

@@ -29,16 +29,19 @@
 // Lock hierarchy (ranks; a thread may only acquire strictly increasing
 // ranks — full table and rationale in DESIGN.md §11):
 //
-//   100  cache/distributed-cache   logs + wakes waiters while held
+//   100  cache/shard               logs + wakes waiters while held
 //   120  serverless/container-pool leaf (metrics atomics + RNG only)
 //   150  tensor/kernel-pool        constructs the kernel ThreadPool
 //   200  util/thread-pool          work-queue mutex
 //   210  sim/driver-queue          execution-driver job queue
 //   220  sim/driver-job            per-job done flag + error slot
 //   230  core/worker-contexts      worker-context free list
+//   240  serve/contexts            serving model-context free list
 //   250  util/parallel-for-errors  error capture inside pool tasks
 //   300  obs/metrics-registry      instrument registration + export
 //   350  obs/trace-recorder        trace event buffer
+//   360  obs/ledger                run-ledger line buffer
+//   370  obs/timeseries            sampled-series buffer
 //   900  util/logger               terminal leaf: any subsystem may log
 //                                  while holding its own lock
 #pragma once

@@ -78,11 +78,18 @@ class Parser {
       case '{': return object();
       case '[': return array();
       case '"': return string_value();
-      case 't': return keyword("true", Value{Value::Kind::kBool, true});
-      case 'f': return keyword("false", Value{Value::Kind::kBool, false});
+      case 't': return keyword("true", bool_value(true));
+      case 'f': return keyword("false", bool_value(false));
       case 'n': return keyword("null", Value{});
       default: return number();
     }
+  }
+
+  static Value bool_value(bool b) {
+    Value v;
+    v.kind = Value::Kind::kBool;
+    v.b = b;
+    return v;
   }
 
   Value keyword(const std::string& word, Value v) {

@@ -121,7 +121,9 @@ TEST(Report, StalenessQuantilesPerVersion) {
     EXPECT_LE(s.p50, s.p99);
     EXPECT_LE(s.p99, s.max);
     EXPECT_LE(s.mean, s.max);
-    if (i) EXPECT_LT(rep.staleness[i - 1].version, s.version);
+    if (i) {
+      EXPECT_LT(rep.staleness[i - 1].version, s.version);
+    }
     aggregated += s.count;
   }
   // Every aggregated gradient carried one staleness sample.

@@ -69,7 +69,9 @@ TEST(Actor, BootstrapZeroWhenEndingOnDone) {
   Actor actor(envs::make_env("Hopper"), 5);
   auto policy = hopper_policy();
   auto batch = actor.sample(policy, 64, 0);
-  if (batch.dones[63] > 0.5f) EXPECT_FLOAT_EQ(batch.bootstrap_value, 0.0f);
+  if (batch.dones[63] > 0.5f) {
+    EXPECT_FLOAT_EQ(batch.bootstrap_value, 0.0f);
+  }
 }
 
 TEST(Actor, SameSeedSameTrajectory) {

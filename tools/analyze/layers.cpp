@@ -1,0 +1,185 @@
+// layer-dag pass: #include edges between layers must follow the declared
+// architecture DAG (tools/analyze/layers.toml; DESIGN.md §16).
+//
+// A "layer" is the first path component of a file under src/ (src/rl/...
+// is layer "rl"); tools/report is the offline-analysis layer "report".
+// Every include of a project header is an edge and must point at a layer
+// the including layer declares as a dependency (or itself). The graph
+// itself is validated too: undeclared deps and cycles in layers.toml are
+// configuration errors, and a src/ layer missing from the file entirely is
+// a finding — new subsystems must take a documented place in the DAG.
+#include "analyzer.hpp"
+
+#include <fstream>
+#include <sstream>
+
+namespace stellaris::analyze {
+
+namespace {
+
+std::string trim(const std::string& s) {
+  std::size_t a = s.find_first_not_of(" \t\r");
+  if (a == std::string::npos) return "";
+  std::size_t b = s.find_last_not_of(" \t\r");
+  return s.substr(a, b - a + 1);
+}
+
+}  // namespace
+
+LayerGraph parse_layers_file(const std::string& path) {
+  LayerGraph graph;
+  std::ifstream in(path);
+  if (!in) {
+    graph.errors.push_back("cannot open layers file: " + path);
+    return graph;
+  }
+  std::string raw;
+  std::string section;
+  int line = 0;
+  while (std::getline(in, raw)) {
+    ++line;
+    std::string s = trim(raw);
+    std::size_t hash = s.find('#');
+    if (hash != std::string::npos) s = trim(s.substr(0, hash));
+    if (s.empty()) continue;
+    if (s.front() == '[' && s.back() == ']') {
+      section = trim(s.substr(1, s.size() - 2));
+      continue;
+    }
+    if (section != "layers") continue;
+    const std::size_t eq = s.find('=');
+    if (eq == std::string::npos) {
+      graph.errors.push_back(path + ":" + std::to_string(line) +
+                             ": expected `layer = [\"dep\", ...]`");
+      continue;
+    }
+    const std::string name = trim(s.substr(0, eq));
+    std::string rhs = trim(s.substr(eq + 1));
+    if (rhs.size() < 2 || rhs.front() != '[' || rhs.back() != ']') {
+      graph.errors.push_back(path + ":" + std::to_string(line) +
+                             ": dependency list must be [\"a\", \"b\"]");
+      continue;
+    }
+    if (graph.deps.count(name)) {
+      graph.errors.push_back(path + ":" + std::to_string(line) +
+                             ": duplicate layer `" + name + "`");
+      continue;
+    }
+    std::vector<std::string> deps;
+    rhs = rhs.substr(1, rhs.size() - 2);
+    std::istringstream items(rhs);
+    std::string item;
+    while (std::getline(items, item, ',')) {
+      item = trim(item);
+      if (item.empty()) continue;
+      if (item.size() < 2 || item.front() != '"' || item.back() != '"') {
+        graph.errors.push_back(path + ":" + std::to_string(line) +
+                               ": dependencies must be quoted strings");
+        continue;
+      }
+      deps.push_back(item.substr(1, item.size() - 2));
+    }
+    graph.deps[name] = std::move(deps);
+  }
+
+  // Validate: every dep names a declared layer; the graph is acyclic.
+  for (const auto& [layer, deps] : graph.deps)
+    for (const auto& d : deps) {
+      if (!graph.deps.count(d))
+        graph.errors.push_back("layer `" + layer + "` depends on undeclared `" +
+                               d + "`");
+      if (d == layer)
+        graph.errors.push_back("layer `" + layer + "` depends on itself");
+    }
+  // Cycle check: iterative DFS with colors over the (small) graph.
+  std::map<std::string, int> color;  // 0 new, 1 in-stack, 2 done
+  for (const auto& [start, _] : graph.deps) {
+    if (color[start]) continue;
+    std::vector<std::pair<std::string, std::size_t>> stack{{start, 0}};
+    color[start] = 1;
+    while (!stack.empty()) {
+      auto& [node, next] = stack.back();
+      const auto& deps = graph.deps.at(node);
+      if (next >= deps.size()) {
+        color[node] = 2;
+        stack.pop_back();
+        continue;
+      }
+      const std::string dep = deps[next++];
+      if (!graph.deps.count(dep)) continue;
+      if (color[dep] == 1) {
+        graph.errors.push_back("layer cycle through `" + dep + "` and `" +
+                               node + "`");
+        color[dep] = 2;
+        continue;
+      }
+      if (color[dep] == 0) {
+        color[dep] = 1;
+        stack.emplace_back(dep, 0);
+      }
+    }
+  }
+  return graph;
+}
+
+namespace {
+
+/// Layer of a project file, or "" when the file is outside the layered
+/// tree (bench/, tests/, examples/ are application code and exempt).
+std::string layer_of(const std::string& rel) {
+  if (rel.rfind("src/", 0) == 0) {
+    const std::size_t slash = rel.find('/', 4);
+    if (slash != std::string::npos) return rel.substr(4, slash - 4);
+  }
+  if (rel.rfind("tools/report/", 0) == 0) return "report";
+  if (rel.rfind("tools/analyze/", 0) == 0) return "analyze";
+  return "";
+}
+
+/// Layer an include target lands in. Project includes are rooted at src/
+/// ("rl/ppo.hpp") or tools/ ("tools/report/ledger_analysis.hpp").
+std::string include_layer(const std::string& target) {
+  if (target.rfind("tools/report/", 0) == 0) return "report";
+  if (target.rfind("tools/analyze/", 0) == 0) return "analyze";
+  const std::size_t slash = target.find('/');
+  if (slash == std::string::npos) return "";  // same-directory include
+  return target.substr(0, slash);
+}
+
+}  // namespace
+
+void check_layers(const Project& project, const LayerGraph& graph,
+                  std::vector<Finding>& out) {
+  for (const auto& file : project.files) {
+    const std::string layer = layer_of(file.rel);
+    if (layer.empty()) continue;
+    const auto decl = graph.deps.find(layer);
+    if (decl == graph.deps.end()) {
+      out.push_back({"layer-dag", file.rel, 1, "layer:" + layer,
+                     "layer `" + layer +
+                         "` is not declared in layers.toml — every src/ "
+                         "subsystem must take a documented place in the "
+                         "architecture DAG (DESIGN.md §16)"});
+      continue;
+    }
+    std::set<std::string> allowed(decl->second.begin(), decl->second.end());
+    allowed.insert(layer);
+    for (const auto& [target, line] : file.includes) {
+      const std::string target_layer = include_layer(target);
+      if (target_layer.empty()) continue;
+      // Only police edges between declared layers; quoted includes of
+      // non-layer paths (corpus-local headers, generated files) are not
+      // architecture edges.
+      if (!graph.deps.count(target_layer)) continue;
+      if (allowed.count(target_layer)) continue;
+      if (file.suppressed("layer-dag", line)) continue;
+      out.push_back(
+          {"layer-dag", file.rel, line, target,
+           "layer `" + layer + "` must not include `" + target +
+               "` (layer `" + target_layer +
+               "` is not among its declared dependencies in layers.toml)"});
+    }
+  }
+}
+
+}  // namespace stellaris::analyze

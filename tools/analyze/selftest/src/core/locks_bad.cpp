@@ -1,0 +1,34 @@
+// Failing lock-rank cases, one finding per annotated line.
+#include "util/annotated_mutex.hpp"
+
+namespace stellaris {
+
+Mutex alpha2_mu{"util/alpha", lock_rank::kAlpha};
+Mutex beta2_mu{"core/beta", lock_rank::kBeta};
+Mutex dupe2_mu{"core/dupe", lock_rank::kDupe};
+
+// expect: lock-rank
+Mutex unranked_mu{"core/unranked"};
+
+// expect: lock-rank
+Mutex unnamed_mu{lock_rank::kBeta};
+
+// expect: lock-rank
+Mutex rogue_mu{"core/rogue", lock_rank::kBeta};
+
+// expect: lock-rank
+Mutex phantom_mu{"core/phantom", lock_rank::kPhantom};
+
+void nested_out_of_order() {
+  MutexLock b(beta2_mu);
+  // expect: lock-rank
+  MutexLock a(alpha2_mu);  // 200 -> 100: decreasing
+}
+
+void nested_equal_rank() {
+  MutexLock b(beta2_mu);
+  // expect: lock-rank
+  MutexLock d(dupe2_mu);  // 200 -> 200: equal ranks are peers, never nest
+}
+
+}  // namespace stellaris

@@ -1,0 +1,9 @@
+// Passing layer-dag case: obs declares util as a dependency, so this
+// include is a legal downward edge.
+#pragma once
+
+#include "util/helper.hpp"
+
+namespace stellaris::obs {
+inline int sample_count() { return helper_add(1, 2); }
+}  // namespace stellaris::obs

@@ -1,0 +1,9 @@
+// expect: layer-dag
+// Failing layer-dag case: the `rogue` layer is not declared in the corpus
+// layers.toml — new src/ subsystems must take a place in the DAG. (The
+// finding anchors to line 1 of the file.)
+#pragma once
+
+namespace stellaris::rogue {
+inline int undeclared() { return 0; }
+}  // namespace stellaris::rogue

@@ -1,0 +1,46 @@
+// Corpus stand-in for the real util/annotated_mutex.hpp: just enough
+// token shape for the lock-rank pass — a lock_rank namespace and the
+// wrapper type names.
+#pragma once
+
+namespace stellaris {
+
+namespace lock_rank {
+inline constexpr int kAlpha = 100;
+inline constexpr int kBeta = 200;
+// expect: lock-rank
+inline constexpr int kDupe = 200;
+// expect: lock-rank
+inline constexpr int kUndocumented = 300;
+// expect: lock-rank
+inline constexpr int kGamma = 350;
+}  // namespace lock_rank
+
+class Mutex {
+ public:
+  Mutex(const char* name, int rank);
+  void unlock();
+};
+
+class SharedMutex {
+ public:
+  SharedMutex(const char* name, int rank);
+};
+
+class MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu);
+  void unlock();
+};
+
+class ReaderLock {
+ public:
+  explicit ReaderLock(SharedMutex& mu);
+};
+
+class WriterLock {
+ public:
+  explicit WriterLock(SharedMutex& mu);
+};
+
+}  // namespace stellaris

@@ -1,0 +1,7 @@
+// Leaf util header — exists so other corpus layers have something legal
+// to include.
+#pragma once
+
+namespace stellaris {
+inline int helper_add(int a, int b) { return a + b; }
+}  // namespace stellaris

@@ -1,0 +1,36 @@
+// Passing lock-rank cases: named + ranked constructions whose names all
+// appear in the corpus DESIGN.md table, and nestings that acquire
+// strictly increasing ranks (or release before going back down).
+#include "util/annotated_mutex.hpp"
+
+namespace stellaris {
+
+Mutex alpha_mu{"util/alpha", lock_rank::kAlpha};
+Mutex beta_mu{"core/beta", lock_rank::kBeta};
+SharedMutex gamma_mu{"obs/gamma", lock_rank::kGamma};
+Mutex dupe_mu{"core/dupe", lock_rank::kDupe};
+
+void nested_in_order() {
+  MutexLock a(alpha_mu);
+  MutexLock b(beta_mu);  // 100 -> 200: strictly increasing
+}
+
+void release_then_lower() {
+  MutexLock b(beta_mu);
+  b.unlock();
+  MutexLock a(alpha_mu);  // beta was released first: legal
+}
+
+void scoped_then_sibling() {
+  {
+    MutexLock b(beta_mu);
+  }
+  MutexLock a(alpha_mu);  // beta's scope ended: legal
+}
+
+void mixed_guard_kinds() {
+  MutexLock a(alpha_mu);
+  WriterLock g(gamma_mu);  // 100 -> 350 through a shared mutex
+}
+
+}  // namespace stellaris

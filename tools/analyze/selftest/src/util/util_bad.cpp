@@ -1,0 +1,10 @@
+// Failing layer-dag case: util is the bottom layer and declares no
+// dependencies, so including obs is an upward edge.
+#include "util/helper.hpp"
+
+// expect: layer-dag
+#include "obs/obs_ok.hpp"
+
+namespace stellaris {
+int util_uses_obs() { return obs::sample_count(); }
+}  // namespace stellaris

@@ -79,6 +79,10 @@ struct RunAccumulator {
   std::uint64_t giveups = 0;
   std::uint64_t reclaims = 0;
   std::uint64_t rounds = 0;
+  std::uint64_t checkpoints = 0;
+  std::uint64_t restores = 0;
+  std::uint64_t dropped_gradients = 0;
+  std::uint64_t faults_injected = 0;
   // std::map keeps tenants in ascending-name order for the report.
   std::map<std::string, ServeTenantAcc> serve_tenants;
   std::uint64_t serve_scale_ups = 0;
@@ -169,6 +173,10 @@ RunReport finalize(std::uint64_t run, const RunAccumulator& acc,
   rep.giveups = acc.giveups;
   rep.reclaims = acc.reclaims;
   rep.rounds = acc.rounds;
+  rep.checkpoints = acc.checkpoints;
+  rep.restores = acc.restores;
+  rep.dropped_gradients = acc.dropped_gradients;
+  rep.faults_injected = acc.faults_injected;
 
   rep.stages = sweep_stages(acc, rep.t_end);
 
@@ -386,7 +394,18 @@ std::vector<RunReport> analyze_ledger(const std::vector<std::string>& lines,
       ++acc.reclaims;
     } else if (type == "round") {
       ++acc.rounds;
+    } else if (type == "ckpt") {
+      ++acc.checkpoints;
+    } else if (type == "restore") {
+      ++acc.restores;
+      acc.dropped_gradients +=
+          static_cast<std::uint64_t>(num_or(ev, "dropped", 0));
+    } else if (type == "fault_injected") {
+      ++acc.faults_injected;
     }
+    // ledger-schema:ignore run_begin — run metadata (env/algo/config echo)
+    // for humans reading the raw JSONL; the report aggregates nothing from
+    // it, and stellaris_analyze's ledger-schema pass knows that on purpose.
   }
 
   std::vector<RunReport> reports;
@@ -470,6 +489,11 @@ void print_report(std::ostream& os, const RunReport& r) {
      << " invocations failed, $" << fmt(r.wasted_cost_usd) << " of $"
      << fmt(r.total_cost_usd) << " wasted (" << r.retries << " retries, "
      << r.giveups << " giveups, " << r.reclaims << " reclaims)\n";
+
+  if (r.checkpoints || r.restores || r.faults_injected)
+    os << "\nrecovery: " << r.checkpoints << " checkpoints, " << r.restores
+       << " restores (" << r.dropped_gradients << " gradients dropped), "
+       << r.faults_injected << " faults injected\n";
 }
 
 void write_report_json(std::ostream& os, const RunReport& r) {
@@ -528,7 +552,11 @@ void write_report_json(std::ostream& os, const RunReport& r) {
      << ",\"wasted_cost_usd\":" << n(r.wasted_cost_usd)
      << ",\"wasted_seconds\":" << n(r.wasted_seconds)
      << ",\"retries\":" << r.retries << ",\"giveups\":" << r.giveups
-     << ",\"reclaims\":" << r.reclaims << "}\n";
+     << ",\"reclaims\":" << r.reclaims
+     << ",\"checkpoints\":" << r.checkpoints
+     << ",\"restores\":" << r.restores
+     << ",\"dropped_gradients\":" << r.dropped_gradients
+     << ",\"faults_injected\":" << r.faults_injected << "}\n";
 }
 
 }  // namespace stellaris::report

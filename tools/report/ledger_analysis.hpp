@@ -121,6 +121,12 @@ struct RunReport {
   std::uint64_t giveups = 0;
   std::uint64_t reclaims = 0;
   std::uint64_t rounds = 0;
+
+  // Fault / recovery plane.
+  std::uint64_t checkpoints = 0;        ///< `ckpt` events
+  std::uint64_t restores = 0;           ///< `restore` events
+  std::uint64_t dropped_gradients = 0;  ///< summed over restores
+  std::uint64_t faults_injected = 0;    ///< `fault_injected` events
 };
 
 struct AnalysisOptions {
