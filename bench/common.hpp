@@ -56,8 +56,12 @@ inline std::unique_ptr<obs::ObsSession> obs_session_from_args(int argc,
 ///   --driver=virtual|concurrent   execution driver (default: virtual)
 ///   --driver-threads=<n>          concurrent worker cap (0 = one per
 ///                                 hardware thread)
-/// Results are byte-identical across drivers by construction; the flags
-/// only trade wall-clock for threads. Unknown arguments are ignored.
+///   --envs-per-actor=<k>          environment copies stepped per actor
+///                                 invocation (DESIGN.md §17; default 1)
+/// Results are byte-identical across drivers by construction; the driver
+/// flags only trade wall-clock for threads. --envs-per-actor changes the
+/// sampled data (K times more timesteps per invocation), not the
+/// execution semantics. Unknown arguments are ignored.
 inline void apply_driver_args(core::TrainConfig& cfg, int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -72,6 +76,13 @@ inline void apply_driver_args(core::TrainConfig& cfg, int argc, char** argv) {
     } else if (arg.rfind("--driver-threads=", 0) == 0) {
       cfg.driver_threads = static_cast<std::size_t>(
           std::stoul(arg.substr(17)));
+    } else if (arg.rfind("--envs-per-actor=", 0) == 0) {
+      cfg.envs_per_actor = static_cast<std::size_t>(
+          std::stoul(arg.substr(17)));
+      if (cfg.envs_per_actor == 0) {
+        std::fprintf(stderr, "--envs-per-actor must be >= 1\n");
+        std::exit(2);
+      }
     }
   }
 }

@@ -2,6 +2,10 @@
 //  (a) staleness-threshold decay d ∈ {0.92 .. 1.00}
 //  (b) learning-rate smoothness v ∈ {1 .. 4}
 //  (c) importance-sampling truncation threshold ρ ∈ {0.6 .. 1.2}
+// plus a repo extension:
+//  (d) envs per actor K ∈ {1, 2, 4, 8} — vectorized-actor batch width
+//      (DESIGN.md §17). K multiplies timesteps per invocation at fixed
+//      rounds, trading invocation count against per-batch staleness.
 #include "common.hpp"
 
 #include <iostream>
@@ -47,6 +51,18 @@ int main(int argc, char** argv) {
     }
     t.emit("Fig. 13(c) — truncation threshold rho (paper optimum: 1.0)",
            "fig13c_rho.csv");
+  }
+  {
+    Table t({"envs_per_actor", "final_reward", "cost_usd", "time_s"});
+    for (std::size_t k : {1, 2, 4, 8}) {
+      auto cfg = bench::base_config(env, rounds, 1);
+      cfg.envs_per_actor = k;
+      const auto s = bench::summarize(bench::run_seeds(cfg, seeds));
+      t.row().add(static_cast<double>(k), 0).add(s.final_reward, 1)
+          .add(s.total_cost, 4).add(s.time_s, 2);
+    }
+    t.emit("Fig. 13(d) — envs per actor K (vectorized actors, DESIGN.md §17)",
+           "fig13d_envs_per_actor.csv");
   }
   std::cout << "\nExpected shape: reward peaks near d=0.96, v=3, rho=1.0 —"
                " conservative settings underfit, loose settings destabilize."

@@ -17,6 +17,12 @@
 // --cache-compare=<path>, --cache), times the zero-copy cache data plane
 // and the single-pass encoders against reimplementations of the seed's
 // copying paths; it shares --max-regress with the kernel harness.
+//
+// A fourth personality, the actor-rollout harness (--actor-json=<path>,
+// --actor-compare=<path>, --actor), times VecActor's batched rollout
+// (one (K, obs_dim)×W forward per step) at K ∈ {1, 2, 4, 8} against the
+// scalar single-row Actor — the DESIGN.md §17 throughput claim. Results are
+// Msteps/s; it shares --max-regress with the other harnesses.
 #include <benchmark/benchmark.h>
 
 #include <chrono>
@@ -28,6 +34,7 @@
 #include <memory>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "cache/distributed_cache.hpp"
@@ -35,8 +42,10 @@
 #include "core/policy_io.hpp"
 #include "envs/env.hpp"
 #include "nn/distributions.hpp"
+#include "envs/vec_env.hpp"
 #include "rl/actor.hpp"
 #include "rl/gae.hpp"
+#include "rl/vec_actor.hpp"
 #include "rl/ppo.hpp"
 #include "tensor/kernel_config.hpp"
 #include "tensor/ops.hpp"
@@ -437,11 +446,56 @@ std::vector<KernelResult> run_cache_benches() {
   return out;
 }
 
+// ---------------------------------------------------------------------------
+// Actor-rollout harness
+// ---------------------------------------------------------------------------
+//
+// "value" is VecActor's batched rollout rate at K envs per invocation;
+// "reference" is the scalar single-row Actor on the same policy network, so
+// speedup_vs_reference is the DESIGN.md §17 batched-inference gain. Rates
+// are Msteps/s (environment steps, not timesteps × envs). Activated by
+// --actor-json / --actor-compare / --actor; shares --max-regress.
+
+std::vector<KernelResult> run_actor_benches() {
+  std::vector<KernelResult> out;
+  const auto env_spec = envs::env_spec("Hopper");
+  // Bench at the trained MuJoCo width: small enough that env stepping is a
+  // real fraction of the loop, so the measured gain is honest end-to-end
+  // rollout throughput rather than a pure GEMM ratio.
+  nn::ActorCritic policy(env_spec.obs, env_spec.action_kind, env_spec.act_dim,
+                         nn::NetworkSpec::mujoco(32), 1);
+  const std::size_t horizon = 64;
+  // Steps × 1000 as "work" lands the %.3f-printed JSON values in Msteps/s.
+  const double step_scale = 1000.0;
+
+  rl::Actor scalar(envs::make_env("Hopper"), 1);
+  const double scalar_rate =
+      measure_rate(static_cast<double>(horizon) * step_scale, [&] {
+        benchmark::DoNotOptimize(scalar.sample(policy, horizon, 0));
+      });
+
+  for (const std::size_t k : {std::size_t{1}, std::size_t{2}, std::size_t{4},
+                              std::size_t{8}}) {
+    rl::VecActor actor(std::make_unique<envs::VecEnv>("Hopper", k, 1), 1);
+    rl::VecActorScratch scratch;
+    const double work = static_cast<double>(k * horizon) * step_scale;
+    out.push_back({"actor_rollout", "K" + std::to_string(k), "msteps", work,
+                   measure_rate(work,
+                                [&] {
+                                  benchmark::DoNotOptimize(actor.sample(
+                                      policy, scratch, horizon, 0));
+                                }),
+                   scalar_rate});
+  }
+  return out;
+}
+
 void write_kernel_json(const std::string& path, const std::string& schema,
                        const std::vector<KernelResult>& results) {
   std::ofstream os(path);
   os << "{\n  \"schema\": \"" << schema << "\",\n"
      << "  \"kernel_threads\": " << ops::kernel_threads() << ",\n"
+     << "  \"host_cores\": " << std::thread::hardware_concurrency() << ",\n"
      << "  \"entries\": [\n";
   for (std::size_t i = 0; i < results.size(); ++i) {
     const auto& r = results[i];
@@ -487,6 +541,7 @@ double compare_to_baseline(const std::string& path,
 const char* metric_suffix(const std::string& metric) {
   if (metric == "gflops") return "GF";
   if (metric == "gbps") return "GB";
+  if (metric == "msteps") return "Ms";
   return "Ge";
 }
 
@@ -523,8 +578,9 @@ int run_harness(const std::vector<KernelResult>& results,
 
 int main(int argc, char** argv) {
   std::string json_out, baseline, cache_json, cache_baseline;
+  std::string actor_json, actor_baseline;
   double max_regress = 2.0;
-  bool kernel_mode = false, cache_mode = false;
+  bool kernel_mode = false, cache_mode = false, actor_mode = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--json=", 0) == 0) {
@@ -539,15 +595,23 @@ int main(int argc, char** argv) {
     } else if (arg.rfind("--cache-compare=", 0) == 0) {
       cache_baseline = arg.substr(16);
       cache_mode = true;
+    } else if (arg.rfind("--actor-json=", 0) == 0) {
+      actor_json = arg.substr(13);
+      actor_mode = true;
+    } else if (arg.rfind("--actor-compare=", 0) == 0) {
+      actor_baseline = arg.substr(16);
+      actor_mode = true;
     } else if (arg.rfind("--max-regress=", 0) == 0) {
       max_regress = std::stod(arg.substr(14));
     } else if (arg == "--kernels") {
       kernel_mode = true;
     } else if (arg == "--cache") {
       cache_mode = true;
+    } else if (arg == "--actor") {
+      actor_mode = true;
     }
   }
-  if (kernel_mode || cache_mode) {
+  if (kernel_mode || cache_mode || actor_mode) {
     int rc = 0;
     if (kernel_mode)
       rc |= stellaris::run_harness(stellaris::run_kernel_benches(),
@@ -557,6 +621,10 @@ int main(int argc, char** argv) {
       rc |= stellaris::run_harness(stellaris::run_cache_benches(),
                                    "stellaris-cache-bench-v1", cache_json,
                                    cache_baseline, max_regress);
+    if (actor_mode)
+      rc |= stellaris::run_harness(stellaris::run_actor_benches(),
+                                   "stellaris-actor-bench-v1", actor_json,
+                                   actor_baseline, max_regress);
     return rc;
   }
 

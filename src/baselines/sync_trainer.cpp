@@ -10,6 +10,7 @@
 #include "nn/optimizer.hpp"
 #include "obs/obs.hpp"
 #include "rl/actor.hpp"
+#include "rl/vec_actor.hpp"
 #include "sim/driver.hpp"
 #include "tensor/kernel_config.hpp"
 #include "util/error.hpp"
@@ -73,10 +74,12 @@ core::TrainResult run_sync_training(const SyncConfig& sync_cfg) {
   std::vector<float> target_params = params;
   std::size_t updates_since_target = 0;
 
-  std::vector<std::unique_ptr<rl::Actor>> actors;
+  std::vector<std::unique_ptr<rl::VecActor>> actors;
   for (std::size_t i = 0; i < cfg.num_actors; ++i)
-    actors.push_back(std::make_unique<rl::Actor>(envs::make_env(cfg.env_name),
-                                                 cfg.seed * 7919 + i));
+    actors.push_back(std::make_unique<rl::VecActor>(
+        std::make_unique<envs::VecEnv>(cfg.env_name, cfg.envs_per_actor,
+                                       cfg.seed * 7919 + i),
+        cfg.seed * 7919 + i));
   auto eval_env = envs::make_env(cfg.env_name);
   Rng rng(cfg.seed ^ 0x517cULL);
 
@@ -147,7 +150,8 @@ core::TrainResult run_sync_training(const SyncConfig& sync_cfg) {
         jobs.push_back(driver->submit([&, i] {
           auto ctx = ctx_pool.lease();
           ctx->model.set_flat_params(params);
-          batches[i] = actors[i]->sample(ctx->model, cfg.horizon, round);
+          batches[i] = actors[i]->sample(ctx->model, ctx->vec_scratch,
+                                         cfg.horizon, round);
         }));
       for (const auto& job : jobs) sim::Driver::join(job);
     }
@@ -163,7 +167,8 @@ core::TrainResult run_sync_training(const SyncConfig& sync_cfg) {
         wave_max = std::max(
             wave_max,
             faulted_duration(cfg.latency.jittered(
-                cfg.latency.actor_sample_s(cfg.horizon, env_spec.obs.image),
+                cfg.latency.actor_sample_s(cfg.horizon * cfg.envs_per_actor,
+                                           env_spec.obs.image),
                 rng)));
       actor_phase_s += wave_max;
     }

@@ -42,7 +42,12 @@ struct TrainConfig {
   std::size_t num_actors = 8;
   std::size_t max_learners = 0;  ///< 0 = bounded only by cluster slots
   std::size_t rounds = 50;       ///< policy updates ("training rounds")
-  std::size_t horizon = 128;     ///< timesteps sampled per actor invocation
+  std::size_t horizon = 128;     ///< timesteps sampled per env per invocation
+  /// Environment copies stepped per actor invocation with one batched
+  /// policy forward per step (DESIGN.md §17). An invocation samples
+  /// horizon × envs_per_actor timesteps; 1 reproduces the scalar actor
+  /// bit-for-bit.
+  std::size_t envs_per_actor = 1;
   std::size_t trajs_per_learner = 4;  ///< actor batches merged per learner
   std::size_t network_width = 32;  ///< MLP hidden width (Table II scaled)
 

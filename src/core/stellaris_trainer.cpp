@@ -114,8 +114,10 @@ StellarisTrainer::StellarisTrainer(TrainConfig cfg)
 
   actors_.reserve(cfg_.num_actors);
   for (std::size_t i = 0; i < cfg_.num_actors; ++i)
-    actors_.push_back(std::make_unique<rl::Actor>(
-        envs::make_env(cfg_.env_name), cfg_.seed * 7919 + i));
+    actors_.push_back(std::make_unique<rl::VecActor>(
+        std::make_unique<envs::VecEnv>(cfg_.env_name, cfg_.envs_per_actor,
+                                       cfg_.seed * 7919 + i),
+        cfg_.seed * 7919 + i));
   eval_env_ = envs::make_env(cfg_.env_name);
 
   // Execution driver (DESIGN.md §14): the event engine keeps sole authority
@@ -302,11 +304,11 @@ void StellarisTrainer::launch_actor(std::size_t actor_idx) {
   serverless::ServerlessPlatform::InvokeOptions opts;
   opts.kind = serverless::FnKind::kActor;
   opts.ledger_id = next_lid_++;
-  opts.compute_s =
-      cfg_.latency.actor_sample_s(cfg_.horizon, env_spec_.obs.image);
+  opts.compute_s = cfg_.latency.actor_sample_s(
+      cfg_.horizon * cfg_.envs_per_actor, env_spec_.obs.image);
   opts.payload_in_bytes = param_fn_->param_dim() * sizeof(float);
-  opts.payload_out_bytes =
-      cfg_.horizon * (env_spec_.obs.flat_dim + 8) * sizeof(float);
+  opts.payload_out_bytes = cfg_.horizon * cfg_.envs_per_actor *
+                           (env_spec_.obs.flat_dim + 8) * sizeof(float);
   opts.tier = serverless::DataTier::kCache;
   opts.span_name = "actor_sampling";
   // Step ①: pull the latest policy when the actor starts. Fires once per
@@ -330,7 +332,8 @@ void StellarisTrainer::launch_actor(std::size_t actor_idx) {
           auto ctx = ctx_pool_->lease();
           ctx->model.set_flat_params(snapshot->params);
           Rng inv_rng(stream);
-          out->batch = actors_[actor_idx]->sample(ctx->model, cfg_.horizon,
+          out->batch = actors_[actor_idx]->sample(ctx->model, ctx->vec_scratch,
+                                                  cfg_.horizon,
                                                   snapshot->version, inv_rng);
           out->bytes = out->batch.serialize();
         },
@@ -428,7 +431,7 @@ void StellarisTrainer::maybe_launch_learner() {
     }
     note_pending_trajs();
     for (std::uint64_t id : traj_ids) {
-      batch_timesteps += cfg_.horizon;
+      batch_timesteps += cfg_.horizon * cfg_.envs_per_actor;
       // The data loader has been pre-loading this batch since the actor
       // published it; the learner only pays the residual wait.
       auto it = traj_loader_ids_.find(id);

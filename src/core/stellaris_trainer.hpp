@@ -36,6 +36,7 @@
 #include "core/policy_io.hpp"
 #include "core/worker_context.hpp"
 #include "rl/actor.hpp"
+#include "rl/vec_actor.hpp"
 #include "serverless/data_loader.hpp"
 #include "serverless/platform.hpp"
 #include "sim/driver.hpp"
@@ -136,7 +137,7 @@ class StellarisTrainer {
   /// Scratch pool for invocation bodies (models + batch-ingest buffers).
   std::unique_ptr<WorkerContextPool> ctx_pool_;
 
-  std::vector<std::unique_ptr<rl::Actor>> actors_;
+  std::vector<std::unique_ptr<rl::VecActor>> actors_;
   std::unique_ptr<envs::Env> eval_env_;
   Rng rng_;
 

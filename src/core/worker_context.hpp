@@ -20,6 +20,7 @@
 #include "envs/env.hpp"
 #include "nn/actor_critic.hpp"
 #include "rl/sample_batch.hpp"
+#include "rl/vec_actor.hpp"
 #include "util/annotated_mutex.hpp"
 
 namespace stellaris::core {
@@ -36,6 +37,7 @@ struct WorkerContext {
   nn::ActorCritic target;  ///< IMPACT target network
   std::vector<rl::SampleBatch> parts;  ///< deserialize_into scratch
   rl::SampleBatch concat;              ///< multi-trajectory concat scratch
+  rl::VecActorScratch vec_scratch;     ///< VecActor::sample batch scratch
 };
 
 class WorkerContextPool {

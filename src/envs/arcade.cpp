@@ -15,35 +15,50 @@ ArcadeEnv::ArcadeEnv(std::string name, std::size_t n_actions,
   spec_.reward_scale = reward_scale;
 }
 
-float& ArcadeEnv::plane(std::vector<float>& canvas, std::size_t c,
+float& ArcadeEnv::plane(std::span<float> canvas, std::size_t c,
                         std::size_t y, std::size_t x) const {
   STELLARIS_DCHECK(c < kArcadeChannels && y < kArcadeSize && x < kArcadeSize);
   return canvas[(c * kArcadeSize + y) * kArcadeSize + x];
 }
 
 std::vector<float> ArcadeEnv::reset(std::uint64_t seed) {
+  std::vector<float> obs(spec_.obs.flat_dim);
+  reset_into(seed, obs);
+  return obs;
+}
+
+void ArcadeEnv::reset_into(std::uint64_t seed, std::span<float> obs) {
   rng_ = Rng(seed);
   step_count_ = 0;
   reset_game();
-  return observe();
+  observe_into(obs);
 }
 
 StepResult ArcadeEnv::step_discrete(std::size_t action) {
+  StepResult r;
+  r.obs.resize(spec_.obs.flat_dim);
+  const StepOut out = step_discrete_into(action, r.obs);
+  r.reward = out.reward;
+  r.done = out.done;
+  return r;
+}
+
+StepOut ArcadeEnv::step_discrete_into(std::size_t action,
+                                      std::span<float> obs) {
   STELLARIS_CHECK_MSG(action < spec_.act_dim,
                       spec_.name << ": action " << action << " out of range");
   auto [reward, done] = tick(action);
   ++step_count_;
-  StepResult r;
-  r.reward = reward;
-  r.done = done || step_count_ >= spec_.max_steps;
-  r.obs = observe();
-  return r;
+  observe_into(obs);
+  return {reward, done || step_count_ >= spec_.max_steps};
 }
 
-std::vector<float> ArcadeEnv::observe() {
-  std::vector<float> canvas(kArcadeChannels * kArcadeSize * kArcadeSize, 0.0f);
-  render(canvas);
-  return canvas;
+void ArcadeEnv::observe_into(std::span<float> obs) {
+  STELLARIS_CHECK_MSG(obs.size() == spec_.obs.flat_dim,
+                      spec_.name << ": obs buffer size " << obs.size()
+                                 << " != " << spec_.obs.flat_dim);
+  std::fill(obs.begin(), obs.end(), 0.0f);
+  render(obs);
 }
 
 // ---------------------------------------------------------------------------
@@ -154,7 +169,7 @@ std::pair<double, bool> SpaceInvadersEnv::tick(std::size_t action) {
   return {reward, false};
 }
 
-void SpaceInvadersEnv::render(std::vector<float>& canvas) const {
+void SpaceInvadersEnv::render(std::span<float> canvas) const {
   plane(canvas, 0, kArcadeSize - 1, player_x_) = 1.0f;
   for (std::size_t r = 0; r < grid_rows_; ++r) {
     for (std::size_t c = 0; c < grid_cols_; ++c) {
@@ -240,7 +255,7 @@ std::pair<double, bool> QbertEnv::tick(std::size_t action) {
   return {reward, false};
 }
 
-void QbertEnv::render(std::vector<float>& canvas) const {
+void QbertEnv::render(std::span<float> canvas) const {
   // Pyramid cell (r, c) -> canvas position; centered horizontally.
   auto cell_pos = [&](std::ptrdiff_t r, std::ptrdiff_t c) {
     const std::size_t y = 3 + static_cast<std::size_t>(r) * 2;
@@ -330,7 +345,7 @@ std::pair<double, bool> GravitarEnv::tick(std::size_t action) {
   return {reward, false};
 }
 
-void GravitarEnv::render(std::vector<float>& canvas) const {
+void GravitarEnv::render(std::span<float> canvas) const {
   const auto sx = static_cast<std::size_t>(
       std::clamp(ship_x_, 0.0, static_cast<double>(kArcadeSize - 1)));
   const auto sy = static_cast<std::size_t>(

@@ -27,6 +27,8 @@ class ArcadeEnv : public Env {
   const EnvSpec& spec() const override { return spec_; }
   std::vector<float> reset(std::uint64_t seed) override;
   StepResult step_discrete(std::size_t action) override;
+  void reset_into(std::uint64_t seed, std::span<float> obs) override;
+  StepOut step_discrete_into(std::size_t action, std::span<float> obs) override;
 
  protected:
   ArcadeEnv(std::string name, std::size_t n_actions, std::size_t max_steps,
@@ -38,16 +40,16 @@ class ArcadeEnv : public Env {
   virtual std::pair<double, bool> tick(std::size_t action) = 0;
   /// Draw the three entity planes into `canvas` (zeroed beforehand);
   /// canvas[c][y][x] indexed via plane().
-  virtual void render(std::vector<float>& canvas) const = 0;
+  virtual void render(std::span<float> canvas) const = 0;
 
-  float& plane(std::vector<float>& canvas, std::size_t c, std::size_t y,
+  float& plane(std::span<float> canvas, std::size_t c, std::size_t y,
                std::size_t x) const;
 
   Rng rng_{1};
   std::size_t step_count_ = 0;
 
  private:
-  std::vector<float> observe();
+  void observe_into(std::span<float> obs);
 
   EnvSpec spec_;
 };
@@ -60,7 +62,7 @@ class SpaceInvadersEnv final : public ArcadeEnv {
  protected:
   void reset_game() override;
   std::pair<double, bool> tick(std::size_t action) override;
-  void render(std::vector<float>& canvas) const override;
+  void render(std::span<float> canvas) const override;
 
  private:
   struct Shot {
@@ -85,7 +87,7 @@ class QbertEnv final : public ArcadeEnv {
  protected:
   void reset_game() override;
   std::pair<double, bool> tick(std::size_t action) override;
-  void render(std::vector<float>& canvas) const override;
+  void render(std::span<float> canvas) const override;
 
  private:
   bool on_pyramid(std::ptrdiff_t row, std::ptrdiff_t col) const;
@@ -105,7 +107,7 @@ class GravitarEnv final : public ArcadeEnv {
  protected:
   void reset_game() override;
   std::pair<double, bool> tick(std::size_t action) override;
-  void render(std::vector<float>& canvas) const override;
+  void render(std::span<float> canvas) const override;
 
  private:
   double ship_x_ = 0, ship_y_ = 0;

@@ -37,6 +37,15 @@ struct StepResult {
   bool done = false;
 };
 
+/// Step outcome without the observation vector — the span-based `_into`
+/// stepping API writes the observation into a caller-owned buffer instead,
+/// so the per-step `std::vector<float>` allocation of StepResult vanishes
+/// from the actor hot loop.
+struct StepOut {
+  double reward = 0.0;
+  bool done = false;
+};
+
 class Env {
  public:
   virtual ~Env() = default;
@@ -51,6 +60,24 @@ class Env {
 
   /// Discrete step. Throws for continuous environments.
   virtual StepResult step_discrete(std::size_t action);
+
+  // -- allocation-free variants ----------------------------------------------
+  // `obs` must have exactly spec().obs.flat_dim elements. The draw order of
+  // every RNG consumed (observation noise, game randomness) is identical to
+  // the allocating API, so mixing the two styles on one env instance stays
+  // deterministic. Default implementations delegate to the allocating
+  // virtuals and copy; the concrete envs override with direct writes.
+
+  /// reset() into a caller buffer.
+  virtual void reset_into(std::uint64_t seed, std::span<float> obs);
+
+  /// step() into a caller buffer. The action span may alias anything except
+  /// `obs`.
+  virtual StepOut step_into(std::span<const float> action,
+                            std::span<float> obs);
+
+  /// step_discrete() into a caller buffer.
+  virtual StepOut step_discrete_into(std::size_t action, std::span<float> obs);
 };
 
 /// Construct an environment by paper name: "Hopper", "Humanoid",

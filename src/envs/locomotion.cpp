@@ -64,6 +64,12 @@ LocomotionEnv::LocomotionEnv(LocomotionParams params) : p_(std::move(params)) {
 }
 
 std::vector<float> LocomotionEnv::reset(std::uint64_t seed) {
+  std::vector<float> obs(spec_.obs.flat_dim);
+  reset_into(seed, obs);
+  return obs;
+}
+
+void LocomotionEnv::reset_into(std::uint64_t seed, std::span<float> obs) {
   rng_ = Rng(seed);
   for (std::size_t j = 0; j < p_.n_joints; ++j) {
     angle_[j] = rng_.uniform(-0.1, 0.1);
@@ -72,10 +78,26 @@ std::vector<float> LocomotionEnv::reset(std::uint64_t seed) {
   torso_vel_ = 0.0;
   torso_x_ = 0.0;
   step_count_ = 0;
-  return observe();
+  observe_into(obs);
 }
 
 StepResult LocomotionEnv::step(std::span<const float> action) {
+  StepResult r;
+  r.obs.resize(spec_.obs.flat_dim);
+  const StepOut out = step_into(action, r.obs);
+  r.reward = out.reward;
+  r.done = out.done;
+  return r;
+}
+
+StepOut LocomotionEnv::step_into(std::span<const float> action,
+                                 std::span<float> obs) {
+  const StepOut out = step_physics(action);
+  observe_into(obs);
+  return out;
+}
+
+StepOut LocomotionEnv::step_physics(std::span<const float> action) {
   STELLARIS_CHECK_MSG(action.size() == p_.n_joints,
                       spec_.name << ": action dim " << action.size()
                                  << " != " << p_.n_joints);
@@ -117,7 +139,7 @@ StepResult LocomotionEnv::step(std::span<const float> action) {
   double mean_angle = 0.0;
   for (double a : angle_) mean_angle += a;
   mean_angle /= static_cast<double>(p_.n_joints);
-  StepResult r;
+  StepOut r;
   // Alive bonus + forward progress − control cost − balance shaping; the
   // shaping term keeps "vigorous but coordinated" gaits separated from the
   // "swing everything one way and topple" local optimum.
@@ -125,7 +147,6 @@ StepResult LocomotionEnv::step(std::span<const float> action) {
              0.8 * mean_angle * mean_angle;
   if (fell) r.reward -= 20.0;  // falling is a hard failure
   r.done = fell || timeout;
-  r.obs = observe();
   return r;
 }
 
@@ -136,21 +157,20 @@ bool LocomotionEnv::fallen() const {
   return std::abs(mean_angle) > p_.fall_angle;
 }
 
-std::vector<float> LocomotionEnv::observe() {
-  std::vector<float> obs;
-  obs.reserve(spec_.obs.flat_dim);
+void LocomotionEnv::observe_into(std::span<float> obs) {
+  STELLARIS_CHECK_MSG(obs.size() == spec_.obs.flat_dim,
+                      spec_.name << ": obs buffer size " << obs.size()
+                                 << " != " << spec_.obs.flat_dim);
+  std::size_t k = 0;
   double mean_angle = 0.0;
   for (std::size_t j = 0; j < p_.n_joints; ++j) {
-    obs.push_back(static_cast<float>(angle_[j] +
-                                     rng_.normal(0.0, p_.obs_noise)));
-    obs.push_back(static_cast<float>(omega_[j] +
-                                     rng_.normal(0.0, p_.obs_noise)));
+    obs[k++] = static_cast<float>(angle_[j] + rng_.normal(0.0, p_.obs_noise));
+    obs[k++] = static_cast<float>(omega_[j] + rng_.normal(0.0, p_.obs_noise));
     mean_angle += angle_[j];
   }
-  obs.push_back(static_cast<float>(torso_vel_));
-  obs.push_back(
-      static_cast<float>(mean_angle / static_cast<double>(p_.n_joints)));
-  return obs;
+  obs[k++] = static_cast<float>(torso_vel_);
+  obs[k++] =
+      static_cast<float>(mean_angle / static_cast<double>(p_.n_joints));
 }
 
 double LocomotionEnv::limb_energy() const {

@@ -48,6 +48,9 @@ class LocomotionEnv final : public Env {
   const EnvSpec& spec() const override { return spec_; }
   std::vector<float> reset(std::uint64_t seed) override;
   StepResult step(std::span<const float> action) override;
+  void reset_into(std::uint64_t seed, std::span<float> obs) override;
+  StepOut step_into(std::span<const float> action,
+                    std::span<float> obs) override;
 
   /// Forward velocity of the torso (exposed for tests).
   double torso_velocity() const { return torso_vel_; }
@@ -55,7 +58,8 @@ class LocomotionEnv final : public Env {
   double limb_energy() const;
 
  private:
-  std::vector<float> observe();
+  void observe_into(std::span<float> obs);
+  StepOut step_physics(std::span<const float> action);
   bool fallen() const;
 
   LocomotionParams p_;

@@ -1,5 +1,7 @@
 #include "envs/env.hpp"
 
+#include <algorithm>
+
 #include "envs/arcade.hpp"
 #include "envs/locomotion.hpp"
 #include "util/error.hpp"
@@ -12,6 +14,32 @@ StepResult Env::step(std::span<const float>) {
 
 StepResult Env::step_discrete(std::size_t) {
   throw Error(spec().name + " is not a discrete-action environment");
+}
+
+namespace {
+void copy_obs(const EnvSpec& spec, const std::vector<float>& src,
+              std::span<float> dst) {
+  STELLARIS_CHECK_MSG(dst.size() == spec.obs.flat_dim,
+                      spec.name << ": obs buffer size " << dst.size()
+                                << " != " << spec.obs.flat_dim);
+  std::copy(src.begin(), src.end(), dst.begin());
+}
+}  // namespace
+
+void Env::reset_into(std::uint64_t seed, std::span<float> obs) {
+  copy_obs(spec(), reset(seed), obs);
+}
+
+StepOut Env::step_into(std::span<const float> action, std::span<float> obs) {
+  StepResult r = step(action);
+  copy_obs(spec(), r.obs, obs);
+  return {r.reward, r.done};
+}
+
+StepOut Env::step_discrete_into(std::size_t action, std::span<float> obs) {
+  StepResult r = step_discrete(action);
+  copy_obs(spec(), r.obs, obs);
+  return {r.reward, r.done};
 }
 
 std::unique_ptr<Env> make_env(const std::string& name) {

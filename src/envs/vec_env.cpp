@@ -16,35 +16,46 @@ VecEnv::VecEnv(const std::string& name, std::size_t n, std::uint64_t seed,
   if (threads > 0) pool_ = std::make_unique<ThreadPool>(threads);
 }
 
-Tensor VecEnv::reset_all() {
-  Tensor obs({envs_.size(), spec_.obs.flat_dim});
-  for (std::size_t i = 0; i < envs_.size(); ++i) {
-    env_seeds_[i] = rng_.next();
-    const auto o = envs_[i]->reset(env_seeds_[i]);
-    std::copy(o.begin(), o.end(), obs.row(i).begin());
-    running_returns_[i] = 0.0;
-  }
+Tensor VecEnv::reset_all() { return reset_all(rng_); }
+
+Tensor VecEnv::reset_all(Rng& rng) {
+  Tensor obs;
+  reset_all_into(rng, obs);
   return obs;
 }
 
+void VecEnv::reset_all_into(Rng& rng, Tensor& obs) {
+  obs.ensure_shape({envs_.size(), spec_.obs.flat_dim});
+  for (std::size_t i = 0; i < envs_.size(); ++i) {
+    env_seeds_[i] = rng.next();
+    envs_[i]->reset_into(env_seeds_[i], obs.row(i));
+    running_returns_[i] = 0.0;
+  }
+}
+
 template <typename StepFn>
-VecEnv::StepBatch VecEnv::step_impl(const StepFn& fn) {
+void VecEnv::step_impl(const StepFn& fn, Rng& rng, StepBatch& out) {
   const std::size_t n = envs_.size();
-  StepBatch out;
-  out.obs = Tensor({n, spec_.obs.flat_dim});
+  out.obs.ensure_shape({n, spec_.obs.flat_dim});
   out.rewards.resize(n);
   out.dones.assign(n, false);
-  std::vector<StepResult> results(n);
+  out.episode_returns.clear();
+  step_scratch_.resize(n);
+  reset_seed_scratch_.resize(n);
 
-  // Auto-reset seeds must come from the single shared stream, so draw them
-  // up-front (deterministically) before any parallel work.
-  std::vector<std::uint64_t> reset_seeds(n);
-  for (std::size_t i = 0; i < n; ++i) reset_seeds[i] = rng_.next();
+  // Auto-reset seeds must come from one stream, so draw them up-front
+  // (deterministically, in index order) before any parallel work.
+  for (std::size_t i = 0; i < n; ++i) reset_seed_scratch_[i] = rng.next();
 
+  // Workers touch only disjoint state: their env, their obs row, and their
+  // StepOut scratch slot. All shared bookkeeping happens in the serial
+  // finalize loop below, which is why serial and threaded streams are
+  // identical for the same seeds.
   auto step_one = [&](std::size_t i) {
-    results[i] = fn(i);
-    if (results[i].done)
-      results[i].obs = envs_[i]->reset(reset_seeds[i]);
+    const std::span<float> row = out.obs.row(i);
+    step_scratch_[i] = fn(i, row);
+    if (step_scratch_[i].done)
+      envs_[i]->reset_into(reset_seed_scratch_[i], row);
   };
   if (pool_) {
     pool_->parallel_for(n, step_one);
@@ -53,35 +64,82 @@ VecEnv::StepBatch VecEnv::step_impl(const StepFn& fn) {
   }
 
   for (std::size_t i = 0; i < n; ++i) {
-    out.rewards[i] = results[i].reward;
-    out.dones[i] = results[i].done;
-    running_returns_[i] += results[i].reward;
-    if (results[i].done) {
+    out.rewards[i] = step_scratch_[i].reward;
+    out.dones[i] = step_scratch_[i].done;
+    running_returns_[i] += step_scratch_[i].reward;
+    if (step_scratch_[i].done) {
       out.episode_returns.push_back(running_returns_[i]);
       running_returns_[i] = 0.0;
+      env_seeds_[i] = reset_seed_scratch_[i];
     }
-    std::copy(results[i].obs.begin(), results[i].obs.end(),
-              out.obs.row(i).begin());
   }
   total_steps_ += n;
-  return out;
 }
 
 VecEnv::StepBatch VecEnv::step(const Tensor& actions) {
+  return step(actions, rng_);
+}
+
+VecEnv::StepBatch VecEnv::step(const Tensor& actions, Rng& rng) {
+  StepBatch out;
+  step_into(actions, rng, out);
+  return out;
+}
+
+void VecEnv::step_into(const Tensor& actions, Rng& rng, StepBatch& out) {
   STELLARIS_CHECK_MSG(actions.rank() == 2 && actions.dim(0) == envs_.size() &&
                           actions.dim(1) == spec_.act_dim,
                       "VecEnv::step action shape "
                           << shape_str(actions.shape()));
-  return step_impl(
-      [&](std::size_t i) { return envs_[i]->step(actions.row(i)); });
+  step_impl(
+      [&](std::size_t i, std::span<float> obs) {
+        return envs_[i]->step_into(actions.row(i), obs);
+      },
+      rng, out);
 }
 
 VecEnv::StepBatch VecEnv::step_discrete(
     const std::vector<std::size_t>& actions) {
+  return step_discrete(actions, rng_);
+}
+
+VecEnv::StepBatch VecEnv::step_discrete(
+    const std::vector<std::size_t>& actions, Rng& rng) {
+  StepBatch out;
+  step_discrete_into(actions, rng, out);
+  return out;
+}
+
+void VecEnv::step_discrete_into(const std::vector<std::size_t>& actions,
+                                Rng& rng, StepBatch& out) {
   STELLARIS_CHECK_MSG(actions.size() == envs_.size(),
                       "VecEnv::step_discrete action count mismatch");
-  return step_impl(
-      [&](std::size_t i) { return envs_[i]->step_discrete(actions[i]); });
+  step_impl(
+      [&](std::size_t i, std::span<float> obs) {
+        return envs_[i]->step_discrete_into(actions[i], obs);
+      },
+      rng, out);
+}
+
+void VecEnv::reset_env_into(std::size_t i, std::uint64_t seed,
+                            std::span<float> obs) {
+  STELLARIS_DCHECK(i < envs_.size());
+  env_seeds_[i] = seed;
+  envs_[i]->reset_into(seed, obs);
+}
+
+StepOut VecEnv::step_env_into(std::size_t i, std::span<const float> action,
+                              std::span<float> obs) {
+  STELLARIS_DCHECK(i < envs_.size());
+  ++total_steps_;
+  return envs_[i]->step_into(action, obs);
+}
+
+StepOut VecEnv::step_env_discrete_into(std::size_t i, std::size_t action,
+                                       std::span<float> obs) {
+  STELLARIS_DCHECK(i < envs_.size());
+  ++total_steps_;
+  return envs_[i]->step_discrete_into(action, obs);
 }
 
 }  // namespace stellaris::envs

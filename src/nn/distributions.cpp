@@ -13,22 +13,36 @@ constexpr double kLog2Pi = 1.8378770664093453;  // log(2π)
 }
 
 Tensor gaussian_sample(const Tensor& mean, const Tensor& log_std, Rng& rng) {
+  Tensor out;
+  gaussian_sample_into(out, mean, log_std, rng);
+  return out;
+}
+
+void gaussian_sample_into(Tensor& out, const Tensor& mean,
+                          const Tensor& log_std, Rng& rng) {
   STELLARIS_CHECK_MSG(mean.rank() == 2 && log_std.rank() == 1 &&
                           log_std.dim(0) == mean.dim(1),
                       "gaussian_sample shape mismatch");
-  Tensor out = mean;
   const std::size_t m = mean.dim(0), d = mean.dim(1);
+  out.ensure_shape(mean.shape());
   for (std::size_t i = 0; i < m; ++i)
     for (std::size_t j = 0; j < d; ++j)
-      out.at(i, j) += std::exp(log_std[j]) * static_cast<float>(rng.normal());
-  return out;
+      out.at(i, j) = mean.at(i, j) +
+                     std::exp(log_std[j]) * static_cast<float>(rng.normal());
 }
 
 Tensor gaussian_log_prob(const Tensor& mean, const Tensor& log_std,
                          const Tensor& actions) {
+  Tensor out;
+  gaussian_log_prob_into(out, mean, log_std, actions);
+  return out;
+}
+
+void gaussian_log_prob_into(Tensor& out, const Tensor& mean,
+                            const Tensor& log_std, const Tensor& actions) {
   STELLARIS_CHECK_MSG(mean.same_shape(actions), "log_prob shape mismatch");
   const std::size_t m = mean.dim(0), d = mean.dim(1);
-  Tensor out({m});
+  out.ensure_shape({m});
   for (std::size_t i = 0; i < m; ++i) {
     double lp = 0.0;
     for (std::size_t j = 0; j < d; ++j) {
@@ -38,7 +52,6 @@ Tensor gaussian_log_prob(const Tensor& mean, const Tensor& log_std,
     }
     out[i] = static_cast<float>(lp);
   }
-  return out;
 }
 
 GaussianLogProbGrad gaussian_log_prob_backward(const Tensor& mean,
@@ -90,15 +103,24 @@ Tensor gaussian_kl(const Tensor& mean_p, const Tensor& log_std_p,
 }
 
 std::vector<std::size_t> categorical_sample(const Tensor& logits, Rng& rng) {
-  const Tensor probs = ops::softmax_rows(logits);
-  const std::size_t m = probs.dim(0), n = probs.dim(1);
-  std::vector<std::size_t> actions(m);
+  std::vector<std::size_t> actions;
+  Tensor probs;
+  categorical_sample_into(actions, probs, logits, rng);
+  return actions;
+}
+
+void categorical_sample_into(std::vector<std::size_t>& actions,
+                             Tensor& probs_scratch, const Tensor& logits,
+                             Rng& rng) {
+  ops::softmax_rows_into(probs_scratch, logits);
+  const std::size_t m = probs_scratch.dim(0), n = probs_scratch.dim(1);
+  actions.resize(m);
   for (std::size_t i = 0; i < m; ++i) {
     const double u = rng.uniform();
     double acc = 0.0;
     std::size_t pick = n - 1;
     for (std::size_t j = 0; j < n; ++j) {
-      acc += probs.at(i, j);
+      acc += probs_scratch.at(i, j);
       if (u < acc) {
         pick = j;
         break;
@@ -106,20 +128,26 @@ std::vector<std::size_t> categorical_sample(const Tensor& logits, Rng& rng) {
     }
     actions[i] = pick;
   }
-  return actions;
 }
 
 Tensor categorical_log_prob(const Tensor& logits,
                             const std::vector<std::size_t>& actions) {
+  Tensor out, lsm;
+  categorical_log_prob_into(out, lsm, logits, actions);
+  return out;
+}
+
+void categorical_log_prob_into(Tensor& out, Tensor& lsm_scratch,
+                               const Tensor& logits,
+                               const std::vector<std::size_t>& actions) {
   STELLARIS_CHECK_MSG(actions.size() == logits.dim(0),
                       "actions/logits batch mismatch");
-  const Tensor lsm = ops::log_softmax_rows(logits);
-  Tensor out({actions.size()});
+  ops::log_softmax_rows_into(lsm_scratch, logits);
+  out.ensure_shape({actions.size()});
   for (std::size_t i = 0; i < actions.size(); ++i) {
     STELLARIS_DCHECK(actions[i] < logits.dim(1));
-    out[i] = lsm.at(i, actions[i]);
+    out[i] = lsm_scratch.at(i, actions[i]);
   }
-  return out;
 }
 
 Tensor categorical_log_prob_backward(const Tensor& logits,

@@ -28,9 +28,18 @@ namespace nn {
 /// Sample a ~ N(mean_i, exp(log_std)²) per row; returns (batch, act_dim).
 Tensor gaussian_sample(const Tensor& mean, const Tensor& log_std, Rng& rng);
 
+/// Allocation-free form: `out` is reshaped to (batch, act_dim) reusing its
+/// capacity. RNG draw order is identical to gaussian_sample (row-major).
+void gaussian_sample_into(Tensor& out, const Tensor& mean,
+                          const Tensor& log_std, Rng& rng);
+
 /// Per-row log π(a|s): returns (batch).
 Tensor gaussian_log_prob(const Tensor& mean, const Tensor& log_std,
                          const Tensor& actions);
+
+/// Allocation-free form: `out` is reshaped to (batch).
+void gaussian_log_prob_into(Tensor& out, const Tensor& mean,
+                            const Tensor& log_std, const Tensor& actions);
 
 /// Gradient of Σ_i coeff_i · log π(a_i | s_i) with respect to mean and
 /// log_std. `dmean` is (batch, act_dim); `dlog_std` is (act_dim), summed
@@ -58,9 +67,22 @@ Tensor gaussian_kl(const Tensor& mean_p, const Tensor& log_std_p,
 /// Sample one action index per row from softmax(logits).
 std::vector<std::size_t> categorical_sample(const Tensor& logits, Rng& rng);
 
+/// Allocation-free form: `actions` is resized to (batch); `probs_scratch`
+/// holds the softmax and is reshaped reusing its capacity. Draw order is
+/// identical to categorical_sample.
+void categorical_sample_into(std::vector<std::size_t>& actions,
+                             Tensor& probs_scratch, const Tensor& logits,
+                             Rng& rng);
+
 /// Per-row log π(a|s) for integer actions.
 Tensor categorical_log_prob(const Tensor& logits,
                             const std::vector<std::size_t>& actions);
+
+/// Allocation-free form: `out` is reshaped to (batch); `lsm_scratch` holds
+/// the log-softmax and is reshaped reusing its capacity.
+void categorical_log_prob_into(Tensor& out, Tensor& lsm_scratch,
+                               const Tensor& logits,
+                               const std::vector<std::size_t>& actions);
 
 /// Gradient of Σ_i coeff_i · log π(a_i|s_i) w.r.t. logits: (batch, n).
 Tensor categorical_log_prob_backward(const Tensor& logits,

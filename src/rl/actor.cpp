@@ -9,7 +9,8 @@ Actor::Actor(std::unique_ptr<envs::Env> env, std::uint64_t seed)
 
 void Actor::ensure_episode(Rng& rng) {
   if (!episode_active_) {
-    current_obs_ = env_->reset(rng.next());
+    current_obs_.resize(env_->spec().obs.flat_dim);
+    env_->reset_into(rng.next(), current_obs_);
     episode_active_ = true;
     episode_return_ = 0.0;
     ++episode_counter_;
@@ -41,50 +42,56 @@ SampleBatch Actor::sample(nn::ActorCritic& policy, std::size_t horizon,
   for (std::size_t t = 0; t < horizon; ++t) {
     ensure_episode(rng);
     // Single-row forward; learner-side batching happens over whole batches.
-    Tensor obs_row({1, obs_dim},
-                   std::vector<float>(current_obs_.begin(),
-                                      current_obs_.end()));
-    Tensor pol_out = policy.policy_forward(obs_row);
-    Tensor value = policy.value_forward(obs_row);
+    // All per-step buffers are persistent members, so the warmed-up loop
+    // performs zero tensor allocations.
+    obs_row_.ensure_shape({1, obs_dim});
+    std::copy(current_obs_.begin(), current_obs_.end(),
+              obs_row_.row(0).begin());
+    const Tensor& pol_out = policy.policy_forward(obs_row_);
+    const Tensor& value = policy.value_forward(obs_row_);
 
     std::copy(current_obs_.begin(), current_obs_.end(),
               batch.obs.row(t).begin());
     batch.values[t] = value[0];
 
-    envs::StepResult result;
+    envs::StepOut result;
     if (continuous) {
-      Tensor action = nn::gaussian_sample(pol_out, *policy.log_std(), rng);
-      const Tensor logp =
-          nn::gaussian_log_prob(pol_out, *policy.log_std(), action);
-      batch.behaviour_log_probs[t] = logp[0];
-      std::copy(action.vec().begin(), action.vec().end(),
+      nn::gaussian_sample_into(action_scratch_, pol_out, *policy.log_std(),
+                               rng);
+      nn::gaussian_log_prob_into(logp_scratch_, pol_out, *policy.log_std(),
+                                 action_scratch_);
+      batch.behaviour_log_probs[t] = logp_scratch_[0];
+      std::copy(action_scratch_.vec().begin(), action_scratch_.vec().end(),
                 batch.actions_cont.row(t).begin());
-      result = env_->step(action.row(0));
+      result = env_->step_into(action_scratch_.row(0), current_obs_);
     } else {
-      const auto actions = nn::categorical_sample(pol_out, rng);
-      const Tensor logp = nn::categorical_log_prob(pol_out, actions);
-      batch.behaviour_log_probs[t] = logp[0];
-      batch.actions_disc.push_back(actions[0]);
-      result = env_->step_discrete(actions[0]);
+      nn::categorical_sample_into(disc_actions_scratch_, probs_scratch_,
+                                  pol_out, rng);
+      nn::categorical_log_prob_into(logp_scratch_, probs_scratch_, pol_out,
+                                    disc_actions_scratch_);
+      batch.behaviour_log_probs[t] = logp_scratch_[0];
+      batch.actions_disc.push_back(disc_actions_scratch_[0]);
+      result = env_->step_discrete_into(disc_actions_scratch_[0],
+                                        current_obs_);
     }
 
     batch.rewards[t] = static_cast<float>(result.reward);
     episode_return_ += result.reward;
     batch.dones[t] = result.done ? 1.0f : 0.0f;
     if (result.done) {
+      // Lazy reset: current_obs_ holds the terminal observation until the
+      // next ensure_episode overwrites it.
       batch.episode_returns.push_back(episode_return_);
       episode_active_ = false;
-    } else {
-      current_obs_ = std::move(result.obs);
     }
   }
 
   // Bootstrap value for a truncated final transition.
   if (batch.dones[horizon - 1] < 0.5f) {
-    Tensor obs_row({1, obs_dim},
-                   std::vector<float>(current_obs_.begin(),
-                                      current_obs_.end()));
-    batch.bootstrap_value = policy.value_forward(obs_row)[0];
+    obs_row_.ensure_shape({1, obs_dim});
+    std::copy(current_obs_.begin(), current_obs_.end(),
+              obs_row_.row(0).begin());
+    batch.bootstrap_value = policy.value_forward(obs_row_)[0];
   }
   return batch;
 }
@@ -92,25 +99,28 @@ SampleBatch Actor::sample(nn::ActorCritic& policy, std::size_t horizon,
 double Actor::evaluate_episode(nn::ActorCritic& policy, std::uint64_t seed) {
   const auto& spec = env_->spec();
   const bool continuous = spec.action_kind == nn::ActionKind::kContinuous;
-  std::vector<float> obs = env_->reset(seed);
+  current_obs_.resize(spec.obs.flat_dim);
+  env_->reset_into(seed, current_obs_);
   Rng eval_rng(seed ^ 0xeba1eba1eba1ULL);
   double total = 0.0;
   for (;;) {
-    Tensor obs_row({1, spec.obs.flat_dim},
-                   std::vector<float>(obs.begin(), obs.end()));
-    Tensor pol_out = policy.policy_forward(obs_row);
-    envs::StepResult result;
+    obs_row_.ensure_shape({1, spec.obs.flat_dim});
+    std::copy(current_obs_.begin(), current_obs_.end(),
+              obs_row_.row(0).begin());
+    const Tensor& pol_out = policy.policy_forward(obs_row_);
+    envs::StepOut result;
     if (continuous) {
-      Tensor action =
-          nn::gaussian_sample(pol_out, *policy.log_std(), eval_rng);
-      result = env_->step(action.row(0));
+      nn::gaussian_sample_into(action_scratch_, pol_out, *policy.log_std(),
+                               eval_rng);
+      result = env_->step_into(action_scratch_.row(0), current_obs_);
     } else {
-      const auto actions = nn::categorical_sample(pol_out, eval_rng);
-      result = env_->step_discrete(actions[0]);
+      nn::categorical_sample_into(disc_actions_scratch_, probs_scratch_,
+                                  pol_out, eval_rng);
+      result = env_->step_discrete_into(disc_actions_scratch_[0],
+                                        current_obs_);
     }
     total += result.reward;
     if (result.done) break;
-    obs = std::move(result.obs);
   }
   // Evaluation interrupts any in-flight sampling episode.
   episode_active_ = false;
@@ -123,24 +133,28 @@ double evaluate_policy(envs::Env& env, nn::ActorCritic& policy,
   const bool continuous = spec.action_kind == nn::ActionKind::kContinuous;
   Rng eval_rng(seed);
   double total = 0.0;
+  // Buffers hoisted out of the episode loop: the rollout is allocation-free
+  // after the first step.
+  std::vector<float> obs(spec.obs.flat_dim);
+  Tensor obs_row, action, probs;
+  std::vector<std::size_t> disc_actions;
   for (std::size_t e = 0; e < episodes; ++e) {
-    std::vector<float> obs = env.reset(eval_rng.next());
+    env.reset_into(eval_rng.next(), obs);
     for (;;) {
-      Tensor obs_row({1, spec.obs.flat_dim},
-                     std::vector<float>(obs.begin(), obs.end()));
-      Tensor pol_out = policy.policy_forward(obs_row);
-      envs::StepResult result;
+      obs_row.ensure_shape({1, spec.obs.flat_dim});
+      std::copy(obs.begin(), obs.end(), obs_row.row(0).begin());
+      const Tensor& pol_out = policy.policy_forward(obs_row);
+      envs::StepOut result;
       if (continuous) {
-        Tensor action =
-            nn::gaussian_sample(pol_out, *policy.log_std(), eval_rng);
-        result = env.step(action.row(0));
+        nn::gaussian_sample_into(action, pol_out, *policy.log_std(),
+                                 eval_rng);
+        result = env.step_into(action.row(0), obs);
       } else {
-        const auto actions = nn::categorical_sample(pol_out, eval_rng);
-        result = env.step_discrete(actions[0]);
+        nn::categorical_sample_into(disc_actions, probs, pol_out, eval_rng);
+        result = env.step_discrete_into(disc_actions[0], obs);
       }
       total += result.reward;
       if (result.done) break;
-      obs = std::move(result.obs);
     }
   }
   return total / static_cast<double>(episodes);

@@ -52,6 +52,15 @@ class Actor {
   bool episode_active_ = false;
   double episode_return_ = 0.0;
   std::uint64_t episode_counter_ = 0;
+  // Persistent per-step scratch (single-row forward input, sampled action,
+  // log-prob, categorical softmax): after the first step at a given shape,
+  // the hot loop performs zero tensor allocations (pinned by the
+  // tensor_buffer_allocs tests).
+  Tensor obs_row_;
+  Tensor action_scratch_;
+  Tensor logp_scratch_;
+  Tensor probs_scratch_;
+  std::vector<std::size_t> disc_actions_scratch_;
 };
 
 /// Average episode reward of `policy` over `episodes` rollouts.

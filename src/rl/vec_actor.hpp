@@ -1,0 +1,82 @@
+// Vectorized actor: drives K environment copies per invocation with ONE
+// batched policy forward (K, obs_dim)×W per step instead of K single-row
+// matvecs — the shape the blocked GEMM kernels are tiled for. See
+// DESIGN.md §17 for the full contract.
+//
+// Semantics are the scalar Actor's, replicated per env slot:
+//  - lazy reset: an env that finishes a step stays terminal until the next
+//    step's ensure-episode pass draws its reset seed (in env index order)
+//    from the SAME stream as action noise, so at K=1 the draw sequence is
+//    bit-identical to rl::Actor and the emitted SampleBatch byte-identical;
+//  - env-major batch layout: env e owns rows [e·H, (e+1)·H) of the
+//    (K·H)-row batch, one SampleBatch::Segment per env, so GAE / V-trace
+//    never bootstrap across env seams;
+//  - per-env episode bookkeeping (episode_returns, bootstrap values) exactly
+//    as the scalar actor records them.
+//
+// Buffer ownership: cross-invocation state (current observations, episode
+// flags/returns, member RNG) lives in the VecActor, serialized by the
+// per-actor job chain. Per-invocation scratch (sampled actions, log-probs,
+// softmax workspaces) lives in a VecActorScratch leased from the worker
+// context pool, scratch-by-construction like the rest of WorkerContext.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "envs/vec_env.hpp"
+#include "nn/actor_critic.hpp"
+#include "rl/sample_batch.hpp"
+#include "util/rng.hpp"
+
+namespace stellaris::rl {
+
+/// Per-invocation scratch for VecActor::sample — embedded in
+/// core::WorkerContext so concurrent driver bodies each get their own set.
+/// Every tensor is fully overwritten before it is read.
+struct VecActorScratch {
+  Tensor actions;                         ///< (K, act_dim) sampled actions
+  Tensor logp;                            ///< (K) behaviour log-probs
+  Tensor probs;                           ///< categorical softmax workspace
+  Tensor lsm;                             ///< categorical log-softmax workspace
+  std::vector<std::size_t> disc_actions;  ///< (K) discrete actions
+};
+
+class VecActor {
+ public:
+  VecActor(std::unique_ptr<envs::VecEnv> env, std::uint64_t seed);
+
+  /// Roll every env `horizon` steps under `policy` with one batched forward
+  /// per step, continuing across episode boundaries. Emits a (K·horizon)-row
+  /// env-major SampleBatch with one segment per env (K=1: the scalar
+  /// actor's implicit-segment layout, byte-identical to rl::Actor). All
+  /// draws (reset seeds, action noise) come from `rng` — the caller's
+  /// per-invocation keyed stream.
+  SampleBatch sample(nn::ActorCritic& policy, VecActorScratch& scratch,
+                     std::size_t horizon, std::uint64_t policy_version,
+                     Rng& rng);
+
+  /// As above, drawing from the actor's own stream (seeded at
+  /// construction) — the sync baseline's round-robin form.
+  SampleBatch sample(nn::ActorCritic& policy, VecActorScratch& scratch,
+                     std::size_t horizon, std::uint64_t policy_version);
+
+  std::size_t num_envs() const { return env_->size(); }
+  const envs::EnvSpec& env_spec() const { return env_->spec(); }
+  /// Total environment steps taken across all env copies.
+  std::uint64_t total_env_steps() const { return env_->total_steps(); }
+
+ private:
+  void ensure_episodes(Rng& rng);
+
+  std::unique_ptr<envs::VecEnv> env_;
+  Rng rng_;
+  // Cross-invocation per-env state (the vector form of Actor's
+  // current_obs_ / episode_active_ / episode_return_).
+  Tensor current_obs_;                 ///< (K, obs_dim)
+  std::vector<std::uint8_t> active_;   ///< per-env episode-live flag
+  std::vector<double> episode_return_;
+  std::uint64_t episode_counter_ = 0;
+};
+
+}  // namespace stellaris::rl

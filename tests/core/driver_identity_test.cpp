@@ -214,6 +214,30 @@ TEST(DriverIdentity, FaultyRunIsBitIdenticalAcrossDrivers) {
   expect_identical_captures(virt, conc);
 }
 
+TEST(DriverIdentity, VectorizedActorsAreBitIdenticalAcrossDrivers) {
+  // envs_per_actor > 1: K-interleaved batches, per-env auto-reset seeds from
+  // the invocation stream — the capture/body/merge contract must hold for
+  // the vectorized rollout path too (DESIGN.md §17).
+  auto cfg = small_config();
+  cfg.envs_per_actor = 4;
+  const auto virt = run_async(cfg, sim::DriverKind::kVirtual, 0);
+  const auto conc = run_async(cfg, sim::DriverKind::kConcurrent, 4);
+  expect_identical_captures(virt, conc);
+  const auto conc2 = run_async(cfg, sim::DriverKind::kConcurrent, 2);
+  expect_identical_captures(virt, conc2);
+}
+
+TEST(DriverIdentity, FaultyVectorizedActorsAreBitIdenticalAcrossDrivers) {
+  // Retried invocations re-draw the whole K-env batch from the attempt's
+  // keyed stream; abandoning a half-stepped batch must not leak state.
+  auto cfg = faulty_config();
+  cfg.envs_per_actor = 2;
+  const auto virt = run_async(cfg, sim::DriverKind::kVirtual, 0);
+  const auto conc = run_async(cfg, sim::DriverKind::kConcurrent, 4);
+  EXPECT_GT(virt.result.faults.failed_invocations, 0u);
+  expect_identical_captures(virt, conc);
+}
+
 TEST(DriverIdentity, SyncBaselineIsBitIdenticalAcrossDrivers) {
   const auto cfg = small_config();
   const auto virt = run_sync(cfg, sim::DriverKind::kVirtual, 0);

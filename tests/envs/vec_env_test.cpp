@@ -79,6 +79,94 @@ TEST(VecEnv, ThreadedMatchesSerial) {
   }
 }
 
+TEST(VecEnv, ThreadedMatchesSerialIntoApi) {
+  // The allocation-free caller-Rng path must be bit-identical across
+  // thread counts: reset seeds are drawn up front in env index order, so
+  // the pool partitioning can never reorder draws.
+  for (std::size_t threads : {2ul, 4ul}) {
+    VecEnv serial("Walker2d", 5, 13, /*threads=*/0);
+    VecEnv threaded("Walker2d", 5, 13, threads);
+    Rng ra(99), rb(99);
+    Tensor obs_a, obs_b;
+    serial.reset_all_into(ra, obs_a);
+    threaded.reset_all_into(rb, obs_b);
+    ASSERT_EQ(obs_a.vec(), obs_b.vec()) << threads << " threads";
+    VecEnv::StepBatch a, b;
+    Rng actions_rng(7);
+    for (int step = 0; step < 60; ++step) {
+      Tensor actions({5, serial.spec().act_dim});
+      for (auto& v : actions.vec())
+        v = static_cast<float>(actions_rng.uniform(-1.0, 1.0));
+      serial.step_into(actions, ra, a);
+      threaded.step_into(actions, rb, b);
+      ASSERT_EQ(a.obs.vec(), b.obs.vec()) << threads << " threads";
+      ASSERT_EQ(a.rewards, b.rewards);
+      ASSERT_EQ(a.dones, b.dones);
+      ASSERT_EQ(a.episode_returns, b.episode_returns);
+    }
+    EXPECT_EQ(serial.total_steps(), threaded.total_steps());
+  }
+}
+
+TEST(VecEnv, ThreadedMatchesSerialDiscreteIntoApi) {
+  for (std::size_t threads : {2ul, 4ul}) {
+    VecEnv serial("Qbert", 3, 17, /*threads=*/0);
+    VecEnv threaded("Qbert", 3, 17, threads);
+    Rng ra(5), rb(5);
+    Tensor obs_a, obs_b;
+    serial.reset_all_into(ra, obs_a);
+    threaded.reset_all_into(rb, obs_b);
+    ASSERT_EQ(obs_a.vec(), obs_b.vec());
+    VecEnv::StepBatch a, b;
+    Rng act_rng(3);
+    const std::size_t n_act = serial.spec().act_dim;
+    for (int step = 0; step < 120; ++step) {
+      std::vector<std::size_t> actions(3);
+      for (auto& v : actions) v = act_rng.next() % n_act;
+      serial.step_discrete_into(actions, ra, a);
+      threaded.step_discrete_into(actions, rb, b);
+      ASSERT_EQ(a.obs.vec(), b.obs.vec()) << threads << " threads";
+      ASSERT_EQ(a.rewards, b.rewards);
+      ASSERT_EQ(a.dones, b.dones);
+    }
+  }
+}
+
+TEST(VecEnv, StepIntoIsAllocationFreeWhenWarm) {
+  VecEnv vec("Hopper", 4, 1);
+  Rng rng(2);
+  Tensor obs;
+  vec.reset_all_into(rng, obs);
+  VecEnv::StepBatch out;
+  Tensor actions = Tensor::full({4, vec.spec().act_dim}, 0.1f);
+  vec.step_into(actions, rng, out);  // warm: out buffers take shape
+  const std::uint64_t before = tensor_buffer_allocs();
+  for (int step = 0; step < 50; ++step) vec.step_into(actions, rng, out);
+  EXPECT_EQ(tensor_buffer_allocs(), before)
+      << "steady-state step_into must not allocate tensor buffers";
+}
+
+TEST(VecEnv, SingleEnvForwardsMatchScalarEnv) {
+  // reset_env_into / step_env_into are pass-throughs: same seed, same
+  // actions => same per-env stream as a standalone Env.
+  VecEnv vec("Hopper", 2, 1);
+  auto solo = make_env("Hopper");
+  const std::size_t obs_dim = vec.spec().obs.flat_dim;
+  std::vector<float> obs_vec(obs_dim), obs_solo(obs_dim);
+  vec.reset_env_into(1, 77, obs_vec);
+  solo->reset_into(77, obs_solo);
+  ASSERT_EQ(obs_vec, obs_solo);
+  std::vector<float> action(vec.spec().act_dim, 0.3f);
+  for (int step = 0; step < 25; ++step) {
+    const StepOut a = vec.step_env_into(1, action, obs_vec);
+    const StepOut b = solo->step_into(action, obs_solo);
+    ASSERT_EQ(obs_vec, obs_solo);
+    ASSERT_EQ(a.reward, b.reward);
+    ASSERT_EQ(a.done, b.done);
+    if (a.done) break;
+  }
+}
+
 TEST(VecEnv, WrongActionShapeThrows) {
   VecEnv vec("Hopper", 2, 1);
   vec.reset_all();

@@ -179,6 +179,58 @@ TEST(Categorical, KlIdentities) {
   }
 }
 
+// -- _into forms --------------------------------------------------------------
+// The buffer-reusing forms are the rollout hot path (DESIGN.md §17); they
+// must be bit-identical to the allocating forms — same draws, same
+// arithmetic — and reuse capacity across calls.
+
+TEST(GaussianInto, SampleAndLogProbBitIdenticalToAllocatingForms) {
+  Rng r1(11), r2(11);
+  Tensor mean = Tensor::randn({8, 3}, r1);
+  Tensor mean2 = Tensor::randn({8, 3}, r2);  // keep streams aligned
+  ASSERT_EQ(mean.vec(), mean2.vec());
+  Tensor log_std = Tensor::of({-0.2f, 0.0f, 0.3f});
+  Tensor a = gaussian_sample(mean, log_std, r1);
+  Tensor b;
+  gaussian_sample_into(b, mean, log_std, r2);
+  ASSERT_EQ(a.vec(), b.vec());
+  Tensor lp_a = gaussian_log_prob(mean, log_std, a);
+  Tensor lp_b;
+  gaussian_log_prob_into(lp_b, mean, log_std, b);
+  EXPECT_EQ(lp_a.vec(), lp_b.vec());
+}
+
+TEST(GaussianInto, ReusesCapacityAcrossCalls) {
+  Rng rng(12);
+  Tensor mean = Tensor::randn({4, 2}, rng);
+  Tensor log_std = Tensor::of({0.0f, 0.1f});
+  Tensor out, lp;
+  gaussian_sample_into(out, mean, log_std, rng);
+  gaussian_log_prob_into(lp, mean, log_std, out);
+  const std::uint64_t before = tensor_buffer_allocs();
+  for (int i = 0; i < 20; ++i) {
+    gaussian_sample_into(out, mean, log_std, rng);
+    gaussian_log_prob_into(lp, mean, log_std, out);
+  }
+  EXPECT_EQ(tensor_buffer_allocs(), before);
+}
+
+TEST(CategoricalInto, SampleAndLogProbBitIdenticalToAllocatingForms) {
+  Rng r1(13), r2(13);
+  Tensor logits = Tensor::randn({6, 4}, r1);
+  Tensor logits2 = Tensor::randn({6, 4}, r2);
+  ASSERT_EQ(logits.vec(), logits2.vec());
+  auto a = categorical_sample(logits, r1);
+  std::vector<std::size_t> b;
+  Tensor probs_scratch;
+  categorical_sample_into(b, probs_scratch, logits, r2);
+  ASSERT_EQ(a, b);
+  Tensor lp_a = categorical_log_prob(logits, a);
+  Tensor lp_b, lsm_scratch;
+  categorical_log_prob_into(lp_b, lsm_scratch, logits, b);
+  EXPECT_EQ(lp_a.vec(), lp_b.vec());
+}
+
 // Property: KL between a logit set and a shifted copy is invariant to the
 // shift (softmax shift invariance).
 class CategoricalShift : public ::testing::TestWithParam<float> {};

@@ -1,0 +1,213 @@
+// VecActor regression suite (DESIGN.md §17).
+//
+// The load-bearing property is the K=1 equivalence: a VecActor driving one
+// env must emit a SampleBatch BYTE-identical to the scalar Actor for the
+// same seeds — that is what lets the trainers swap in VecActor without
+// disturbing any committed baseline. The serialized-bytes comparison pins
+// every field at once (obs, rewards, log-probs, segments, episode returns).
+#include "rl/vec_actor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "rl/actor.hpp"
+#include "sim/driver.hpp"
+
+namespace stellaris::rl {
+namespace {
+
+nn::ActorCritic policy_for(const std::string& env, std::uint64_t seed = 1) {
+  const auto spec = envs::env_spec(env);
+  const auto net = spec.obs.image ? nn::NetworkSpec::atari()
+                                  : nn::NetworkSpec::mujoco(8);
+  return nn::ActorCritic(spec.obs, spec.action_kind, spec.act_dim, net, seed);
+}
+
+VecActor make_vec(const std::string& env, std::size_t k, std::uint64_t seed) {
+  return VecActor(std::make_unique<envs::VecEnv>(env, k, seed), seed);
+}
+
+// -- K=1 scalar equivalence ---------------------------------------------------
+
+TEST(VecActorK1, ByteIdenticalToScalarActorContinuous) {
+  auto policy = policy_for("Hopper", 9);
+  Actor scalar(envs::make_env("Hopper"), 42);
+  VecActor vec = make_vec("Hopper", 1, 42);
+  VecActorScratch scratch;
+  // Multi-call: episode state (lazy resets, running returns) must carry
+  // across sample() calls exactly as the scalar actor's does.
+  for (int call = 0; call < 4; ++call) {
+    auto a = scalar.sample(policy, 57, call);
+    auto b = vec.sample(policy, scratch, 57, call);
+    ASSERT_EQ(a.serialize(), b.serialize()) << "call " << call;
+  }
+}
+
+TEST(VecActorK1, ByteIdenticalToScalarActorDiscrete) {
+  auto policy = policy_for("Qbert", 3);
+  Actor scalar(envs::make_env("Qbert"), 11);
+  VecActor vec = make_vec("Qbert", 1, 11);
+  VecActorScratch scratch;
+  for (int call = 0; call < 3; ++call) {
+    auto a = scalar.sample(policy, 80, call);
+    auto b = vec.sample(policy, scratch, 80, call);
+    ASSERT_EQ(a.serialize(), b.serialize()) << "call " << call;
+  }
+}
+
+TEST(VecActorK1, ByteIdenticalUnderCallerRngOverload) {
+  // The driver-body form: all draws from the per-invocation keyed stream.
+  auto policy = policy_for("Hopper", 9);
+  Actor scalar(envs::make_env("Hopper"), 5);
+  VecActor vec = make_vec("Hopper", 1, 5);
+  VecActorScratch scratch;
+  for (std::uint64_t attempt = 0; attempt < 3; ++attempt) {
+    Rng ra(sim::invocation_stream(123, 7, attempt));
+    Rng rb(sim::invocation_stream(123, 7, attempt));
+    auto a = scalar.sample(policy, 40, 1, ra);
+    auto b = vec.sample(policy, scratch, 40, 1, rb);
+    ASSERT_EQ(a.serialize(), b.serialize()) << "attempt " << attempt;
+  }
+}
+
+// -- K>1 structure ------------------------------------------------------------
+
+TEST(VecActorBatch, EnvMajorLayoutAndSegments) {
+  const std::size_t k = 4, h = 32;
+  auto policy = policy_for("Hopper");
+  VecActor vec = make_vec("Hopper", k, 3);
+  VecActorScratch scratch;
+  auto batch = vec.sample(policy, scratch, h, 17);
+  EXPECT_EQ(batch.size(), k * h);
+  EXPECT_EQ(batch.policy_version, 17u);
+  EXPECT_EQ(batch.obs.dim(0), k * h);
+  EXPECT_EQ(batch.actions_cont.dim(0), k * h);
+  ASSERT_EQ(batch.segments.size(), k);
+  for (std::size_t e = 0; e < k; ++e)
+    EXPECT_EQ(batch.segments[e].start, e * h);
+  // Segment views must tile the batch contiguously.
+  const auto views = batch.segment_views();
+  ASSERT_EQ(views.size(), k);
+  for (std::size_t e = 0; e < k; ++e) {
+    EXPECT_EQ(views[e].start, e * h);
+    EXPECT_EQ(views[e].end, (e + 1) * h);
+  }
+  EXPECT_TRUE(batch.obs.all_finite());
+  EXPECT_TRUE(batch.behaviour_log_probs.all_finite());
+}
+
+TEST(VecActorBatch, SegmentBootstrapZeroOnDoneSeam) {
+  // Drive long enough that some envs end their horizon mid-episode and
+  // (over calls) some end exactly on a done; the invariant is per segment:
+  // done at the seam row <=> bootstrap == 0.
+  const std::size_t k = 3, h = 64;
+  auto policy = policy_for("Hopper");
+  VecActor vec = make_vec("Hopper", k, 21);
+  VecActorScratch scratch;
+  for (int call = 0; call < 6; ++call) {
+    auto batch = vec.sample(policy, scratch, h, 0);
+    for (std::size_t e = 0; e < k; ++e) {
+      const std::size_t seam = e * h + h - 1;
+      if (batch.dones[seam] > 0.5f) {
+        EXPECT_FLOAT_EQ(batch.segments[e].bootstrap, 0.0f);
+      }
+    }
+  }
+}
+
+TEST(VecActorBatch, DonesMatchEpisodeReturnsCount) {
+  const std::size_t k = 2, h = 200;
+  const auto env = "Qbert";
+  auto policy = policy_for(env, 2);
+  VecActor vec = make_vec(env, k, 4);
+  VecActorScratch scratch;
+  auto batch = vec.sample(policy, scratch, h, 0);
+  std::size_t dones = 0;
+  for (std::size_t t = 0; t < batch.size(); ++t)
+    if (batch.dones[t] > 0.5f) ++dones;
+  EXPECT_EQ(dones, batch.episode_returns.size());
+  EXPECT_GE(dones, 1u) << "200 Qbert steps x 2 envs should finish episodes";
+}
+
+TEST(VecActorBatch, SameSeedSameBytes) {
+  auto policy = policy_for("Hopper", 9);
+  VecActor a = make_vec("Hopper", 4, 42);
+  VecActor b = make_vec("Hopper", 4, 42);
+  VecActorScratch sa, sb;
+  EXPECT_EQ(a.sample(policy, sa, 30, 0).serialize(),
+            b.sample(policy, sb, 30, 0).serialize());
+}
+
+TEST(VecActorBatch, TotalEnvStepsAdvances) {
+  auto policy = policy_for("Hopper");
+  VecActor vec = make_vec("Hopper", 4, 1);
+  VecActorScratch scratch;
+  vec.sample(policy, scratch, 16, 0);
+  EXPECT_EQ(vec.total_env_steps(), 64u);
+  EXPECT_EQ(vec.num_envs(), 4u);
+}
+
+TEST(VecActorBatch, ZeroHorizonThrows) {
+  auto policy = policy_for("Hopper");
+  VecActor vec = make_vec("Hopper", 2, 1);
+  VecActorScratch scratch;
+  EXPECT_THROW(vec.sample(policy, scratch, 0, 0), Error);
+}
+
+// -- allocation flatness ------------------------------------------------------
+// "No per-step allocations" pinned as: tensor-buffer allocations per
+// sample() call do not grow with the horizon (the per-call constant is the
+// result batch's own tensors; the hot loop itself contributes zero).
+
+std::uint64_t allocs_per_call(Actor& actor, nn::ActorCritic& policy,
+                              std::size_t horizon) {
+  const std::uint64_t before = tensor_buffer_allocs();
+  actor.sample(policy, horizon, 0);
+  return tensor_buffer_allocs() - before;
+}
+
+std::uint64_t allocs_per_call(VecActor& actor, VecActorScratch& scratch,
+                              nn::ActorCritic& policy, std::size_t horizon) {
+  const std::uint64_t before = tensor_buffer_allocs();
+  actor.sample(policy, scratch, horizon, 0);
+  return tensor_buffer_allocs() - before;
+}
+
+TEST(ActorAllocs, ScalarSampleFlatAfterWarmUp) {
+  auto policy = policy_for("Hopper");
+  Actor actor(envs::make_env("Hopper"), 1);
+  actor.sample(policy, 64, 0);  // warm up scratch + policy buffers
+  const auto short_call = allocs_per_call(actor, policy, 8);
+  const auto long_call = allocs_per_call(actor, policy, 64);
+  EXPECT_EQ(short_call, long_call)
+      << "per-step tensor allocations leaked into the scalar hot loop";
+}
+
+TEST(ActorAllocs, VecSampleFlatAfterWarmUp) {
+  auto policy = policy_for("Hopper");
+  VecActor vec = make_vec("Hopper", 4, 1);
+  VecActorScratch scratch;
+  vec.sample(policy, scratch, 64, 0);
+  const auto short_call = allocs_per_call(vec, scratch, policy, 8);
+  const auto long_call = allocs_per_call(vec, scratch, policy, 64);
+  EXPECT_EQ(short_call, long_call)
+      << "per-step tensor allocations leaked into the batched hot loop";
+}
+
+TEST(ActorAllocs, EvaluatePolicyFlatInEpisodeCount) {
+  auto env = envs::make_env("Hopper");
+  auto policy = policy_for("Hopper");
+  evaluate_policy(*env, policy, 1, 5);  // warm
+  const std::uint64_t b0 = tensor_buffer_allocs();
+  evaluate_policy(*env, policy, 1, 5);
+  const std::uint64_t one = tensor_buffer_allocs() - b0;
+  const std::uint64_t b1 = tensor_buffer_allocs();
+  evaluate_policy(*env, policy, 4, 5);
+  const std::uint64_t four = tensor_buffer_allocs() - b1;
+  EXPECT_EQ(one, four)
+      << "evaluate_policy allocations must not scale with episodes/steps";
+}
+
+}  // namespace
+}  // namespace stellaris::rl

@@ -8,7 +8,12 @@
 //     be identical under the virtual and concurrent drivers;
 //   * draw from shared RNG (`rand`, `srand`, `random_device`, a member
 //     `rng_`): bodies derive randomness from captured per-invocation
-//     streams (`sim::invocation_stream`);
+//     streams (`sim::invocation_stream`). In VecEnv (src/envs/vec_env.*)
+//     the member stream is additionally forbidden in REACHED functions:
+//     a `rng_.` draw there would silently key auto-reset seeds off
+//     cross-invocation state (DESIGN.md §17). Passing `rng_` by reference
+//     into a caller-Rng overload (`rng_` followed by `)` or `,`) is the
+//     sanctioned delegation and does not match the rule;
 //   * emit telemetry (`obs::ledger()`, `obs::trace()`, `obs::metrics()`,
 //     `obs::timeseries()`, `LedgerEvent`): emission order would depend on
 //     worker interleaving — telemetry belongs in the merge;
@@ -154,6 +159,15 @@ void check_range(Ctx& ctx, const SourceFile& file, std::size_t begin,
     if (reason.empty() && context == "submit-body" &&
         forbidden_direct_idents().count(t.text))
       reason = "references shared `" + t.text + "` through its capture";
+    // VecEnv-specific: a member-`rng_` DRAW (`rng_.`) anywhere reachable
+    // from a body keys auto-reset seeds off cross-invocation state.
+    // Delegating `rng_` by reference to a caller-Rng overload is fine.
+    if (reason.empty() && t.text == "rng_" && i + 1 < end &&
+        punct_is(toks[i + 1], ".") &&
+        file.rel.find("vec_env") != std::string::npos)
+      reason = "draws from VecEnv's member `rng_` stream — auto-reset "
+               "seeds must come from the caller's per-invocation Rng "
+               "(DESIGN.md §17)";
     if (!reason.empty()) report(ctx, file, t.line, context, t.text, reason, via);
   }
   traverse_calls(ctx, file, begin, end, chain);

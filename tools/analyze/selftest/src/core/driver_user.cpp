@@ -1,6 +1,7 @@
 // driver-purity cases. The Engine/Driver scaffolding here is token food —
 // what matters is the `driver().submit([...]{ ... })` shape the pass roots
 // on and what the lambda bodies (and the functions they reach) touch.
+#include "envs/vec_env.hpp"
 #include "obs/obs_ok.hpp"
 #include "util/annotated_mutex.hpp"
 
@@ -80,6 +81,21 @@ struct Trainer {
 
   void bad_reaches_telemetry() {
     engine_.driver().submit([] { telemetry_helper(); });
+  }
+
+  // VecEnv rule (see src/envs/vec_env.hpp): the member-stream draw is
+  // flagged through the reachability traversal...
+  VecEnv vec_env_;
+  void bad_vec_env_member_draw() {
+    auto* vec = &vec_env_;
+    engine_.driver().submit([vec] { vec->step_batch_unkeyed(); });
+  }
+
+  // ...while the caller-Rng overload and the by-reference delegation of
+  // `rng_` stay clean.
+  void good_vec_env_keyed_draws() {
+    auto* vec = &vec_env_;
+    engine_.driver().submit([vec] { vec->step_batch_legacy(); });
   }
 };
 

@@ -1,0 +1,31 @@
+// VecEnv member-RNG corpus (driver-purity, DESIGN.md §17): in files whose
+// path contains "vec_env", a member-`rng_` DRAW (`rng_.`) reachable from a
+// driver body must be flagged even outside the submit lambda itself —
+// auto-reset seeds must come from the caller's per-invocation stream.
+// Delegating `rng_` by reference into a caller-Rng overload is the
+// sanctioned legacy idiom and must stay clean.
+#pragma once
+
+namespace stellaris {
+
+struct VecRng {
+  int next() { return 0; }
+};
+
+struct VecEnv {
+  VecRng rng_;
+
+  // Caller-Rng overload: draws come from the argument — clean.
+  int step_batch_keyed(VecRng& rng) { return rng.next(); }
+
+  // Legacy convenience form: passes the member BY REFERENCE (`rng_`
+  // followed by `)`), never draws it here — clean.
+  int step_batch_legacy() { return step_batch_keyed(rng_); }
+
+  int step_batch_unkeyed() {
+    // expect: driver-purity
+    return rng_.next();
+  }
+};
+
+}  // namespace stellaris
